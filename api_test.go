@@ -1,0 +1,402 @@
+package hostsim
+
+import (
+	"testing"
+	"time"
+)
+
+// quickCfg is a short window for API-surface tests.
+func quickCfg(s Stack) Config {
+	return Config{Stack: s, Seed: 5, Warmup: 6 * time.Millisecond, Duration: 8 * time.Millisecond}
+}
+
+func TestRunRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		wl   Workload
+	}{
+		{"bad loss", Config{Stack: AllOptimizations(), LossRate: 1.5}, LongFlowWorkload(PatternSingle, 1)},
+		{"bad cc", func() Config { s := AllOptimizations(); s.CC = "vegas"; return Config{Stack: s} }(), LongFlowWorkload(PatternSingle, 1)},
+		{"bad steering", func() Config { s := AllOptimizations(); s.Steering = "magic"; return Config{Stack: s} }(), LongFlowWorkload(PatternSingle, 1)},
+		{"lro+gro", func() Config { s := AllOptimizations(); s.LRO = true; return Config{Stack: s} }(), LongFlowWorkload(PatternSingle, 1)},
+		{"bad pattern", Config{Stack: AllOptimizations()}, LongFlowWorkload("ring", 2)},
+		{"bad kind", Config{Stack: AllOptimizations()}, Workload{Kind: "quic"}},
+		{"rpc no clients", Config{Stack: AllOptimizations()}, Workload{Kind: "rpc", RPCSize: 4096}},
+		{"rpc no size", Config{Stack: AllOptimizations()}, Workload{Kind: "rpc", RPCClients: 4}},
+		{"remote multi-flow", Config{Stack: AllOptimizations()},
+			Workload{Kind: "long", Pattern: PatternIncast, N: 4, RemoteNUMA: true}},
+	}
+	for _, c := range cases {
+		if _, err := Run(c.cfg, c.wl); err == nil {
+			t.Errorf("%s: expected an error", c.name)
+		}
+	}
+}
+
+func TestRunDefaultsWindows(t *testing.T) {
+	res, err := Run(Config{Stack: AllOptimizations(), Seed: 2}, LongFlowWorkload(PatternSingle, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration != 30*time.Millisecond {
+		t.Errorf("default Duration = %v, want 30ms", res.Duration)
+	}
+}
+
+func TestResultFieldsPopulated(t *testing.T) {
+	res, err := Run(quickCfg(AllOptimizations()), LongFlowWorkload(PatternSingle, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputGbps <= 0 || res.ThroughputPerCoreGbps <= 0 {
+		t.Error("throughput fields empty")
+	}
+	if res.Bottleneck != "sender" && res.Bottleneck != "receiver" {
+		t.Errorf("Bottleneck = %q", res.Bottleneck)
+	}
+	for _, h := range []HostStats{res.Sender, res.Receiver} {
+		if len(h.Breakdown) != 8 {
+			t.Errorf("breakdown has %d categories, want 8", len(h.Breakdown))
+		}
+		var sum float64
+		for _, f := range h.Breakdown {
+			sum += f
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("breakdown fractions sum to %v", sum)
+		}
+		if h.BusyCores <= 0 || h.MaxCoreUtil <= 0 || h.MaxCoreUtil > 1 {
+			t.Errorf("busy stats out of range: %+v", h)
+		}
+	}
+	if res.Receiver.LatencyAvg <= 0 || res.Receiver.LatencyP99 < res.Receiver.LatencyAvg {
+		t.Error("latency stats inconsistent")
+	}
+	if res.Receiver.SKBAvgBytes <= 0 {
+		t.Error("skb stats empty")
+	}
+	if res.Receiver.AcksSent == 0 {
+		t.Error("ack counter empty")
+	}
+}
+
+func TestSteeringModes(t *testing.T) {
+	results := map[string]*Result{}
+	for _, mode := range []string{"arfs", "rfs", "rps", "rss", "worst"} {
+		s := AllOptimizations()
+		s.Steering = mode
+		res, err := Run(quickCfg(s), LongFlowWorkload(PatternSingle, 1))
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		results[mode] = res
+	}
+	// aRFS must be the most CPU-efficient; worst-case pinning the least.
+	if results["arfs"].ThroughputPerCoreGbps <= results["worst"].ThroughputPerCoreGbps {
+		t.Errorf("aRFS (%.1f) should beat worst-case (%.1f) per core",
+			results["arfs"].ThroughputPerCoreGbps, results["worst"].ThroughputPerCoreGbps)
+	}
+	// Software RFS sits between aRFS and worst-case.
+	if r := results["rfs"].ThroughputPerCoreGbps; r >= results["arfs"].ThroughputPerCoreGbps ||
+		r <= results["worst"].ThroughputPerCoreGbps {
+		t.Errorf("software RFS (%.1f) should sit between aRFS (%.1f) and worst (%.1f)",
+			r, results["arfs"].ThroughputPerCoreGbps, results["worst"].ThroughputPerCoreGbps)
+	}
+	// RPS keeps socket locks contended; RFS resolves to the app's core.
+	if results["rps"].Receiver.Breakdown["lock"] <= results["rfs"].Receiver.Breakdown["lock"] {
+		t.Error("RPS should show more lock contention than RFS")
+	}
+}
+
+func TestZeroCopyTxUnloadsSenderOnly(t *testing.T) {
+	base, err := Run(quickCfg(AllOptimizations()), LongFlowWorkload(PatternSingle, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := AllOptimizations()
+	s.ZeroCopyTx = true
+	zc, err := Run(quickCfg(s), LongFlowWorkload(PatternSingle, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zc.Sender.BusyCores >= 0.8*base.Sender.BusyCores {
+		t.Errorf("tx zero-copy should cut sender CPU: %.2f vs %.2f", zc.Sender.BusyCores, base.Sender.BusyCores)
+	}
+	// The receiver-bound throughput barely changes (§4's argument).
+	ratio := zc.ThroughputPerCoreGbps / base.ThroughputPerCoreGbps
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("tx zero-copy moved tpc by %.2fx; should be neutral", ratio)
+	}
+}
+
+func TestZeroCopyRxLiftsThroughputPerCore(t *testing.T) {
+	base, err := Run(quickCfg(AllOptimizations()), LongFlowWorkload(PatternSingle, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := AllOptimizations()
+	s.ZeroCopyRx = true
+	zc, err := Run(quickCfg(s), LongFlowWorkload(PatternSingle, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zc.ThroughputPerCoreGbps < 1.25*base.ThroughputPerCoreGbps {
+		t.Errorf("rx zero-copy should lift tpc substantially: %.1f vs %.1f",
+			zc.ThroughputPerCoreGbps, base.ThroughputPerCoreGbps)
+	}
+	if zc.Receiver.Breakdown["data_copy"] > 0.01 {
+		t.Errorf("rx zero-copy left a copy share of %.2f", zc.Receiver.Breakdown["data_copy"])
+	}
+}
+
+func TestSegregatedMixRestoresIsolation(t *testing.T) {
+	shared, err := Run(quickCfg(AllOptimizations()), MixedWorkload(16, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := MixedWorkload(16, 4096)
+	wl.Segregate = true
+	seg, err := Run(quickCfg(AllOptimizations()), wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.LongFlowGbps < 1.5*shared.LongFlowGbps {
+		t.Errorf("segregation should restore the long flow: %.1f vs shared %.1f",
+			seg.LongFlowGbps, shared.LongFlowGbps)
+	}
+	if seg.RPCGbps < 1.2*shared.RPCGbps {
+		t.Errorf("segregation should restore the shorts: %.2f vs shared %.2f",
+			seg.RPCGbps, shared.RPCGbps)
+	}
+}
+
+func TestTuningKnobsTakeEffect(t *testing.T) {
+	// Disabling the pageset must inflate the receiver's memory share.
+	base, err := Run(quickCfg(AllOptimizations()), LongFlowWorkload(PatternOneToOne, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg(AllOptimizations())
+	cfg.Tuning = &Tuning{PagesetCap: -1}
+	noPCP, err := Run(cfg, LongFlowWorkload(PatternOneToOne, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noPCP.Receiver.Breakdown["memory"] <= base.Receiver.Breakdown["memory"] {
+		t.Error("disabling pagesets should inflate the memory share")
+	}
+	// Disabling the DCA hazard must cut the tuned-buffer miss rate.
+	s := AllOptimizations()
+	s.RcvBufBytes = 3200 << 10
+	s.RxDescriptors = 4096
+	withHazard, err := Run(quickCfg(s), LongFlowWorkload(PatternSingle, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = quickCfg(s)
+	cfg.Tuning = &Tuning{DCAHazardFactor: -1}
+	noHazard, err := Run(cfg, LongFlowWorkload(PatternSingle, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noHazard.Receiver.CacheMissRate >= withHazard.Receiver.CacheMissRate {
+		t.Error("disabling the hazard should cut the miss rate")
+	}
+}
+
+func TestLROStackRuns(t *testing.T) {
+	s := AllOptimizations()
+	s.GRO, s.LRO = false, true
+	res, err := Run(quickCfg(s), LongFlowWorkload(PatternSingle, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LRO aggregates in hardware: full-size skbs with less netdev CPU.
+	if res.Receiver.SKBAvgBytes < 9000 {
+		t.Errorf("LRO skb avg = %.0fB, want aggregates", res.Receiver.SKBAvgBytes)
+	}
+	if res.ThroughputPerCoreGbps <= 0 {
+		t.Error("LRO stack moved no data")
+	}
+}
+
+func TestECNConfigApplies(t *testing.T) {
+	s := AllOptimizations()
+	s.CC = "dctcp"
+	cfg := quickCfg(s)
+	cfg.ECNMarkKB = 64
+	res, err := Run(cfg, LongFlowWorkload(PatternIncast, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputGbps <= 0 {
+		t.Error("DCTCP with ECN moved no data")
+	}
+}
+
+func TestTraceRecordsDataPath(t *testing.T) {
+	cfg := quickCfg(AllOptimizations())
+	cfg.TraceEvents = 256
+	res, err := Run(cfg, LongFlowWorkload(PatternSingle, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("trace empty")
+	}
+	kinds := map[string]bool{}
+	for _, e := range res.Trace {
+		kinds[e.Kind] = true
+		if e.Host != "sender" && e.Host != "receiver" {
+			t.Fatalf("bad host %q", e.Host)
+		}
+	}
+	for _, want := range []string{"app-write", "tx-segment", "deliver-skb", "ack-sent", "app-read"} {
+		if !kinds[want] {
+			t.Errorf("trace missing %q events (got %v)", want, kinds)
+		}
+	}
+	// Events are emitted in execution order; logical timestamps (start +
+	// cycles charged so far) may invert by at most one work item across
+	// contexts.
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].At < res.Trace[i-1].At-time.Millisecond {
+			t.Fatalf("trace wildly out of order at %d: %v after %v",
+				i, res.Trace[i].At, res.Trace[i-1].At)
+		}
+	}
+	// Flow filtering works.
+	cfg.TraceFlow = 1
+	res2, err := Run(cfg, LongFlowWorkload(PatternOneToOne, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res2.Trace {
+		if e.Flow != 1 {
+			t.Fatalf("flow filter leaked flow %d", e.Flow)
+		}
+	}
+	// No trace requested: none recorded.
+	res3, err := Run(quickCfg(AllOptimizations()), LongFlowWorkload(PatternSingle, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res3.Trace) != 0 {
+		t.Error("trace recorded without being requested")
+	}
+}
+
+func TestFairnessIndexReported(t *testing.T) {
+	res, err := Run(quickCfg(AllOptimizations()), LongFlowWorkload(PatternOneToOne, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FlowGbps) != 8 {
+		t.Fatalf("FlowGbps has %d entries, want 8", len(res.FlowGbps))
+	}
+	if res.FairnessIndex < 0.9 || res.FairnessIndex > 1.0001 {
+		t.Errorf("saturated one-to-one fairness = %v, want ~1", res.FairnessIndex)
+	}
+}
+
+func TestLinkGbpsScaling(t *testing.T) {
+	cfg := quickCfg(AllOptimizations())
+	cfg.LinkGbps = 25
+	res, err := Run(cfg, LongFlowWorkload(PatternSingle, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single core saturates a 25G link (the paper's history).
+	if res.ThroughputGbps < 23 || res.ThroughputGbps > 25.5 {
+		t.Errorf("25G link throughput = %.2f, want ~24.8 (link-bound)", res.ThroughputGbps)
+	}
+	if res.Receiver.MaxCoreUtil > 0.95 {
+		t.Error("receiver should not be saturated on a 25G link")
+	}
+	cfg.LinkGbps = -1
+	if _, err := Run(cfg, LongFlowWorkload(PatternSingle, 1)); err == nil {
+		t.Error("negative LinkGbps should error")
+	}
+}
+
+func TestDCAAwareDRSBeatsDefault(t *testing.T) {
+	base, err := Run(quickCfg(AllOptimizations()), LongFlowWorkload(PatternSingle, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := AllOptimizations()
+	s.DCAAwareDRS = true
+	aware, err := Run(quickCfg(s), LongFlowWorkload(PatternSingle, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aware.ThroughputPerCoreGbps < 1.15*base.ThroughputPerCoreGbps {
+		t.Errorf("DCA-aware DRS should clearly beat default: %.1f vs %.1f",
+			aware.ThroughputPerCoreGbps, base.ThroughputPerCoreGbps)
+	}
+	if aware.Receiver.CacheMissRate >= base.Receiver.CacheMissRate/2 {
+		t.Errorf("DCA-aware DRS miss %.2f should be far below default %.2f",
+			aware.Receiver.CacheMissRate, base.Receiver.CacheMissRate)
+	}
+}
+
+func TestReceiverSchedulerFixesIncast(t *testing.T) {
+	base, err := Run(quickCfg(AllOptimizations()), LongFlowWorkload(PatternIncast, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := AllOptimizations()
+	s.RcvSchedulerK = 2
+	sched, err := Run(quickCfg(s), LongFlowWorkload(PatternIncast, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.ThroughputPerCoreGbps < 1.2*base.ThroughputPerCoreGbps {
+		t.Errorf("receiver scheduling should lift incast tpc: %.1f vs %.1f",
+			sched.ThroughputPerCoreGbps, base.ThroughputPerCoreGbps)
+	}
+	if sched.Receiver.CacheMissRate >= base.Receiver.CacheMissRate/2 {
+		t.Errorf("receiver scheduling miss %.2f should collapse vs %.2f",
+			sched.Receiver.CacheMissRate, base.Receiver.CacheMissRate)
+	}
+	if sched.Receiver.LatencyAvg >= base.Receiver.LatencyAvg {
+		t.Error("receiver scheduling should cut host queueing latency")
+	}
+	// Rotation must preserve fairness.
+	if sched.FairnessIndex < 0.9 {
+		t.Errorf("fairness = %.3f under rotation, want ~1", sched.FairnessIndex)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{0, 0}, 0},
+		{[]float64{5, 5, 5, 5}, 1},
+		{[]float64{10, 0}, 0.5},
+		{[]float64{4, 4, 4, 0}, 0.75},
+	}
+	for _, c := range cases {
+		got := jain(c.xs)
+		if got < c.want-1e-9 || got > c.want+1e-9 {
+			t.Errorf("jain(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestPatternsAllRun(t *testing.T) {
+	for _, p := range []Pattern{PatternSingle, PatternOneToOne, PatternIncast, PatternOutcast, PatternAllToAll} {
+		n := 4
+		res, err := Run(quickCfg(AllOptimizations()), LongFlowWorkload(p, n))
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if res.ThroughputGbps <= 0 {
+			t.Errorf("%s: no throughput", p)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package hostsim
+
+import (
+	"testing"
+	"time"
+)
+
+// The calibration suite pins the simulator to the paper's headline
+// numbers (see DESIGN.md §3.7 and EXPERIMENTS.md). Bands are deliberately
+// generous: the goal is reproducing shapes — who wins, by what rough
+// factor — not exact testbed values.
+
+func calCfg(s Stack) Config {
+	return Config{Stack: s, Seed: 7, Warmup: 15 * time.Millisecond, Duration: 25 * time.Millisecond}
+}
+
+func mustRun(t *testing.T, cfg Config, wl Workload) *Result {
+	t.Helper()
+	res, err := Run(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func within(t *testing.T, name string, got, lo, hi float64) {
+	t.Helper()
+	if got < lo || got > hi {
+		t.Errorf("%s = %.3f, want within [%.3f, %.3f]", name, got, lo, hi)
+	}
+}
+
+// Fig. 3a headline: a single flow with all optimizations reaches ~42Gbps
+// per core; the receiver is the bottleneck and fully busy.
+func TestCalSingleFlowAllOpts(t *testing.T) {
+	res := mustRun(t, calCfg(AllOptimizations()), LongFlowWorkload(PatternSingle, 1))
+	within(t, "tpc", res.ThroughputPerCoreGbps, 38, 48)
+	if res.Bottleneck != "receiver" {
+		t.Errorf("bottleneck = %s, want receiver", res.Bottleneck)
+	}
+	within(t, "receiver busy cores", res.Receiver.BusyCores, 0.97, 1.03)
+	within(t, "sender busy cores", res.Sender.BusyCores, 0.4, 0.7)
+}
+
+// Fig. 3d: data copy dominates the receiver (~49% in the paper).
+func TestCalReceiverCopyDominates(t *testing.T) {
+	res := mustRun(t, calCfg(AllOptimizations()), LongFlowWorkload(PatternSingle, 1))
+	within(t, "receiver copy share", res.Receiver.Breakdown["data_copy"], 0.42, 0.62)
+	for cat, f := range res.Receiver.Breakdown {
+		if cat != "data_copy" && f >= res.Receiver.Breakdown["data_copy"] {
+			t.Errorf("category %s (%.2f) rivals data copy", cat, f)
+		}
+	}
+}
+
+// §3.1: even a single flow sees ~49% L3 miss rate with the default
+// (autotuned ~6MB) receive buffer.
+func TestCalSingleFlowCacheMiss(t *testing.T) {
+	res := mustRun(t, calCfg(AllOptimizations()), LongFlowWorkload(PatternSingle, 1))
+	within(t, "cache miss rate", res.Receiver.CacheMissRate, 0.40, 0.72)
+}
+
+// Fig. 3a: each optimization level improves throughput-per-core
+// (no-opt < +TSO/GRO < +Jumbo < +aRFS).
+func TestCalOptimizationLadder(t *testing.T) {
+	noOpt := NoOptimizations()
+	tsogro := noOpt
+	tsogro.TSO, tsogro.GSO, tsogro.GRO = true, true, true
+	jumbo := tsogro
+	jumbo.JumboFrames = true
+	steps := []Stack{noOpt, tsogro, jumbo, AllOptimizations()}
+	var prev float64
+	for i, s := range steps {
+		res := mustRun(t, calCfg(s), LongFlowWorkload(PatternSingle, 1))
+		if res.ThroughputPerCoreGbps <= prev {
+			t.Errorf("step %d: tpc %.2f did not improve on %.2f", i, res.ThroughputPerCoreGbps, prev)
+		}
+		prev = res.ThroughputPerCoreGbps
+	}
+	// The paper's no-opt column sits under 10Gbps per core.
+	res := mustRun(t, calCfg(noOpt), LongFlowWorkload(PatternSingle, 1))
+	within(t, "no-opt tpc", res.ThroughputPerCoreGbps, 2, 10)
+}
+
+// Fig. 3e: the cache-optimal configuration (3200KB buffer, few
+// descriptors) beats the default, approaching the paper's ~55Gbps.
+func TestCalOptimalBufferBeatsDefault(t *testing.T) {
+	def := mustRun(t, calCfg(AllOptimizations()), LongFlowWorkload(PatternSingle, 1))
+	tuned := AllOptimizations()
+	tuned.RcvBufBytes = 3200 << 10
+	tuned.RxDescriptors = 256
+	opt := mustRun(t, calCfg(tuned), LongFlowWorkload(PatternSingle, 1))
+	if opt.ThroughputPerCoreGbps <= def.ThroughputPerCoreGbps {
+		t.Errorf("tuned (%.2f) should beat default (%.2f)", opt.ThroughputPerCoreGbps, def.ThroughputPerCoreGbps)
+	}
+	within(t, "tuned tpc", opt.ThroughputPerCoreGbps, 47, 62)
+	if opt.Receiver.CacheMissRate >= def.Receiver.CacheMissRate {
+		t.Error("tuned buffer should cut the miss rate")
+	}
+}
+
+// Fig. 3f: NAPI-to-copy latency grows steeply with the Rx buffer.
+func TestCalLatencyGrowsWithBuffer(t *testing.T) {
+	small := AllOptimizations()
+	small.RcvBufBytes = 400 << 10
+	big := AllOptimizations()
+	big.RcvBufBytes = 12800 << 10
+	rs := mustRun(t, calCfg(small), LongFlowWorkload(PatternSingle, 1))
+	rb := mustRun(t, calCfg(big), LongFlowWorkload(PatternSingle, 1))
+	if rb.Receiver.LatencyAvg < 5*rs.Receiver.LatencyAvg {
+		t.Errorf("12800KB buffer latency (%v) should dwarf 400KB (%v)",
+			rb.Receiver.LatencyAvg, rs.Receiver.LatencyAvg)
+	}
+	if rb.Receiver.LatencyAvg < 400*time.Microsecond {
+		t.Errorf("large-buffer latency = %v, want ~milliseconds", rb.Receiver.LatencyAvg)
+	}
+}
+
+// Fig. 4: a NIC-remote NUMA application loses ~20% throughput-per-core.
+func TestCalRemoteNUMADrop(t *testing.T) {
+	local := mustRun(t, calCfg(AllOptimizations()), LongFlowWorkload(PatternSingle, 1))
+	remote := mustRun(t, calCfg(AllOptimizations()),
+		Workload{Kind: "long", Pattern: PatternSingle, RemoteNUMA: true})
+	drop := 1 - remote.ThroughputPerCoreGbps/local.ThroughputPerCoreGbps
+	within(t, "remote NUMA drop", drop, 0.08, 0.30)
+	if remote.Receiver.CacheMissRate < 0.9 {
+		t.Errorf("remote NUMA miss rate = %.2f, want ~1 (DCA cannot reach)", remote.Receiver.CacheMissRate)
+	}
+}
+
+// Fig. 5a: one-to-one throughput-per-core decays with flow count (~42 at
+// 1 flow to ~15 at 24).
+func TestCalOneToOneDecay(t *testing.T) {
+	one := mustRun(t, calCfg(AllOptimizations()), LongFlowWorkload(PatternSingle, 1))
+	n24 := mustRun(t, calCfg(AllOptimizations()), LongFlowWorkload(PatternOneToOne, 24))
+	within(t, "one-to-one/24 tpc", n24.ThroughputPerCoreGbps, 11, 22)
+	drop := 1 - n24.ThroughputPerCoreGbps/one.ThroughputPerCoreGbps
+	within(t, "one-to-one decay", drop, 0.45, 0.75) // paper: 64%
+	// Total throughput saturates the link from 8 flows on.
+	n8 := mustRun(t, calCfg(AllOptimizations()), LongFlowWorkload(PatternOneToOne, 8))
+	within(t, "one-to-one/8 total", n8.ThroughputGbps, 90, 101)
+}
+
+// Fig. 6: incast loses throughput-per-core as receiver-side cache
+// contention grows (paper: ~19% drop at 8 flows; miss 48%->78%).
+func TestCalIncastCacheContention(t *testing.T) {
+	one := mustRun(t, calCfg(AllOptimizations()), LongFlowWorkload(PatternSingle, 1))
+	in8 := mustRun(t, calCfg(AllOptimizations()), LongFlowWorkload(PatternIncast, 8))
+	drop := 1 - in8.ThroughputPerCoreGbps/one.ThroughputPerCoreGbps
+	within(t, "incast/8 tpc drop", drop, 0.08, 0.35)
+	if in8.Receiver.CacheMissRate <= one.Receiver.CacheMissRate {
+		t.Error("incast should raise the receiver miss rate")
+	}
+}
+
+// Fig. 7a: the sender-side pipeline is far more efficient — ~89Gbps per
+// sender core at 8 outcast flows (>= 2x the incast receiver).
+func TestCalOutcastSenderEfficiency(t *testing.T) {
+	out8 := mustRun(t, calCfg(AllOptimizations()), LongFlowWorkload(PatternOutcast, 8))
+	if out8.Bottleneck != "sender" {
+		t.Fatalf("outcast bottleneck = %s, want sender", out8.Bottleneck)
+	}
+	perSender := out8.ThroughputGbps / out8.Sender.BusyCores
+	within(t, "outcast/8 per-sender-core", perSender, 68, 100)
+	in8 := mustRun(t, calCfg(AllOptimizations()), LongFlowWorkload(PatternIncast, 8))
+	if perSender < 1.7*in8.ThroughputPerCoreGbps {
+		t.Errorf("sender pipeline (%.1f) should be ~2x receiver pipeline (%.1f)",
+			perSender, in8.ThroughputPerCoreGbps)
+	}
+}
+
+// Fig. 8a/8c: all-to-all at 24x24 loses ~67% throughput-per-core, and the
+// post-GRO skb size collapses because per-flow aggregation opportunities
+// vanish.
+func TestCalAllToAllCollapse(t *testing.T) {
+	one := mustRun(t, calCfg(AllOptimizations()), LongFlowWorkload(PatternSingle, 1))
+	a24 := mustRun(t, calCfg(AllOptimizations()), LongFlowWorkload(PatternAllToAll, 24))
+	drop := 1 - a24.ThroughputPerCoreGbps/one.ThroughputPerCoreGbps
+	within(t, "all-to-all/24 tpc drop", drop, 0.45, 0.80) // paper: ~67%
+	if a24.Receiver.SKBAvgBytes > one.Receiver.SKBAvgBytes/3 {
+		t.Errorf("24x24 skbs (%.0fB) should be tiny next to single flow (%.0fB)",
+			a24.Receiver.SKBAvgBytes, one.Receiver.SKBAvgBytes)
+	}
+	if a24.Receiver.SKB64KBShare > 0.2 {
+		t.Errorf("24x24 full-size skb share = %.2f, want small", a24.Receiver.SKB64KBShare)
+	}
+	if one.Receiver.SKB64KBShare < 0.5 {
+		t.Errorf("single-flow full-size skb share = %.2f, want majority", one.Receiver.SKB64KBShare)
+	}
+}
+
+// Fig. 9: packet loss cuts total throughput; the tpc/total gap opens; the
+// tiny loss rate (1.5e-4) does not hurt (the paper even measures a slight
+// improvement from better cache hit rates).
+func TestCalLossImpact(t *testing.T) {
+	base := mustRun(t, calCfg(AllOptimizations()), LongFlowWorkload(PatternSingle, 1))
+	tiny := calCfg(AllOptimizations())
+	tiny.LossRate = 1.5e-4
+	rTiny := mustRun(t, tiny, LongFlowWorkload(PatternSingle, 1))
+	within(t, "loss 1.5e-4 vs base", rTiny.ThroughputPerCoreGbps/base.ThroughputPerCoreGbps, 0.9, 1.15)
+
+	heavy := calCfg(AllOptimizations())
+	heavy.LossRate = 1.5e-2
+	rHeavy := mustRun(t, heavy, LongFlowWorkload(PatternSingle, 1))
+	if rHeavy.ThroughputGbps > 0.9*base.ThroughputGbps {
+		t.Errorf("1.5e-2 loss should cut total throughput: %.1f vs %.1f",
+			rHeavy.ThroughputGbps, base.ThroughputGbps)
+	}
+	if rHeavy.Sender.Retransmits < 50 {
+		t.Errorf("retransmits = %d, want many", rHeavy.Sender.Retransmits)
+	}
+	// The gap between tpc and total throughput opens (paper Fig. 9a/9b).
+	gap := rHeavy.ThroughputPerCoreGbps - rHeavy.ThroughputGbps
+	if gap < 5 {
+		t.Errorf("tpc/total gap = %.1f, want wide under heavy loss", gap)
+	}
+}
+
+// Fig. 10: short-flow RPCs — tpc grows with RPC size; at 4KB, data copy
+// is NOT the dominant category and the paper reports ~6Gbps per core
+// (one-way transaction bytes, as netperf reports).
+func TestCalRPCSizes(t *testing.T) {
+	var prev float64
+	for _, size := range []int64{4096, 16384, 65536} {
+		res := mustRun(t, calCfg(AllOptimizations()), RPCIncastWorkload(16, size))
+		oneWay := res.RPCGbps
+		if oneWay <= prev {
+			t.Errorf("RPC %dKB one-way goodput %.2f did not grow from %.2f", size>>10, oneWay, prev)
+		}
+		prev = oneWay
+	}
+	r4 := mustRun(t, calCfg(AllOptimizations()), RPCIncastWorkload(16, 4096))
+	within(t, "4KB RPC per-server-core (one-way)", r4.RPCGbps/r4.Receiver.BusyCores, 3, 10)
+	bd := r4.Receiver.Breakdown
+	if bd["data_copy"] >= bd["tcp/ip"] {
+		t.Errorf("4KB RPC: copy (%.2f) should not dominate tcp/ip (%.2f)", bd["data_copy"], bd["tcp/ip"])
+	}
+	r64 := mustRun(t, calCfg(AllOptimizations()), RPCIncastWorkload(16, 65536))
+	if r64.Receiver.Breakdown["data_copy"] < 0.3 {
+		t.Errorf("64KB RPC: copy share %.2f should approach the long-flow profile",
+			r64.Receiver.Breakdown["data_copy"])
+	}
+}
+
+// Fig. 10c: unlike long flows, the 4KB RPC server barely suffers on a
+// NIC-remote NUMA node.
+func TestCalRPCRemoteNUMAMarginal(t *testing.T) {
+	local := mustRun(t, calCfg(AllOptimizations()), RPCIncastWorkload(16, 4096))
+	wl := RPCIncastWorkload(16, 4096)
+	wl.RemoteNUMA = true
+	remote := mustRun(t, calCfg(AllOptimizations()), wl)
+	ratio := remote.RPCGbps / local.RPCGbps
+	within(t, "4KB RPC remote/local", ratio, 0.9, 1.05)
+}
+
+// Fig. 11: mixing one long flow with 16 short flows on a core cuts
+// combined throughput-per-core by ~43%, and both classes suffer versus
+// isolation (long 42->20, short ~6.15->2.6 in the paper).
+func TestCalMixedFlows(t *testing.T) {
+	alone := mustRun(t, calCfg(AllOptimizations()), MixedWorkload(0, 4096))
+	mixed := mustRun(t, calCfg(AllOptimizations()), MixedWorkload(16, 4096))
+	drop := 1 - mixed.ThroughputPerCoreGbps/alone.ThroughputPerCoreGbps
+	within(t, "mixed tpc drop", drop, 0.3, 0.65)
+	within(t, "mixed long-flow Gbps", mixed.LongFlowGbps, 10, 30) // paper ~20
+	rpcIso := mustRun(t, calCfg(AllOptimizations()), RPCIncastWorkload(16, 4096))
+	if mixed.RPCGbps > 0.8*rpcIso.RPCGbps {
+		t.Errorf("mixed shorts (%.2f) should lose badly vs isolation (%.2f)",
+			mixed.RPCGbps, rpcIso.RPCGbps)
+	}
+}
+
+// Fig. 12: disabling DCA costs ~19%; enabling the IOMMU costs ~26% with
+// memory management ballooning (~30% of receiver cycles).
+func TestCalDCAAndIOMMU(t *testing.T) {
+	base := mustRun(t, calCfg(AllOptimizations()), LongFlowWorkload(PatternSingle, 1))
+	noDCA := AllOptimizations()
+	noDCA.DCA = false
+	rd := mustRun(t, calCfg(noDCA), LongFlowWorkload(PatternSingle, 1))
+	within(t, "DCA-off drop", 1-rd.ThroughputPerCoreGbps/base.ThroughputPerCoreGbps, 0.08, 0.3)
+
+	iommu := AllOptimizations()
+	iommu.IOMMU = true
+	ri := mustRun(t, calCfg(iommu), LongFlowWorkload(PatternSingle, 1))
+	within(t, "IOMMU drop", 1-ri.ThroughputPerCoreGbps/base.ThroughputPerCoreGbps, 0.18, 0.42)
+	within(t, "IOMMU receiver memory share", ri.Receiver.Breakdown["memory"], 0.22, 0.48)
+}
+
+// Fig. 13: congestion control choice barely moves throughput-per-core;
+// BBR pays extra sender-side scheduling for pacing.
+func TestCalCongestionControlNeutral(t *testing.T) {
+	cubic := mustRun(t, calCfg(AllOptimizations()), LongFlowWorkload(PatternSingle, 1))
+	for _, cc := range []string{"bbr", "dctcp"} {
+		s := AllOptimizations()
+		s.CC = cc
+		res := mustRun(t, calCfg(s), LongFlowWorkload(PatternSingle, 1))
+		within(t, cc+" tpc vs cubic", res.ThroughputPerCoreGbps/cubic.ThroughputPerCoreGbps, 0.85, 1.15)
+		if cc == "bbr" && res.Sender.Breakdown["sched"] <= cubic.Sender.Breakdown["sched"] {
+			t.Errorf("BBR sender sched (%.3f) should exceed CUBIC's (%.3f)",
+				res.Sender.Breakdown["sched"], cubic.Sender.Breakdown["sched"])
+		}
+	}
+}
+
+// Determinism: identical configuration and seed give identical results.
+func TestCalDeterminism(t *testing.T) {
+	a := mustRun(t, calCfg(AllOptimizations()), LongFlowWorkload(PatternIncast, 4))
+	b := mustRun(t, calCfg(AllOptimizations()), LongFlowWorkload(PatternIncast, 4))
+	if a.ThroughputGbps != b.ThroughputGbps ||
+		a.Receiver.CacheMissRate != b.Receiver.CacheMissRate ||
+		a.Receiver.BusyCores != b.Receiver.BusyCores {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+	c := mustRun(t, Config{Stack: AllOptimizations(), Seed: 99,
+		Warmup: 15 * time.Millisecond, Duration: 25 * time.Millisecond},
+		LongFlowWorkload(PatternIncast, 4))
+	if a.ThroughputGbps == c.ThroughputGbps && a.Receiver.CacheMissRate == c.Receiver.CacheMissRate {
+		t.Error("different seeds produced byte-identical results; RNG unused?")
+	}
+}

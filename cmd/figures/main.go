@@ -1,0 +1,70 @@
+// Command figures regenerates the paper's evaluation figures and tables
+// ("Understanding Host Network Stack Overheads", SIGCOMM 2021) from the
+// hostsim simulator and prints them as text tables.
+//
+// Usage:
+//
+//	figures                 # regenerate everything, in paper order
+//	figures -fig fig3a      # one figure
+//	figures -list           # list available experiments
+//	figures -dur 50ms       # longer measurement window
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hostsim/internal/figures"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "", "experiment id to run (empty = all)")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		dur    = flag.Duration("dur", 25*time.Millisecond, "measurement window (simulated)")
+		warmup = flag.Duration("warmup", 15*time.Millisecond, "warm-up (simulated, excluded)")
+		seed   = flag.Int64("seed", 7, "simulation seed")
+		format = flag.String("format", "text", "output format: text, csv, markdown")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range figures.All() {
+			fmt.Printf("%-8s %s\n         paper: %s\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+
+	rc := figures.RunConfig{Seed: *seed, Warmup: *warmup, Duration: *dur}
+	exps := figures.All()
+	if *fig != "" {
+		e, ok := figures.ByID(*fig)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "figures: unknown experiment %q (try -list)\n", *fig)
+			os.Exit(2)
+		}
+		exps = []figures.Experiment{e}
+	}
+	for _, e := range exps {
+		start := time.Now()
+		tbl, err := e.Run(rc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "text":
+			fmt.Print(tbl.String())
+			fmt.Printf("paper: %s\n(generated in %v)\n\n", e.Paper, time.Since(start).Round(time.Millisecond))
+		case "csv":
+			fmt.Printf("# %s: %s\n%s\n", tbl.ID, tbl.Title, tbl.CSV())
+		case "markdown", "md":
+			fmt.Println(tbl.Markdown())
+		default:
+			fmt.Fprintf(os.Stderr, "figures: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Command netsim runs a single host-network-stack simulation scenario and
+// prints its measurements: throughput, throughput-per-core, CPU breakdowns
+// (the paper's Table-1 taxonomy), cache miss rates, host latency and skb
+// sizes.
+//
+// Examples:
+//
+//	netsim                                  # single flow, all optimizations
+//	netsim -pattern incast -flows 8         # 8-flow incast
+//	netsim -tso=false -gro=false            # ablation
+//	netsim -workload rpc -rpcsize 4096      # 16:1 4KB ping-pong RPCs
+//	netsim -loss 0.015                      # lossy switch
+//	netsim -cc bbr -rxbuf 3276800 -ring 256 # tuned configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"hostsim"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "long", "workload kind: long, rpc, mixed")
+		pattern  = flag.String("pattern", "single", "long-flow pattern: single, one-to-one, incast, outcast, all-to-all")
+		flows    = flag.Int("flows", 1, "flow count (or grid side for all-to-all)")
+		rpcSize  = flag.Int64("rpcsize", 4096, "RPC request/response bytes")
+		rpcN     = flag.Int("rpcclients", 16, "RPC client count")
+		shorts   = flag.Int("shorts", 16, "short flows for the mixed workload")
+		remote   = flag.Bool("remote-numa", false, "run the application on a NIC-remote NUMA node")
+
+		tso   = flag.Bool("tso", true, "TCP segmentation offload")
+		gso   = flag.Bool("gso", true, "software segmentation when TSO off")
+		gro   = flag.Bool("gro", true, "generic receive offload")
+		lro   = flag.Bool("lro", false, "hardware receive offload (replaces GRO)")
+		jumbo = flag.Bool("jumbo", true, "9000B MTU")
+		arfs  = flag.Bool("arfs", true, "accelerated receive flow steering")
+		dca   = flag.Bool("dca", true, "DDIO/DCA")
+		iommu = flag.Bool("iommu", false, "IOMMU")
+		cc    = flag.String("cc", "cubic", "congestion control: cubic, reno, dctcp, bbr")
+		steer = flag.String("steering", "", "steering override: arfs, worst, rss, rfs, rps")
+		zctx  = flag.Bool("zerocopy-tx", false, "MSG_ZEROCOPY-style transmission")
+		zcrx  = flag.Bool("zerocopy-rx", false, "mmap-based zero-copy receive")
+		ring  = flag.Int("ring", 0, "NIC Rx descriptors (0 = 1024)")
+		rxbuf = flag.Int64("rxbuf", 0, "fixed TCP Rx buffer bytes (0 = autotune)")
+		loss  = flag.Float64("loss", 0, "switch drop probability")
+		ecn   = flag.Int("ecn-kb", 0, "ECN marking threshold in KB (0 = off)")
+
+		dur    = flag.Duration("dur", 25*time.Millisecond, "measurement window (simulated)")
+		warmup = flag.Duration("warmup", 15*time.Millisecond, "warm-up (simulated)")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		seeds  = flag.Int("seeds", 1, "run this many seeds and report mean +/- stddev")
+		traceN = flag.Int("trace", 0, "dump the last N data-path events after the run")
+		traceF = flag.Int("trace-flow", 0, "restrict the trace to one flow id (0 = all)")
+	)
+	flag.Parse()
+
+	stack := hostsim.Stack{
+		TSO: *tso, GSO: *gso, GRO: *gro && !*lro, LRO: *lro,
+		JumboFrames: *jumbo, ARFS: *arfs, DCA: *dca, IOMMU: *iommu,
+		CC: *cc, Steering: *steer, RxDescriptors: *ring, RcvBufBytes: *rxbuf,
+		ZeroCopyTx: *zctx, ZeroCopyRx: *zcrx,
+	}
+	cfg := hostsim.Config{
+		Stack: stack, LossRate: *loss, ECNMarkKB: *ecn,
+		Warmup: *warmup, Duration: *dur, Seed: *seed,
+		TraceEvents: *traceN, TraceFlow: int32(*traceF),
+	}
+
+	var wl hostsim.Workload
+	switch *workload {
+	case "long":
+		wl = hostsim.LongFlowWorkload(hostsim.Pattern(*pattern), *flows)
+		wl.RemoteNUMA = *remote
+	case "rpc":
+		wl = hostsim.RPCIncastWorkload(*rpcN, *rpcSize)
+		wl.RemoteNUMA = *remote
+	case "mixed":
+		wl = hostsim.MixedWorkload(*shorts, *rpcSize)
+	default:
+		fmt.Fprintf(os.Stderr, "netsim: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	if *seeds > 1 {
+		runSeeds(cfg, wl, *seeds)
+		return
+	}
+	res, err := hostsim.Run(cfg, wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netsim:", err)
+		os.Exit(1)
+	}
+	printResult(res)
+	if len(res.Trace) > 0 {
+		fmt.Printf("\n--- trace (last %d events) ---\n", len(res.Trace))
+		for _, e := range res.Trace {
+			fmt.Printf("%-12v %-8s core%-3d flow%-4d %-11s a=%d b=%d\n",
+				e.At, e.Host, e.Core, e.Flow, e.Kind, e.A, e.B)
+		}
+	}
+}
+
+// runSeeds reports mean +/- stddev of the headline metrics over n seeds.
+func runSeeds(cfg hostsim.Config, wl hostsim.Workload, n int) {
+	type metric struct {
+		name string
+		get  func(*hostsim.Result) float64
+	}
+	metrics := []metric{
+		{"throughput Gbps", func(r *hostsim.Result) float64 { return r.ThroughputGbps }},
+		{"thpt-per-core Gbps", func(r *hostsim.Result) float64 { return r.ThroughputPerCoreGbps }},
+		{"receiver miss %", func(r *hostsim.Result) float64 { return r.Receiver.CacheMissRate * 100 }},
+		{"receiver copy %", func(r *hostsim.Result) float64 { return r.Receiver.Breakdown["data_copy"] * 100 }},
+		{"receiver busy cores", func(r *hostsim.Result) float64 { return r.Receiver.BusyCores }},
+		{"sender busy cores", func(r *hostsim.Result) float64 { return r.Sender.BusyCores }},
+	}
+	samples := make([][]float64, len(metrics))
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		res, err := hostsim.Run(c, wl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netsim:", err)
+			os.Exit(1)
+		}
+		for j, m := range metrics {
+			samples[j] = append(samples[j], m.get(res))
+		}
+	}
+	fmt.Printf("over %d seeds (%d..%d):\n", n, cfg.Seed, cfg.Seed+int64(n)-1)
+	for j, m := range metrics {
+		mean, sd := meanSD(samples[j])
+		fmt.Printf("  %-20s %10.2f +/- %.2f\n", m.name, mean, sd)
+	}
+}
+
+func meanSD(xs []float64) (mean, sd float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
+}
+
+func printResult(res *hostsim.Result) {
+	fmt.Printf("window                 %v (simulated)\n", res.Duration)
+	fmt.Printf("throughput             %.2f Gbps\n", res.ThroughputGbps)
+	fmt.Printf("throughput-per-core    %.2f Gbps  (bottleneck: %s)\n",
+		res.ThroughputPerCoreGbps, res.Bottleneck)
+	if res.RPCCompleted > 0 {
+		fmt.Printf("rpcs completed         %d (%.2f Gbps one-way)\n", res.RPCCompleted, res.RPCGbps)
+	}
+	if res.LongFlowGbps > 0 {
+		fmt.Printf("long-flow goodput      %.2f Gbps\n", res.LongFlowGbps)
+	}
+	for _, side := range []struct {
+		name string
+		h    hostsim.HostStats
+	}{{"sender", res.Sender}, {"receiver", res.Receiver}} {
+		fmt.Printf("\n--- %s ---\n", side.name)
+		fmt.Printf("busy cores             %.2f (max core %.0f%%)\n", side.h.BusyCores, side.h.MaxCoreUtil*100)
+		fmt.Printf("cache miss rate        %.1f%%\n", side.h.CacheMissRate*100)
+		fmt.Printf("NAPI->copy latency     avg %v  p99 %v\n",
+			side.h.LatencyAvg.Round(time.Microsecond), side.h.LatencyP99.Round(time.Microsecond))
+		fmt.Printf("post-GRO skb           avg %.1fKB  (64KB share %.0f%%)\n",
+			side.h.SKBAvgBytes/1024, side.h.SKB64KBShare*100)
+		fmt.Printf("retransmits %d  acks %d  nic-drops %d\n",
+			side.h.Retransmits, side.h.AcksSent, side.h.NICDrops)
+		fmt.Println("cpu breakdown:")
+		type kv struct {
+			k string
+			v float64
+		}
+		var kvs []kv
+		for k, v := range side.h.Breakdown {
+			kvs = append(kvs, kv{k, v})
+		}
+		sort.Slice(kvs, func(i, j int) bool { return kvs[i].v > kvs[j].v })
+		for _, e := range kvs {
+			fmt.Printf("  %-10s %5.1f%%\n", e.k, e.v*100)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Command sweep runs parameter sweeps over the simulator and emits CSV,
+// for plotting the paper's sensitivity curves (Fig. 3e/3f style) or any
+// custom exploration.
+//
+// Usage:
+//
+//	sweep -kind ring                 # ring size x rx buffer (Fig. 3e)
+//	sweep -kind rxbuf                # rx buffer latency curve (Fig. 3f)
+//	sweep -kind flows -pattern incast
+//	sweep -kind loss
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"hostsim"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "ring", "sweep kind: ring, rxbuf, flows, loss")
+		pattern = flag.String("pattern", "one-to-one", "pattern for the flows sweep")
+		dur     = flag.Duration("dur", 25*time.Millisecond, "measurement window")
+		warmup  = flag.Duration("warmup", 15*time.Millisecond, "warm-up")
+		seed    = flag.Int64("seed", 7, "seed")
+	)
+	flag.Parse()
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	cfg := func(s hostsim.Stack) hostsim.Config {
+		return hostsim.Config{Stack: s, Warmup: *warmup, Duration: *dur, Seed: *seed}
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+
+	switch *kind {
+	case "ring":
+		w.Write([]string{"rxbuf_kb", "ring", "thpt_gbps", "tpc_gbps", "miss_rate"})
+		for _, bufKB := range []int64{0, 3200, 6400} {
+			for _, ring := range []int{128, 256, 512, 1024, 2048, 4096, 8192} {
+				s := hostsim.AllOptimizations()
+				s.RcvBufBytes = bufKB << 10
+				s.RxDescriptors = ring
+				res, err := hostsim.Run(cfg(s), hostsim.LongFlowWorkload(hostsim.PatternSingle, 1))
+				if err != nil {
+					fail(err)
+				}
+				w.Write([]string{
+					strconv.FormatInt(bufKB, 10), strconv.Itoa(ring),
+					f(res.ThroughputGbps), f(res.ThroughputPerCoreGbps),
+					f(res.Receiver.CacheMissRate),
+				})
+			}
+		}
+	case "rxbuf":
+		w.Write([]string{"rxbuf_kb", "thpt_gbps", "lat_avg_us", "lat_p99_us", "miss_rate"})
+		for _, kb := range []int64{100, 200, 400, 800, 1600, 3200, 6400, 12800} {
+			s := hostsim.AllOptimizations()
+			s.RcvBufBytes = kb << 10
+			res, err := hostsim.Run(cfg(s), hostsim.LongFlowWorkload(hostsim.PatternSingle, 1))
+			if err != nil {
+				fail(err)
+			}
+			w.Write([]string{
+				strconv.FormatInt(kb, 10), f(res.ThroughputGbps),
+				f(float64(res.Receiver.LatencyAvg) / 1e3),
+				f(float64(res.Receiver.LatencyP99) / 1e3),
+				f(res.Receiver.CacheMissRate),
+			})
+		}
+	case "flows":
+		w.Write([]string{"flows", "thpt_gbps", "tpc_gbps", "miss_rate", "skb_avg_kb"})
+		for _, n := range []int{1, 2, 4, 8, 12, 16, 20, 24} {
+			wl := hostsim.LongFlowWorkload(hostsim.Pattern(*pattern), n)
+			if n == 1 {
+				wl = hostsim.LongFlowWorkload(hostsim.PatternSingle, 1)
+			}
+			res, err := hostsim.Run(cfg(hostsim.AllOptimizations()), wl)
+			if err != nil {
+				fail(err)
+			}
+			w.Write([]string{
+				strconv.Itoa(n), f(res.ThroughputGbps), f(res.ThroughputPerCoreGbps),
+				f(res.Receiver.CacheMissRate), f(res.Receiver.SKBAvgBytes / 1024),
+			})
+		}
+	case "loss":
+		w.Write([]string{"loss", "thpt_gbps", "tpc_gbps", "retransmits", "miss_rate"})
+		for _, p := range []float64{0, 1e-5, 1e-4, 1.5e-4, 1e-3, 1.5e-3, 5e-3, 1.5e-2} {
+			c := cfg(hostsim.AllOptimizations())
+			c.LossRate = p
+			res, err := hostsim.Run(c, hostsim.LongFlowWorkload(hostsim.PatternSingle, 1))
+			if err != nil {
+				fail(err)
+			}
+			w.Write([]string{
+				strconv.FormatFloat(p, 'g', -1, 64), f(res.ThroughputGbps),
+				f(res.ThroughputPerCoreGbps), strconv.FormatInt(res.Sender.Retransmits, 10),
+				f(res.Receiver.CacheMissRate),
+			})
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }

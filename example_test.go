@@ -1,0 +1,55 @@
+package hostsim_test
+
+import (
+	"fmt"
+	"time"
+
+	"hostsim"
+)
+
+// ExampleRun reproduces the paper's headline single-flow experiment and
+// prints qualitative facts that hold across calibrations.
+func ExampleRun() {
+	res, err := hostsim.Run(
+		hostsim.Config{Stack: hostsim.AllOptimizations(), Seed: 1,
+			Warmup: 10 * time.Millisecond, Duration: 15 * time.Millisecond},
+		hostsim.LongFlowWorkload(hostsim.PatternSingle, 1),
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("bottleneck:", res.Bottleneck)
+	fmt.Println("receiver saturated:", res.Receiver.MaxCoreUtil > 0.99)
+	copyShare := res.Receiver.Breakdown["data_copy"]
+	dominant := true
+	for cat, f := range res.Receiver.Breakdown {
+		if cat != "data_copy" && f >= copyShare {
+			dominant = false
+		}
+	}
+	fmt.Println("data copy dominates the receiver:", dominant)
+	// Output:
+	// bottleneck: receiver
+	// receiver saturated: true
+	// data copy dominates the receiver: true
+}
+
+// ExampleRun_incast shows the §3.3 receiver-contention study: the miss
+// rate climbs as flows share one receiver core's cache.
+func ExampleRun_incast() {
+	cfg := hostsim.Config{Stack: hostsim.AllOptimizations(), Seed: 7,
+		Warmup: 10 * time.Millisecond, Duration: 15 * time.Millisecond}
+	one, err := hostsim.Run(cfg, hostsim.LongFlowWorkload(hostsim.PatternSingle, 1))
+	if err != nil {
+		panic(err)
+	}
+	eight, err := hostsim.Run(cfg, hostsim.LongFlowWorkload(hostsim.PatternIncast, 8))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("incast raises the miss rate:", eight.Receiver.CacheMissRate > one.Receiver.CacheMissRate)
+	fmt.Println("incast lowers throughput-per-core:", eight.ThroughputPerCoreGbps < one.ThroughputPerCoreGbps)
+	// Output:
+	// incast raises the miss rate: true
+	// incast lowers throughput-per-core: true
+}

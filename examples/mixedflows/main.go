@@ -1,0 +1,53 @@
+// Mixed-flow study: colocating a bandwidth-hungry long flow with
+// latency-sensitive RPC traffic on the same core (§3.7, Fig. 11 of the
+// paper) — the everyday reality of a microservice box that also takes
+// backups. Quantifies how much both classes lose and why the paper argues
+// for class-segregated core allocation.
+//
+//	go run ./examples/mixedflows
+package main
+
+import (
+	"fmt"
+
+	"hostsim"
+)
+
+func main() {
+	cfg := hostsim.Config{Stack: hostsim.AllOptimizations(), Seed: 7}
+
+	// Isolation baselines.
+	longAlone, err := hostsim.Run(cfg, hostsim.MixedWorkload(0, 4096))
+	if err != nil {
+		panic(err)
+	}
+	rpcAlone, err := hostsim.Run(cfg, hostsim.RPCIncastWorkload(16, 4096))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("isolation baselines (one core each side):")
+	fmt.Printf("  long flow alone:  %6.2f Gbps\n", longAlone.LongFlowGbps)
+	fmt.Printf("  16 x 4KB RPCs:    %6.2f Gbps one-way\n\n", rpcAlone.RPCGbps)
+
+	fmt.Println("colocating the long flow with n short flows on the same core:")
+	fmt.Printf("%8s  %10s  %12s  %12s  %8s\n", "shorts", "tpc Gbps", "long Gbps", "rpc Gbps", "sched%")
+	for _, n := range []int{0, 1, 4, 16} {
+		res, err := hostsim.Run(cfg, hostsim.MixedWorkload(n, 4096))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%8d  %10.2f  %12.2f  %12.2f  %7.1f%%\n",
+			n, res.ThroughputPerCoreGbps, res.LongFlowGbps, res.RPCGbps,
+			res.Receiver.Breakdown["sched"]*100)
+	}
+
+	mixed, err := hostsim.Run(cfg, hostsim.MixedWorkload(16, 4096))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nwith 16 shorts: long flow keeps %.0f%% of its isolated rate,\n",
+		100*mixed.LongFlowGbps/longAlone.LongFlowGbps)
+	fmt.Printf("shorts keep %.0f%% of theirs — both classes lose (paper: 48%% and 42%% losses).\n",
+		100*mixed.RPCGbps/rpcAlone.RPCGbps)
+	fmt.Println("CPU-efficient stacks should not mix long and short flows on a core.")
+}

@@ -1,0 +1,139 @@
+package hostsim
+
+import (
+	"testing"
+	"time"
+)
+
+// Failure-injection tests: drive the stack into pathological regimes and
+// check that it degrades gracefully rather than stalling, losing bytes,
+// or wedging the simulation.
+
+func TestTinyRingUnderIncastDropsButSurvives(t *testing.T) {
+	s := AllOptimizations()
+	s.RxDescriptors = 32 // absurdly small ring
+	res, err := Run(quickCfg(s), LongFlowWorkload(PatternIncast, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputGbps < 1 {
+		t.Errorf("tiny ring collapsed throughput to %.2f Gbps", res.ThroughputGbps)
+	}
+	// Drops at the NIC are possible but TCP must keep the stream moving.
+	if res.Receiver.NICDrops > 0 && res.Sender.Retransmits == 0 {
+		t.Error("NIC drops occurred but the sender never retransmitted")
+	}
+}
+
+func TestExtremeLossStillProgresses(t *testing.T) {
+	cfg := quickCfg(AllOptimizations())
+	cfg.LossRate = 0.10
+	cfg.Duration = 40 * time.Millisecond
+	res, err := Run(cfg, LongFlowWorkload(PatternSingle, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputGbps <= 0 {
+		t.Fatal("10% loss wedged the connection completely")
+	}
+	if res.Sender.Retransmits == 0 {
+		t.Error("no retransmissions under 10% loss")
+	}
+}
+
+func TestBidirectionalLossIncludesAckLoss(t *testing.T) {
+	// Loss applies to the data direction only in Config; verify ACK-path
+	// resilience via the heavy-loss data direction plus RTO machinery.
+	cfg := quickCfg(AllOptimizations())
+	cfg.LossRate = 0.05
+	cfg.Duration = 60 * time.Millisecond
+	res, err := Run(cfg, LongFlowWorkload(PatternOneToOne, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputGbps <= 0 {
+		t.Fatal("multi-flow heavy loss wedged all connections")
+	}
+}
+
+func TestTinyBuffersDoNotDeadlock(t *testing.T) {
+	s := AllOptimizations()
+	s.RcvBufBytes = 32 << 10 // 32KB: window smaller than one TSO aggregate
+	s.SndBufBytes = 128 << 10
+	res, err := Run(quickCfg(s), LongFlowWorkload(PatternSingle, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputGbps <= 0 {
+		t.Fatal("tiny buffers deadlocked the transfer")
+	}
+}
+
+func TestTinyBufferWithLossRecovers(t *testing.T) {
+	// The nastiest combination: a window barely above one MSS plus loss —
+	// recovery must rely on RTO and persist machinery.
+	s := AllOptimizations()
+	s.RcvBufBytes = 64 << 10
+	cfg := quickCfg(s)
+	cfg.LossRate = 0.02
+	cfg.Duration = 60 * time.Millisecond
+	res, err := Run(cfg, LongFlowWorkload(PatternSingle, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputGbps <= 0 {
+		t.Fatal("tiny window + loss deadlocked")
+	}
+}
+
+func TestManyFlowsOnFewDescriptors(t *testing.T) {
+	s := AllOptimizations()
+	s.RxDescriptors = 64
+	res, err := Run(quickCfg(s), LongFlowWorkload(PatternAllToAll, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputGbps < 5 {
+		t.Errorf("64-descriptor rings under 8x8 all-to-all moved only %.2f Gbps", res.ThroughputGbps)
+	}
+}
+
+func TestRPCUnderLoss(t *testing.T) {
+	cfg := quickCfg(AllOptimizations())
+	cfg.LossRate = 0.01
+	cfg.Duration = 40 * time.Millisecond
+	res, err := Run(cfg, RPCIncastWorkload(8, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RPCCompleted == 0 {
+		t.Fatal("no RPC completed under 1% loss")
+	}
+}
+
+func TestMixedUnderLossAndTinyRing(t *testing.T) {
+	s := AllOptimizations()
+	s.RxDescriptors = 128
+	cfg := quickCfg(s)
+	cfg.LossRate = 0.005
+	cfg.Duration = 40 * time.Millisecond
+	res, err := Run(cfg, MixedWorkload(8, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LongFlowGbps <= 0 || res.RPCCompleted == 0 {
+		t.Errorf("a flow class starved: long %.2f Gbps, rpcs %d", res.LongFlowGbps, res.RPCCompleted)
+	}
+}
+
+func TestNoOptUnderAllToAll(t *testing.T) {
+	// The most packet-intensive configuration: per-MTU skbs, no
+	// aggregation, hash steering, 576 flows.
+	res, err := Run(quickCfg(NoOptimizations()), LongFlowWorkload(PatternAllToAll, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputGbps <= 0 {
+		t.Fatal("no-opt all-to-all moved no data")
+	}
+}

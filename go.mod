@@ -1,0 +1,3 @@
+module hostsim
+
+go 1.22

@@ -1,0 +1,397 @@
+// Package hostsim is a discrete-event simulator of the Linux host network
+// stack, built to reproduce the measurement study "Understanding Host
+// Network Stack Overheads" (Cai et al., SIGCOMM 2021).
+//
+// It models the full end-to-end data path of a 100Gbps two-server testbed
+// — write/read syscalls, data copies with a DDIO/L3 cache model, TCP with
+// CUBIC/DCTCP/BBR, GSO/TSO segmentation, GRO/LRO aggregation, NAPI and
+// interrupt moderation, receive flow steering (RSS/RPS/RFS/aRFS),
+// NUMA-aware page allocation, an optional IOMMU, and a lossy switch — and
+// accounts every simulated CPU cycle to the paper's eight-category
+// taxonomy (Table 1).
+//
+// The entry point is Run:
+//
+//	res, err := hostsim.Run(hostsim.Config{Stack: hostsim.AllOptimizations()},
+//	    hostsim.LongFlowWorkload(hostsim.PatternSingle, 1))
+//	fmt.Println(res.ThroughputPerCoreGbps)
+//
+// Every figure and table of the paper's evaluation can be regenerated
+// from this API; see cmd/figures and EXPERIMENTS.md.
+package hostsim
+
+import (
+	"fmt"
+	"time"
+
+	"hostsim/internal/core"
+	"hostsim/internal/cpumodel"
+	"hostsim/internal/sim"
+	"hostsim/internal/skb"
+	"hostsim/internal/topology"
+	"hostsim/internal/trace"
+	"hostsim/internal/units"
+	"hostsim/internal/wire"
+)
+
+// Stack mirrors the paper's stack configuration knobs.
+type Stack struct {
+	TSO         bool   // hardware segmentation offload
+	GSO         bool   // software segmentation when TSO is off
+	GRO         bool   // software receive aggregation
+	LRO         bool   // hardware receive aggregation (instead of GRO)
+	JumboFrames bool   // 9000B MTU
+	ARFS        bool   // accelerated receive flow steering
+	DCA         bool   // DDIO into the NIC-local L3
+	IOMMU       bool   // IOMMU map/unmap per DMA page
+	CC          string // "cubic" (default), "reno", "dctcp", "bbr"
+
+	// Steering overrides the flow steering policy: "arfs", "worst"
+	// (the paper's deterministic aRFS-off pinning), "rss", "rfs"
+	// (software flow steering), "rps" (software packet steering) or
+	// "same-numa" (IRQs on a different core of the app's NUMA node).
+	// Empty derives from the ARFS flag: arfs when set, worst otherwise.
+	Steering string
+
+	// ZeroCopyTx enables MSG_ZEROCOPY-style transmission (§4 of the
+	// paper): application pages are pinned and DMAed directly, skipping
+	// the user-to-kernel copy at a small pin/completion cost.
+	ZeroCopyTx bool
+	// ZeroCopyRx enables the paper's mmap-based receive path: payload
+	// pages are mapped into the application instead of copied, at a
+	// per-page remap cost.
+	ZeroCopyRx bool
+
+	// DCAAwareDRS caps receive-buffer autotuning at the DDIO capacity —
+	// the paper's §4 proposal that buffer tuning should account for L3
+	// size. Ignored when RcvBufBytes pins the buffer.
+	DCAAwareDRS bool
+
+	// RcvSchedulerK enables a Homa/pHost-inspired receiver-driven
+	// scheduler (§4): at most K connections per receiving core hold a
+	// window at a time, rotated every millisecond. 0 = off.
+	RcvSchedulerK int
+
+	RxDescriptors int   // NIC Rx ring size; 0 = 1024
+	RcvBufBytes   int64 // fixed TCP receive buffer; 0 = autotune (max 6MB)
+	SndBufBytes   int64 // send buffer; 0 = 4MB
+}
+
+// AllOptimizations returns the paper's fully optimized stack: TSO/GRO,
+// jumbo frames, aRFS, DCA on, IOMMU off, CUBIC.
+func AllOptimizations() Stack {
+	return Stack{TSO: true, GSO: true, GRO: true, JumboFrames: true, ARFS: true, DCA: true, CC: "cubic"}
+}
+
+// NoOptimizations returns the paper's baseline configuration (GSO
+// disabled as in their modified kernel, MTU 1500, worst-case steering).
+func NoOptimizations() Stack {
+	return Stack{DCA: true, CC: "cubic"}
+}
+
+func (s Stack) options() (core.Options, error) {
+	steer := core.SteerWorstCase
+	if s.ARFS {
+		steer = core.SteerARFS
+	}
+	switch s.Steering {
+	case "":
+	case "arfs":
+		steer = core.SteerARFS
+	case "worst":
+		steer = core.SteerWorstCase
+	case "rss":
+		steer = core.SteerRSSHash
+	case "rfs":
+		steer = core.SteerRFS
+	case "rps":
+		steer = core.SteerRPS
+	case "same-numa":
+		steer = core.SteerSameNUMA
+	default:
+		return core.Options{}, fmt.Errorf("hostsim: unknown steering %q", s.Steering)
+	}
+	return core.Options{
+		TSO: s.TSO, GSO: s.GSO, GRO: s.GRO, LRO: s.LRO, Jumbo: s.JumboFrames,
+		DCA: s.DCA, IOMMU: s.IOMMU, Steering: steer, CC: s.CC,
+		ZeroCopyTx: s.ZeroCopyTx, ZeroCopyRx: s.ZeroCopyRx,
+		DCAAwareDRS: s.DCAAwareDRS, RcvSchedulerK: s.RcvSchedulerK,
+		RxRing:      s.RxDescriptors,
+		RcvBufBytes: units.Bytes(s.RcvBufBytes),
+		SndBufBytes: units.Bytes(s.SndBufBytes),
+	}, nil
+}
+
+// Tuning exposes the simulator's internal model knobs for ablation
+// studies. Zero values keep the calibrated defaults; -1 disables a
+// mechanism where noted.
+type Tuning struct {
+	TSQBytes         int64         // per-connection qdisc bound (default 256KB)
+	SchedGranularity time.Duration // scheduler wakeup granularity (default 250us)
+	SleeperCredit    time.Duration // wakeup vruntime credit (default 50us)
+	ModerationDelay  time.Duration // NIC IRQ coalescing delay (default 12us)
+	ModerationFrames int           // NIC IRQ coalescing frame threshold (default 24)
+	PagesetCap       int           // per-core pageset capacity (default 512; -1 = none)
+	DCAHazardFactor  float64       // descriptor eviction hazard scale (default 0.035; -1 = off)
+}
+
+// Config describes one simulation run.
+type Config struct {
+	Stack     Stack
+	Tuning    *Tuning       // nil = calibrated defaults
+	LinkGbps  int           // access link bandwidth; 0 = the testbed's 100
+	LossRate  float64       // random drop probability at the switch
+	ECNMarkKB int           // ECN marking threshold in KB (0 = off; for DCTCP)
+	Warmup    time.Duration // excluded from measurement; 0 = 20ms
+	Duration  time.Duration // measurement window; 0 = 30ms
+	Seed      int64         // RNG seed; runs are deterministic per seed
+
+	// TraceEvents, when positive, records the most recent N data-path
+	// events (writes, segments, deliveries, acks, retransmissions) into
+	// Result.Trace. TraceFlow restricts recording to one flow id (flows
+	// are numbered from 1 in connection-creation order; 0 = all).
+	TraceEvents int
+	TraceFlow   int32
+}
+
+// TraceEvent is one recorded data-path occurrence (see Config.TraceEvents).
+// A and B are kind-specific: sequence/length for data events, cumulative
+// ack/window for "ack-sent".
+type TraceEvent struct {
+	At   time.Duration // since simulation start
+	Host string        // "sender" or "receiver"
+	Core int
+	Flow int32
+	Kind string // app-write, app-read, tx-segment, retransmit, deliver-skb, ack-sent
+	A, B int64
+}
+
+// Pattern names the Fig. 2 traffic patterns.
+type Pattern string
+
+// The five traffic patterns.
+const (
+	PatternSingle   Pattern = "single"
+	PatternOneToOne Pattern = "one-to-one"
+	PatternIncast   Pattern = "incast"
+	PatternOutcast  Pattern = "outcast"
+	PatternAllToAll Pattern = "all-to-all"
+)
+
+// Workload describes the applications driving the stack.
+type Workload struct {
+	Kind    string  // "long", "rpc", "mixed"
+	Pattern Pattern // long flows: traffic pattern
+	N       int     // long flows: scale (flows, or grid side for all-to-all)
+
+	RPCClients int   // rpc: number of client cores
+	RPCSize    int64 // rpc & mixed: request/response bytes
+
+	MixedShort int // mixed: short (RPC) connections sharing the core
+	// Segregate places the mixed workload's short flows on their own
+	// core instead of sharing the long flow's (the paper's §4
+	// class-segregated scheduling proposal).
+	Segregate bool
+
+	// RemoteNUMA places the applications on a NIC-remote NUMA node (the
+	// Fig. 4 / Fig. 10c experiments). Applies to single-flow long and rpc
+	// workloads.
+	RemoteNUMA bool
+}
+
+// LongFlowWorkload builds an iPerf-style bulk-transfer workload.
+func LongFlowWorkload(p Pattern, n int) Workload {
+	return Workload{Kind: "long", Pattern: p, N: n}
+}
+
+// RPCIncastWorkload builds the §3.7 short-flow scenario: nClients
+// ping-pong clients against one server core.
+func RPCIncastWorkload(nClients int, size int64) Workload {
+	return Workload{Kind: "rpc", RPCClients: nClients, RPCSize: size}
+}
+
+// MixedWorkload builds the Fig. 11 scenario: one long flow plus nShort
+// RPC connections sharing one core on each side.
+func MixedWorkload(nShort int, size int64) Workload {
+	return Workload{Kind: "mixed", MixedShort: nShort, RPCSize: size}
+}
+
+// HostStats reports one host's measurements over the window.
+type HostStats struct {
+	BusyCores     float64            // total CPU busy time / window
+	MaxCoreUtil   float64            // utilization of the busiest core
+	Breakdown     map[string]float64 // Table-1 category -> fraction of busy cycles
+	CacheMissRate float64            // receive-copy cache miss rate
+	LatencyAvg    time.Duration      // NAPI -> start of copy, mean
+	LatencyP99    time.Duration      // NAPI -> start of copy, p99
+	SKBAvgBytes   float64            // mean post-GRO data skb size
+	SKB64KBShare  float64            // fraction of data skbs at >= 60KB
+	CopiedGB      float64            // bytes delivered to applications
+	Retransmits   int64
+	AcksSent      int64
+	NICDrops      int64
+}
+
+// Result is the outcome of one Run.
+type Result struct {
+	Duration              time.Duration
+	ThroughputGbps        float64 // application goodput (both directions)
+	ThroughputPerCoreGbps float64 // goodput / bottleneck-host busy cores
+	Bottleneck            string  // "sender" or "receiver"
+	Sender                HostStats
+	Receiver              HostStats
+	RPCCompleted          int64   // finished ping-pongs (rpc/mixed)
+	LongFlowGbps          float64 // long-flow-only goodput (mixed workloads)
+	RPCGbps               float64 // rpc-only goodput (rpc/mixed workloads)
+
+	// FlowGbps lists each long flow's goodput; FairnessIndex is Jain's
+	// index over them (1 = perfectly fair).
+	FlowGbps      []float64
+	FairnessIndex float64
+
+	// Trace holds the recorded data-path events when Config.TraceEvents
+	// was set, oldest first, across both hosts.
+	Trace []TraceEvent
+}
+
+// Run executes one simulation and reports the measured window.
+func Run(cfg Config, wl Workload) (*Result, error) {
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 20 * time.Millisecond
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 30 * time.Millisecond
+	}
+	if cfg.LossRate < 0 || cfg.LossRate > 1 {
+		return nil, fmt.Errorf("hostsim: loss rate %v outside [0,1]", cfg.LossRate)
+	}
+	opts, err := cfg.Stack.options()
+	if err != nil {
+		return nil, err
+	}
+	if tn := cfg.Tuning; tn != nil {
+		opts.TSQBytes = units.Bytes(tn.TSQBytes)
+		opts.SchedGranularity = tn.SchedGranularity
+		opts.SleeperCredit = tn.SleeperCredit
+		opts.ModerationDelay = tn.ModerationDelay
+		opts.ModerationFrames = tn.ModerationFrames
+		opts.PagesetCap = tn.PagesetCap
+		opts.DCAHazardFactor = tn.DCAHazardFactor
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+
+	eng := sim.NewEngine(cfg.Seed)
+	costs := cpumodel.Default()
+	spec := topology.Default()
+	if cfg.LinkGbps < 0 {
+		return nil, fmt.Errorf("hostsim: negative LinkGbps")
+	}
+	if cfg.LinkGbps > 0 {
+		spec.LinkRate = units.BitRate(cfg.LinkGbps) * units.Gbps
+	}
+	core.ResetFlowIDs()
+	sender := core.NewHost("sender", eng, spec, costs, opts)
+	receiver := core.NewHost("receiver", eng, spec, costs, opts)
+	ab, ba := core.Connect(sender, receiver)
+	ab.SetLossRate(cfg.LossRate)
+	if cfg.ECNMarkKB > 0 {
+		ab.SetECNThreshold(units.Bytes(cfg.ECNMarkKB) * units.KB)
+		ba.SetECNThreshold(units.Bytes(cfg.ECNMarkKB) * units.KB)
+	}
+
+	var tracer *trace.Tracer
+	if cfg.TraceEvents > 0 {
+		tracer = trace.New(cfg.TraceEvents)
+		tracer.FilterFlow(skb.FlowID(cfg.TraceFlow))
+		sender.SetTracer(tracer)
+		receiver.SetTracer(tracer)
+	}
+
+	run, err := buildWorkload(sender, receiver, wl)
+	if err != nil {
+		return nil, err
+	}
+
+	eng.Run(sim.Time(cfg.Warmup))
+	sender.ResetMetrics()
+	receiver.ResetMetrics()
+	run.snapshot()
+	eng.Run(sim.Time(cfg.Warmup + cfg.Duration))
+
+	res := assemble(cfg, sender, receiver, ab, ba, run)
+	if tracer != nil {
+		for _, e := range tracer.Events() {
+			res.Trace = append(res.Trace, TraceEvent{
+				At:   e.At.Duration(),
+				Host: e.Host, Core: e.Core, Flow: int32(e.Flow),
+				Kind: e.Kind.String(), A: e.A, B: e.B,
+			})
+		}
+	}
+	return res, nil
+}
+
+func assemble(cfg Config, sender, receiver *core.Host, ab, ba *wire.Link, run *builtWorkload) *Result {
+	window := cfg.Duration
+	res := &Result{
+		Duration: window,
+		Sender:   hostStats(sender, window),
+		Receiver: hostStats(receiver, window),
+	}
+	goodput := units.RateOf(sender.Copied()+receiver.Copied(), window)
+	res.ThroughputGbps = goodput.Gigabits()
+	// The bottleneck is the side whose busiest core is most saturated
+	// (the paper's "CPU utilization at the bottleneck").
+	bottleneck := res.Receiver
+	res.Bottleneck = "receiver"
+	if res.Sender.MaxCoreUtil > res.Receiver.MaxCoreUtil {
+		bottleneck = res.Sender
+		res.Bottleneck = "sender"
+	}
+	if bottleneck.BusyCores > 0 {
+		res.ThroughputPerCoreGbps = res.ThroughputGbps / bottleneck.BusyCores
+	}
+	res.RPCCompleted, res.LongFlowGbps, res.RPCGbps = run.deltas(window)
+	res.FlowGbps = run.perFlow(window)
+	res.FairnessIndex = jain(res.FlowGbps)
+	return res
+}
+
+func hostStats(h *core.Host, window time.Duration) HostStats {
+	sys := h.Sys
+	busy := sys.TotalBusy()
+	bd := sys.TotalBreakdown()
+	fr := bd.Fractions()
+	breakdown := make(map[string]float64, cpumodel.NumCategories)
+	for _, cat := range cpumodel.Categories() {
+		breakdown[cat.String()] = fr[cat]
+	}
+	var maxUtil float64
+	for i := 0; i < sys.NumCores(); i++ {
+		if u := sys.Core(i).Utilization(window); u > maxUtil {
+			maxUtil = u
+		}
+	}
+	lat := h.Latency()
+	sizes := h.SKBSizes()
+	skb64 := 0.0
+	if sizes.Count() > 0 {
+		skb64 = 1 - sizes.Fraction(60*1024)
+	}
+	return HostStats{
+		BusyCores:     float64(busy) / float64(window),
+		MaxCoreUtil:   maxUtil,
+		Breakdown:     breakdown,
+		CacheMissRate: h.CopyMissRate(),
+		LatencyAvg:    time.Duration(lat.Mean()),
+		LatencyP99:    time.Duration(lat.Quantile(0.99)),
+		SKBAvgBytes:   sizes.Mean(),
+		SKB64KBShare:  skb64,
+		CopiedGB:      float64(h.Copied()) / 1e9,
+		NICDrops:      h.NIC.Stats().RxDropped,
+		Retransmits:   hostRetransmits(h),
+		AcksSent:      hostAcksSent(h),
+	}
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"hostsim/internal/cpumodel"
+	"hostsim/internal/exec"
+	"hostsim/internal/sim"
+	"hostsim/internal/topology"
+	"hostsim/internal/units"
+)
+
+// rig builds a connected host pair.
+type rig struct {
+	eng  *sim.Engine
+	a, b *Host
+}
+
+func newRig(t *testing.T, opts Options) *rig {
+	t.Helper()
+	ResetFlowIDs()
+	eng := sim.NewEngine(1)
+	costs := cpumodel.Default()
+	spec := topology.Default()
+	a := NewHost("a", eng, spec, costs, opts)
+	b := NewHost("b", eng, spec, costs, opts)
+	Connect(a, b)
+	return &rig{eng: eng, a: a, b: b}
+}
+
+func (r *rig) run(d time.Duration) { r.eng.Run(sim.Time(d)) }
+
+func TestOptionsValidate(t *testing.T) {
+	good := AllOpts()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("AllOpts invalid: %v", err)
+	}
+	bad := []func(*Options){
+		func(o *Options) { o.LRO = true; o.GRO = true },
+		func(o *Options) { o.RxRing = -1 },
+		func(o *Options) { o.RcvBufBytes = -1 },
+		func(o *Options) { o.CC = "vegas" },
+		func(o *Options) { o.Steering = SteeringMode(9) },
+	}
+	for i, f := range bad {
+		o := AllOpts()
+		f(&o)
+		if o.Validate() == nil {
+			t.Errorf("mutation %d should fail", i)
+		}
+	}
+}
+
+func TestOptionsDerived(t *testing.T) {
+	o := AllOpts()
+	if o.MTU() != 9000 || o.MSS() != 9000-66 {
+		t.Errorf("jumbo MTU/MSS = %d/%d", o.MTU(), o.MSS())
+	}
+	o.Jumbo = false
+	if o.MTU() != 1500 {
+		t.Errorf("MTU = %d, want 1500", o.MTU())
+	}
+	if o.SegmentBytes() != 64*units.KB {
+		t.Errorf("SegmentBytes with TSO = %d, want 64KB", o.SegmentBytes())
+	}
+	o.TSO, o.GSO = false, false
+	if o.SegmentBytes() != o.MSS() {
+		t.Errorf("SegmentBytes without TSO/GSO = %d, want MSS", o.SegmentBytes())
+	}
+	no := NoOpts()
+	if no.SegmentBytes() != no.MSS() {
+		t.Error("NoOpts should send MSS-sized skbs")
+	}
+}
+
+func TestSteeringCoreARFS(t *testing.T) {
+	r := newRig(t, AllOpts())
+	for _, core := range []int{0, 5, 13, 23} {
+		if got := r.a.steeringCoreFor(core); got != core {
+			t.Errorf("aRFS steering for core %d = %d, want same", core, got)
+		}
+	}
+}
+
+func TestSteeringCoreWorstCase(t *testing.T) {
+	r := newRig(t, NoOpts())
+	spec := r.a.Spec()
+	for _, core := range []int{0, 5, 7, 23} {
+		got := r.a.steeringCoreFor(core)
+		if spec.NodeOf(got) == spec.NodeOf(core) {
+			t.Errorf("worst-case steering for core %d = %d (same NUMA node)", core, got)
+		}
+	}
+	// Distinct app cores on one node get distinct IRQ cores.
+	if r.a.steeringCoreFor(0) == r.a.steeringCoreFor(1) {
+		t.Error("worst-case steering should spread IRQ cores")
+	}
+}
+
+func TestOpenConnRegistersEndpoints(t *testing.T) {
+	r := newRig(t, AllOpts())
+	epA, epB := OpenConn(r.a, 2, r.b, 3)
+	if epA.AppCore() != 2 || epB.AppCore() != 3 {
+		t.Error("app cores not bound")
+	}
+	if r.a.Endpoints() != 1 || r.b.Endpoints() != 1 {
+		t.Error("endpoints not registered")
+	}
+	if epA.Host() != r.a || epB.Host() != r.b {
+		t.Error("host back-references wrong")
+	}
+}
+
+func TestConnectTwicePanics(t *testing.T) {
+	r := newRig(t, AllOpts())
+	defer func() {
+		if recover() == nil {
+			t.Error("second Connect should panic")
+		}
+	}()
+	Connect(r.a, r.b)
+}
+
+func TestOpenConnBeforeConnectPanics(t *testing.T) {
+	ResetFlowIDs()
+	eng := sim.NewEngine(1)
+	a := NewHost("a", eng, topology.Default(), cpumodel.Default(), AllOpts())
+	b := NewHost("b", eng, topology.Default(), cpumodel.Default(), AllOpts())
+	defer func() {
+		if recover() == nil {
+			t.Error("OpenConn before Connect should panic")
+		}
+	}()
+	OpenConn(a, 0, b, 0)
+}
+
+// transfer pushes bytes from epA's app to epB's and returns delivered.
+func transfer(t *testing.T, r *rig, epA, epB *Endpoint, total units.Bytes, d time.Duration) units.Bytes {
+	t.Helper()
+	var sent units.Bytes
+	sendCore := r.a.Sys.Core(epA.AppCore())
+	th := sendCore.NewThread("writer", func(ctx *exec.Ctx) {
+		if sent >= total {
+			ctx.Block()
+			return
+		}
+		w := epA.Write(ctx, total-sent)
+		sent += w
+		if w == 0 {
+			ctx.Block()
+		}
+	})
+	epA.SetNotify(Notify{Writable: func(ctx *exec.Ctx, _ *Endpoint) { ctx.Wake(th) }})
+	var got units.Bytes
+	recvCore := r.b.Sys.Core(epB.AppCore())
+	rth := recvCore.NewThread("reader", func(ctx *exec.Ctx) {
+		n := epB.Read(ctx, 128*units.KB)
+		got += n
+		if n == 0 {
+			ctx.Block()
+		}
+	})
+	epB.SetNotify(Notify{Readable: func(ctx *exec.Ctx, _ *Endpoint) { ctx.Wake(rth) }})
+	th.Wake()
+	r.run(d)
+	return got
+}
+
+func TestEndToEndByteConservation(t *testing.T) {
+	r := newRig(t, AllOpts())
+	epA, epB := OpenConn(r.a, 0, r.b, 0)
+	const total = 2 * units.MB
+	got := transfer(t, r, epA, epB, total, 50*time.Millisecond)
+	if got != total {
+		t.Fatalf("delivered %d bytes, want %d", got, total)
+	}
+	if r.b.Copied() != total {
+		t.Errorf("host Copied = %d, want %d", r.b.Copied(), total)
+	}
+	if r.a.Written() != total {
+		t.Errorf("host Written = %d, want %d", r.a.Written(), total)
+	}
+}
+
+func TestDataPathChargesExpectedCategories(t *testing.T) {
+	r := newRig(t, AllOpts())
+	epA, epB := OpenConn(r.a, 0, r.b, 0)
+	transfer(t, r, epA, epB, units.MB, 50*time.Millisecond)
+	sBd := r.a.Sys.TotalBreakdown()
+	rBd := r.b.Sys.TotalBreakdown()
+	for _, check := range []struct {
+		name string
+		got  units.Cycles
+	}{
+		{"sender DataCopy", sBd[cpumodel.DataCopy]},
+		{"sender TCPIP", sBd[cpumodel.TCPIP]},
+		{"sender Netdev", sBd[cpumodel.Netdev]},
+		{"sender Memory", sBd[cpumodel.Memory]},
+		{"receiver DataCopy", rBd[cpumodel.DataCopy]},
+		{"receiver TCPIP", rBd[cpumodel.TCPIP]},
+		{"receiver Netdev", rBd[cpumodel.Netdev]},
+		{"receiver SKBMgmt", rBd[cpumodel.SKBMgmt]},
+		{"receiver Memory", rBd[cpumodel.Memory]},
+		{"receiver Lock", rBd[cpumodel.Lock]},
+		{"receiver Etc", rBd[cpumodel.Etc]},
+	} {
+		if check.got <= 0 {
+			t.Errorf("%s = %d, want > 0", check.name, check.got)
+		}
+	}
+}
+
+func TestIOMMUChargesMemory(t *testing.T) {
+	with := AllOpts()
+	with.IOMMU = true
+	r1 := newRig(t, AllOpts())
+	epA, epB := OpenConn(r1.a, 0, r1.b, 0)
+	transfer(t, r1, epA, epB, units.MB, 50*time.Millisecond)
+	base := r1.b.Sys.TotalBreakdown()[cpumodel.Memory]
+
+	r2 := newRig(t, with)
+	epA2, epB2 := OpenConn(r2.a, 0, r2.b, 0)
+	transfer(t, r2, epA2, epB2, units.MB, 50*time.Millisecond)
+	iommu := r2.b.Sys.TotalBreakdown()[cpumodel.Memory]
+	if iommu < base*3/2 {
+		t.Errorf("IOMMU memory cycles (%d) should far exceed baseline (%d)", iommu, base)
+	}
+}
+
+func TestWorstCaseSteeringUsesTwoCores(t *testing.T) {
+	r := newRig(t, NoOpts())
+	epA, epB := OpenConn(r.a, 0, r.b, 0)
+	transfer(t, r, epA, epB, units.MB, 80*time.Millisecond)
+	// Receiver: app on core 0, IRQ/softirq on a remote-node core.
+	app := r.b.Sys.Core(0).BusyTime()
+	irqCore := r.b.steeringCoreFor(0)
+	irq := r.b.Sys.Core(irqCore).BusyTime()
+	if app == 0 || irq == 0 {
+		t.Fatalf("expected both app core (%v) and IRQ core (%v) busy", app, irq)
+	}
+	// Lock contention must show up.
+	if r.b.Sys.TotalBreakdown()[cpumodel.Lock] < 1000 {
+		t.Error("worst-case steering should cause contended-lock charges")
+	}
+}
+
+func TestRemoteNUMACopyCostsMore(t *testing.T) {
+	// App on NIC-remote node: every copied byte pays the remote/DRAM rate.
+	r := newRig(t, AllOpts())
+	remoteCore := r.b.Spec().CoresOnNode(2)[0]
+	epA, epB := OpenConn(r.a, 0, r.b, remoteCore)
+	transfer(t, r, epA, epB, units.MB, 50*time.Millisecond)
+	if miss := r.b.CopyMissRate(); miss < 0.95 {
+		t.Errorf("remote-NUMA copy miss rate = %.2f, want ~1", miss)
+	}
+}
+
+func TestLatencyAndSKBMetricsPopulated(t *testing.T) {
+	r := newRig(t, AllOpts())
+	epA, epB := OpenConn(r.a, 0, r.b, 0)
+	transfer(t, r, epA, epB, units.MB, 50*time.Millisecond)
+	if r.b.Latency().Count() == 0 {
+		t.Error("latency histogram empty")
+	}
+	if r.b.SKBSizes().Count() == 0 {
+		t.Error("skb size histogram empty")
+	}
+	if r.b.Latency().Mean() <= 0 {
+		t.Error("latency mean should be positive")
+	}
+}
+
+func TestResetMetrics(t *testing.T) {
+	r := newRig(t, AllOpts())
+	epA, epB := OpenConn(r.a, 0, r.b, 0)
+	transfer(t, r, epA, epB, units.MB, 50*time.Millisecond)
+	r.b.ResetMetrics()
+	if r.b.Copied() != 0 || r.b.Latency().Count() != 0 || r.b.SKBSizes().Count() != 0 {
+		t.Error("ResetMetrics should clear host counters")
+	}
+	if r.b.Sys.TotalBusy() != 0 {
+		t.Error("ResetMetrics should clear CPU accounting")
+	}
+}
+
+func TestAggregateConnStats(t *testing.T) {
+	r := newRig(t, AllOpts())
+	epA, epB := OpenConn(r.a, 0, r.b, 0)
+	transfer(t, r, epA, epB, units.MB, 50*time.Millisecond)
+	aSt := r.a.AggregateConnStats()
+	bSt := r.b.AggregateConnStats()
+	if aSt.SentBytes != units.MB {
+		t.Errorf("sender SentBytes = %d", aSt.SentBytes)
+	}
+	if bSt.DeliveredBytes != units.MB {
+		t.Errorf("receiver DeliveredBytes = %d", bSt.DeliveredBytes)
+	}
+	if bSt.AcksSent == 0 || aSt.AcksReceived == 0 {
+		t.Error("ack counters empty")
+	}
+}
+
+func TestNoOptSmallSKBs(t *testing.T) {
+	r := newRig(t, NoOpts())
+	epA, epB := OpenConn(r.a, 0, r.b, 0)
+	transfer(t, r, epA, epB, 256*units.KB, 100*time.Millisecond)
+	if avg := r.b.SKBSizes().Mean(); avg > 1500 {
+		t.Errorf("no-opt mean skb = %.0fB, want MTU-sized (<=1500)", avg)
+	}
+	r2 := newRig(t, AllOpts())
+	epA2, epB2 := OpenConn(r2.a, 0, r2.b, 0)
+	transfer(t, r2, epA2, epB2, 256*units.KB, 100*time.Millisecond)
+	if avg := r2.b.SKBSizes().Mean(); avg < 9000 {
+		t.Errorf("all-opt mean skb = %.0fB, want GRO aggregates", avg)
+	}
+}
+
+func TestLROBypassesGROCPU(t *testing.T) {
+	lro := AllOpts()
+	lro.GRO, lro.LRO = false, true
+	r := newRig(t, lro)
+	epA, epB := OpenConn(r.a, 0, r.b, 0)
+	transfer(t, r, epA, epB, units.MB, 50*time.Millisecond)
+	if r.b.NIC.Stats().LROCoalesce == 0 {
+		t.Error("LRO should coalesce in hardware")
+	}
+	if avg := r.b.SKBSizes().Mean(); avg < 9000 {
+		t.Errorf("LRO mean skb = %.0fB, want aggregates", avg)
+	}
+}

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"hostsim/internal/cpumodel"
+	"hostsim/internal/exec"
+	"hostsim/internal/mem"
+	"hostsim/internal/skb"
+	"hostsim/internal/tcp"
+	"hostsim/internal/trace"
+	"hostsim/internal/units"
+)
+
+// Notify carries the application-layer callbacks of a socket. Either may
+// be nil.
+type Notify struct {
+	// Readable fires in softirq context when in-order data arrives.
+	Readable func(ctx *exec.Ctx, ep *Endpoint)
+	// Writable fires when send-buffer space opens after ACKs.
+	Writable func(ctx *exec.Ctx, ep *Endpoint)
+}
+
+// Endpoint is a socket on a host: one TCP connection endpoint bound to an
+// application core, wired through the full Fig. 1 data path.
+type Endpoint struct {
+	host    *Host
+	appCore int
+	txFlow  skb.FlowID
+	rxFlow  skb.FlowID
+	conn    *tcp.Conn
+	notify  Notify
+
+	txCompPending   units.Bytes // wire departures awaiting completion softirq
+	txCompScheduled bool
+}
+
+func newEndpoint(h *Host, appCore int, txFlow, rxFlow skb.FlowID) *Endpoint {
+	ep := &Endpoint{host: h, appCore: appCore, txFlow: txFlow, rxFlow: rxFlow}
+	cfg := tcp.DefaultConfig(h.opts.MSS())
+	cfg.SegmentBytes = h.opts.SegmentBytes()
+	if h.opts.SndBufBytes > 0 {
+		cfg.SndBuf = h.opts.SndBufBytes
+	}
+	if h.opts.TSQBytes > 0 {
+		cfg.TSQBytes = h.opts.TSQBytes
+	}
+	if h.opts.RcvBufBytes > 0 {
+		// The paper's override pins tcp_rmem, i.e. sk_rcvbuf itself (half
+		// of which is advertised as window, per tcp_adv_win_scale=1).
+		cfg.RcvBuf = h.opts.RcvBufBytes
+		cfg.RcvBufMax = 0 // fixed, as in the Fig. 3e/3f overrides
+	} else if h.opts.DCAAwareDRS {
+		// §4 prototype: cap autotuning at the DDIO capacity so the
+		// advertised window (= half the buffer) stays within ~half the
+		// DCA slice and DMAed data survives until the copy.
+		cfg.RcvBufMax = h.spec.DCACapacity()
+	}
+	cc := tcp.NewCC(h.opts.CC, cfg.MSS)
+	ep.conn = tcp.New(h.eng, h.costs, cfg, txFlow, cc, tcp.Hooks{
+		SendSegment:  ep.sendSegment,
+		SendAck:      ep.sendAck,
+		SendProbe:    ep.sendProbe,
+		Softirq:      ep.softirq,
+		OnReadable:   ep.onReadable,
+		OnWritable:   ep.onWritable,
+		OnAckedPages: ep.onAckedPages,
+	})
+	return ep
+}
+
+// AppCore returns the application core this socket is bound to.
+func (ep *Endpoint) AppCore() int { return ep.appCore }
+
+// Host returns the owning host.
+func (ep *Endpoint) Host() *Host { return ep.host }
+
+// Conn exposes the TCP state (stats, buffers).
+func (ep *Endpoint) Conn() *tcp.Conn { return ep.conn }
+
+// SetNotify installs the application callbacks.
+func (ep *Endpoint) SetNotify(n Notify) { ep.notify = n }
+
+// ---------------------------------------------------------------------------
+// Sender-side data path (Fig. 1 left): write syscall -> skb alloc -> data
+// copy -> TCP/IP -> (GSO) -> qdisc/driver -> NIC.
+
+// Write performs one send syscall of up to n bytes, returning the bytes
+// accepted (0 when the send buffer is full; the application should then
+// block and wait for Writable).
+func (ep *Endpoint) Write(ctx *exec.Ctx, n units.Bytes) units.Bytes {
+	h := ep.host
+	costs := h.costs
+	ctx.Charge(cpumodel.Etc, costs.SyscallBase)
+	free := ep.conn.SndBufFree()
+	if free <= 0 {
+		return 0
+	}
+	w := n
+	if w > free {
+		w = free
+	}
+	// Socket lock from process context.
+	ctx.Charge(cpumodel.Lock, costs.SockLockFast)
+	// One kernel skb per tx aggregate.
+	segs := int((w + h.opts.SegmentBytes() - 1) / h.opts.SegmentBytes())
+	if segs < 1 {
+		segs = 1
+	}
+	ctx.Charge(cpumodel.Memory, costs.SKBAlloc*units.Cycles(segs))
+	ctx.Charge(cpumodel.SKBMgmt, costs.SKBBuild*units.Cycles(segs))
+	var pages []mem.Page
+	if h.opts.ZeroCopyTx {
+		// MSG_ZEROCOPY: pin the application's pages and DMA them in
+		// place — no user-to-kernel copy, but get_user_pages and a
+		// completion notification are paid per send.
+		ctx.Charge(cpumodel.Memory, costs.ZCTxPin*units.Cycles(h.spec.PagesFor(w)))
+		ctx.Charge(cpumodel.Memory, costs.ZCTxComplete)
+	} else {
+		// Data copy user -> kernel. Warmth depends on the host-wide send
+		// working set (see senderWSFraction).
+		miss := h.senderMissRate()
+		per := units.PerByte(float64(costs.CopySenderWarm)*(1-miss) + float64(costs.CopyMissLocal)*miss)
+		ctx.ChargeBytes(cpumodel.DataCopy, per, w)
+		pages = h.Alloc.Alloc(ctx, ep.appCore, h.spec.PagesFor(w))
+		h.sndInUse += w
+	}
+	h.written += w
+	h.tracer.Emit(trace.Event{At: ctx.Now(), Host: h.name, Core: ep.appCore,
+		Flow: ep.txFlow, Kind: trace.AppWrite, B: int64(w)})
+	ep.conn.SendData(ctx, w, pages)
+	return w
+}
+
+// sendSegment is the TCP tx hook: protocol processing, segmentation and
+// handoff to the NIC.
+func (ep *Endpoint) sendSegment(ctx *exec.Ctx, c *tcp.Conn, seq int64, length units.Bytes, retrans bool) {
+	h := ep.host
+	costs := h.costs
+	ctx.Charge(cpumodel.TCPIP, costs.TCPTxPerSKB)
+	kind := trace.TxSegment
+	if retrans {
+		kind = trace.Retransmit
+	}
+	h.tracer.Emit(trace.Event{At: ctx.Now(), Host: h.name, Core: ctx.Core().ID(),
+		Flow: c.Flow(), Kind: kind, A: seq, B: int64(length)})
+	sizes := skb.SegmentSizes(length, h.opts.MSS())
+	if !h.opts.TSO && h.opts.GSO && len(sizes) > 1 {
+		// Software segmentation in the netdevice subsystem.
+		perSeg := costs.GSOSegment + costs.SKBSplit
+		ctx.Charge(cpumodel.Netdev, costs.GSOSegment*units.Cycles(len(sizes)))
+		ctx.Charge(cpumodel.SKBMgmt, costs.SKBSplit*units.Cycles(len(sizes)))
+		_ = perSeg
+	}
+	ctx.Charge(cpumodel.Netdev, costs.QdiscEnqueue)
+	// DMA mapping of the payload pages (and unmap at completion; both are
+	// charged here as the completion interrupt is not modelled apart).
+	pages := h.spec.PagesFor(length)
+	h.Alloc.DMAMap(ctx, pages)
+	h.Alloc.DMAUnmap(ctx, pages)
+	frames := make([]*skb.Frame, 0, len(sizes))
+	s := seq
+	for _, l := range sizes {
+		frames = append(frames, &skb.Frame{Flow: c.Flow(), Seq: s, Len: l})
+		s += int64(l)
+	}
+	h.NIC.SendFrames(ctx, frames)
+}
+
+func (ep *Endpoint) sendAck(ctx *exec.Ctx, c *tcp.Conn, info *skb.AckInfo) {
+	ep.host.tracer.Emit(trace.Event{At: ctx.Now(), Host: ep.host.name, Core: ctx.Core().ID(),
+		Flow: ep.rxFlow, Kind: trace.AckSent, A: info.Cum, B: int64(info.Window)})
+	ctx.Charge(cpumodel.Netdev, ep.host.costs.QdiscEnqueue/2)
+	// The ACK acknowledges the incoming flow: it carries rxFlow so the
+	// peer's NIC steers it to the data sender's queue and socket.
+	ep.host.NIC.SendFrames(ctx, []*skb.Frame{{Flow: ep.rxFlow, Ack: info}})
+}
+
+func (ep *Endpoint) sendProbe(ctx *exec.Ctx, c *tcp.Conn) {
+	ep.host.NIC.SendFrames(ctx, []*skb.Frame{{Flow: c.Flow()}})
+}
+
+// softirq runs fn on the endpoint's TCP-processing core (timer handlers).
+func (ep *Endpoint) softirq(fn func(*exec.Ctx)) {
+	ep.host.Sys.Core(ep.host.processingCoreFor(ep)).RaiseSoftirq(fn)
+}
+
+func (ep *Endpoint) onReadable(ctx *exec.Ctx, c *tcp.Conn) {
+	if ep.notify.Readable != nil {
+		ep.notify.Readable(ctx, ep)
+	}
+}
+
+func (ep *Endpoint) onWritable(ctx *exec.Ctx, c *tcp.Conn) {
+	if ep.notify.Writable != nil {
+		ep.notify.Writable(ctx, ep)
+	}
+}
+
+// onAckedPages frees sender pages once the peer acknowledged the bytes.
+func (ep *Endpoint) onAckedPages(ctx *exec.Ctx, c *tcp.Conn, pages []mem.Page) {
+	h := ep.host
+	ctx.Charge(cpumodel.SKBMgmt, h.costs.SKBRelease)
+	ctx.Charge(cpumodel.Memory, h.costs.SKBFree)
+	released := units.Bytes(len(pages)) * h.spec.PageSize
+	if released > h.sndInUse {
+		released = h.sndInUse
+	}
+	h.sndInUse -= released
+	h.Alloc.Free(ctx, ctx.Core().ID(), pages)
+}
+
+// ---------------------------------------------------------------------------
+// Receiver-side data path (Fig. 1 right): socket receive queue -> recv
+// syscall -> data copy (probing DDIO) -> page free.
+
+// Readable returns the bytes queued for reading.
+func (ep *Endpoint) Readable() units.Bytes { return ep.conn.Readable() }
+
+// Read performs one recv syscall of up to max bytes, copying the payload
+// to userspace and freeing kernel pages. Returns bytes read (0 = would
+// block).
+func (ep *Endpoint) Read(ctx *exec.Ctx, max units.Bytes) units.Bytes {
+	h := ep.host
+	costs := h.costs
+	ctx.Charge(cpumodel.Etc, costs.SyscallBase)
+	skbs := ep.conn.Read(ctx, max)
+	if len(skbs) == 0 {
+		return 0
+	}
+	// Socket lock from process context: contended when softirq processing
+	// runs on a different core (no aRFS/RFS).
+	if h.processingCoreFor(ep) == ep.appCore {
+		ctx.Charge(cpumodel.Lock, costs.SockLockFast)
+	} else {
+		ctx.Charge(cpumodel.Lock, costs.SockLockContended)
+	}
+	var total units.Bytes
+	readerNode := h.spec.NodeOf(ep.appCore)
+	nicNode := h.spec.NICNode
+	for _, s := range skbs {
+		h.latency.Record(float64(ctx.Now() - s.Born))
+		total += s.Len
+		if h.opts.ZeroCopyRx {
+			// mmap-based receive: remap the payload pages into the
+			// application instead of copying; pay the page-table work.
+			ctx.Charge(cpumodel.Memory, costs.ZCRxMap*units.Cycles(len(s.Pages)))
+			for _, p := range s.Pages {
+				if h.DCA != nil && p.Node == nicNode {
+					h.DCA.Drop(p.ID)
+				}
+			}
+			ctx.Charge(cpumodel.SKBMgmt, costs.SKBRelease)
+			ctx.Charge(cpumodel.Memory, costs.SKBFree)
+			if len(s.Pages) > 0 {
+				h.Alloc.Free(ctx, ep.appCore, s.Pages)
+			}
+			continue
+		}
+		// Copy cost page by page: DDIO hit, local DRAM, or remote DRAM.
+		remaining := s.Len
+		for _, p := range s.Pages {
+			chunk := h.spec.PageSize
+			if chunk > remaining {
+				chunk = remaining
+			}
+			remaining -= chunk
+			var per units.PerByte
+			resident := false
+			if h.DCA != nil && p.Node == nicNode {
+				resident = h.DCA.Probe(p.ID)
+				h.DCA.Drop(p.ID)
+			}
+			switch {
+			case resident && p.Node == readerNode:
+				per = costs.CopyHit
+				h.copyHitB += chunk
+			case resident && p.Node != readerNode:
+				// Data sits in the NIC-local L3 but the reader is on
+				// another socket: a cross-socket access, effectively a
+				// miss for the reader.
+				per = costs.CopyMissRemote
+				h.copyMissB += chunk
+			case p.Node == readerNode:
+				per = costs.CopyMissLocal
+				h.copyMissB += chunk
+			default:
+				per = costs.CopyMissRemote
+				h.copyMissB += chunk
+			}
+			ctx.ChargeBytes(cpumodel.DataCopy, per, chunk)
+		}
+		ctx.Charge(cpumodel.SKBMgmt, costs.SKBRelease)
+		ctx.Charge(cpumodel.Memory, costs.SKBFree)
+		if len(s.Pages) > 0 {
+			h.Alloc.Free(ctx, ep.appCore, s.Pages)
+		}
+	}
+	h.copied += total
+	h.tracer.Emit(trace.Event{At: ctx.Now(), Host: h.name, Core: ep.appCore,
+		Flow: ep.rxFlow, Kind: trace.AppRead, B: int64(total)})
+	return total
+}

@@ -1,0 +1,447 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hostsim/internal/cache"
+	"hostsim/internal/cpumodel"
+	"hostsim/internal/exec"
+	"hostsim/internal/mem"
+	"hostsim/internal/metrics"
+	"hostsim/internal/nic"
+	"hostsim/internal/sim"
+	"hostsim/internal/skb"
+	"hostsim/internal/tcp"
+	"hostsim/internal/topology"
+	"hostsim/internal/trace"
+	"hostsim/internal/units"
+	"hostsim/internal/wire"
+)
+
+// senderWSFraction scales the host's in-use send-buffer bytes into an
+// effective cache working set for the sender-side copy. The application's
+// source buffers stay hot and copy destinations are write-allocated, so
+// only a small fraction of in-flight bytes competes for L3 reads (§3.4:
+// the paper observes sender miss rates of only ~8-24% even with 24
+// active flows).
+const senderWSFraction = 0.08
+
+// senderBaseMiss is the compulsory sender-side copy miss floor.
+const senderBaseMiss = 0.04
+
+// senderMissCap bounds the sender-copy miss rate: the dominant read
+// stream (the application buffer) stays cache-resident regardless of how
+// much acked-pending data exists.
+const senderMissCap = 0.35
+
+// Host is one server: cores, memory, cache, NIC and sockets.
+type Host struct {
+	name  string
+	eng   *sim.Engine
+	spec  topology.MachineSpec
+	costs *cpumodel.Costs
+	opts  Options
+
+	Sys   *exec.System
+	Alloc *mem.Allocator
+	DCA   *cache.DCA
+	NIC   *nic.NIC
+
+	steerTable map[skb.FlowID]int
+	byTx       map[skb.FlowID]*Endpoint // local sender endpoints by tx flow
+	byRx       map[skb.FlowID]*Endpoint // local receiver endpoints by rx flow
+
+	sndInUse units.Bytes // in-use send-buffer bytes (sender cache model)
+	senderWS cache.WorkingSet
+
+	// ---- measurement state.
+	copied    units.Bytes // bytes delivered to applications
+	written   units.Bytes // bytes applications pushed into sockets
+	copyHitB  units.Bytes
+	copyMissB units.Bytes
+	latency   *metrics.Histogram // NAPI -> start of data copy, ns
+	skbSizes  *metrics.Histogram // post-GRO data skb sizes, bytes
+	unsteered int64
+	tracer    *trace.Tracer // nil = tracing off
+
+	// Receiver-driven scheduler state (Options.RcvSchedulerK).
+	schedGroups  map[int][]*Endpoint // receiving endpoints by app core
+	schedIdx     map[int]int
+	schedStarted bool
+}
+
+// SetTracer installs an event tracer (nil disables tracing).
+func (h *Host) SetTracer(tr *trace.Tracer) { h.tracer = tr }
+
+// Tracer returns the installed tracer (possibly nil).
+func (h *Host) Tracer() *trace.Tracer { return h.tracer }
+
+// NewHost builds a host. The NIC's egress is connected later via Connect.
+func NewHost(name string, eng *sim.Engine, spec topology.MachineSpec,
+	costs *cpumodel.Costs, opts Options) *Host {
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	h := &Host{
+		name:        name,
+		eng:         eng,
+		spec:        spec,
+		costs:       costs,
+		opts:        opts,
+		Sys:         exec.NewSystem(eng, spec, costs),
+		Alloc:       mem.NewAllocator(spec, costs),
+		steerTable:  make(map[skb.FlowID]int),
+		byTx:        make(map[skb.FlowID]*Endpoint),
+		byRx:        make(map[skb.FlowID]*Endpoint),
+		senderWS:    cache.WorkingSet{Capacity: spec.L3PerNode, BaseMiss: senderBaseMiss},
+		latency:     metrics.NewLatency(),
+		skbSizes:    metrics.NewSize(),
+		schedGroups: make(map[int][]*Endpoint),
+		schedIdx:    make(map[int]int),
+	}
+	h.Alloc.SetIOMMU(opts.IOMMU)
+	if opts.SchedGranularity > 0 {
+		h.Sys.SetGranularity(opts.SchedGranularity)
+	}
+	if opts.SleeperCredit > 0 {
+		h.Sys.SetSleeperCredit(opts.SleeperCredit)
+	}
+	if opts.PagesetCap > 0 {
+		h.Alloc.SetPagesetCap(opts.PagesetCap)
+	} else if opts.PagesetCap < 0 {
+		h.Alloc.SetPagesetCap(0)
+	}
+	if opts.DCA {
+		h.DCA = cache.NewDCA(cache.DCAConfig{
+			Capacity: spec.DCACapacity(),
+			PageSize: spec.PageSize,
+			Rand:     eng.Rand(),
+		})
+	}
+	return h
+}
+
+// Name returns the host's name.
+func (h *Host) Name() string { return h.name }
+
+// Options returns the stack configuration.
+func (h *Host) Options() Options { return h.opts }
+
+// Spec returns the machine description.
+func (h *Host) Spec() topology.MachineSpec { return h.spec }
+
+// Connect joins two hosts with a full-duplex link and instantiates their
+// NICs. Call exactly once per host pair, before opening connections.
+// It returns the a->b and b->a links so experiments can inject loss or
+// ECN marking.
+func Connect(a, b *Host) (ab, ba *wire.Link) {
+	if a.NIC != nil || b.NIC != nil {
+		panic("core: hosts already connected")
+	}
+	delay := time.Duration(a.spec.OneWayDelay) * time.Nanosecond
+	ab = wire.NewLink(a.eng, a.spec.LinkRate, delay, func(f *skb.Frame) { b.NIC.ReceiveFromWire(f) })
+	ba = wire.NewLink(b.eng, b.spec.LinkRate, delay, func(f *skb.Frame) { a.NIC.ReceiveFromWire(f) })
+	a.NIC = nic.New(a.eng, a.Sys, a.Alloc, a.DCA, a.opts.nicConfig(), ab, a.deliver)
+	b.NIC = nic.New(b.eng, b.Sys, b.Alloc, b.DCA, b.opts.nicConfig(), ba, b.deliver)
+	a.NIC.SetTxComplete(a.txComplete)
+	b.NIC.SetTxComplete(b.txComplete)
+	a.installSteering()
+	b.installSteering()
+	return ab, ba
+}
+
+// txComplete is the NIC's wire-departure notification: batch it per
+// endpoint and process in softirq (TSQ completion).
+func (h *Host) txComplete(flow skb.FlowID, bytes units.Bytes) {
+	ep := h.byTx[flow]
+	if ep == nil {
+		return
+	}
+	ep.txCompPending += bytes
+	if ep.txCompScheduled {
+		return
+	}
+	ep.txCompScheduled = true
+	ep.softirq(func(ctx *exec.Ctx) {
+		ep.txCompScheduled = false
+		pend := ep.txCompPending
+		ep.txCompPending = 0
+		if pend == 0 {
+			return
+		}
+		ctx.Charge(cpumodel.Netdev, h.costs.TxComplete)
+		ep.conn.TxCompleted(ctx, pend)
+	})
+}
+
+// installSteering (re)builds the NIC steering table from the endpoints
+// registered so far and the configured policy.
+func (h *Host) installSteering() {
+	if h.NIC == nil {
+		return
+	}
+	all := make([]int, h.spec.NumCores())
+	for i := range all {
+		all[i] = i
+	}
+	switch h.opts.Steering {
+	case SteerRSSHash, SteerRFS, SteerRPS:
+		// Hardware only hashes (RSS); software modes forward afterwards.
+		h.NIC.SetSteering(nic.RSS{Cores: all})
+	default:
+		h.NIC.SetSteering(nic.Pinned{Table: h.steerTable, Fallback: nic.RSS{Cores: all}})
+	}
+}
+
+// steeringCoreFor returns where a flow's hardware IRQ lands given the
+// policy: the app core under aRFS, or an explicit worst-case core on a
+// different NUMA node.
+func (h *Host) steeringCoreFor(appCore int) int {
+	switch h.opts.Steering {
+	case SteerARFS:
+		return appCore
+	case SteerWorstCase:
+		// First core of the next NUMA node (wrapping): deterministic and
+		// always NUMA-remote from the application, as in the paper.
+		node := h.spec.NodeOf(appCore)
+		remote := (node + 1) % h.spec.NUMANodes
+		return h.spec.CoresOnNode(remote)[appCore%h.spec.CoresPerNode]
+	case SteerSameNUMA:
+		// The paper's IRQ-mapping case 2: another core on the same node.
+		node := h.spec.NodeOf(appCore)
+		cores := h.spec.CoresOnNode(node)
+		return cores[(appCore-cores[0]+1)%len(cores)]
+	default:
+		return appCore // table unused under RSS-based modes
+	}
+}
+
+// processingCoreFor returns where a flow's TCP/IP processing runs: under
+// software steering (RPS/RFS) this differs from the hardware IRQ core.
+func (h *Host) processingCoreFor(ep *Endpoint) int {
+	switch h.opts.Steering {
+	case SteerRFS:
+		return ep.appCore // software flow steering finds the app's core
+	case SteerRPS:
+		// Software packet steering: flow hash over all cores.
+		hsh := uint32(ep.rxFlow)*2654435761 + 0x9e37
+		return int((hsh >> 8) % uint32(h.spec.NumCores()))
+	default:
+		return h.steeringCoreFor(ep.appCore)
+	}
+}
+
+// deliver is the NIC upcall: route the skb to its endpoint and run TCP Rx
+// processing — here for hardware-steered modes, or after a forwarding hop
+// to the processing core for software RPS/RFS.
+func (h *Host) deliver(ctx *exec.Ctx, s *skb.SKB) {
+	var ep *Endpoint
+	if s.Ack != nil {
+		ep = h.byTx[s.Flow]
+	} else {
+		ep = h.byRx[s.Flow]
+	}
+	if ep == nil {
+		h.unsteered++
+		return
+	}
+	target := h.processingCoreFor(ep)
+	if (h.opts.Steering == SteerRPS || h.opts.Steering == SteerRFS) &&
+		ctx.Core().ID() != target {
+		// enqueue_to_backlog + IPI, then TCP/IP in the target's softirq.
+		ctx.Charge(cpumodel.Netdev, h.costs.RPSSteer)
+		tc := h.Sys.Core(target)
+		ctx.Defer(func() {
+			tc.RaiseSoftirq(func(ctx2 *exec.Ctx) {
+				ctx2.Charge(cpumodel.Etc, h.costs.IRQEntry/3) // softirq entry
+				h.process(ctx2, ep, s)
+			})
+		})
+		return
+	}
+	h.process(ctx, ep, s)
+}
+
+// process runs socket-level Rx handling in the current softirq context.
+func (h *Host) process(ctx *exec.Ctx, ep *Endpoint, s *skb.SKB) {
+	// Socket lock: cheap when the application shares this core,
+	// contended otherwise.
+	if ctx.Core().ID() == ep.appCore {
+		ctx.Charge(cpumodel.Lock, h.costs.SockLockFast)
+	} else {
+		ctx.Charge(cpumodel.Lock, h.costs.SockLockContended)
+	}
+	if s.Ack == nil && s.Len > 0 {
+		h.skbSizes.Record(float64(s.Len))
+		h.tracer.Emit(trace.Event{At: ctx.Now(), Host: h.name, Core: ctx.Core().ID(),
+			Flow: s.Flow, Kind: trace.DeliverSKB, A: s.Seq, B: int64(s.Len)})
+	}
+	ep.conn.OnSegment(ctx, s)
+}
+
+// ResetMetrics starts a measurement window: clears CPU accounting, cache
+// stats and host counters accumulated during warm-up.
+func (h *Host) ResetMetrics() {
+	h.Sys.ResetAccounting()
+	if h.DCA != nil {
+		h.DCA.ResetStats()
+	}
+	h.copied, h.written = 0, 0
+	h.copyHitB, h.copyMissB = 0, 0
+	h.latency.Reset()
+	h.skbSizes.Reset()
+}
+
+// Copied returns bytes delivered to applications since the last reset.
+func (h *Host) Copied() units.Bytes { return h.copied }
+
+// Written returns bytes applications pushed since the last reset.
+func (h *Host) Written() units.Bytes { return h.written }
+
+// CopyMissRate returns the fraction of copied bytes that missed cache.
+func (h *Host) CopyMissRate() float64 {
+	total := h.copyHitB + h.copyMissB
+	if total == 0 {
+		return 0
+	}
+	return float64(h.copyMissB) / float64(total)
+}
+
+// Latency returns the NAPI-to-copy latency histogram (nanoseconds).
+func (h *Host) Latency() *metrics.Histogram { return h.latency }
+
+// SKBSizes returns the post-GRO data skb size histogram (bytes).
+func (h *Host) SKBSizes() *metrics.Histogram { return h.skbSizes }
+
+// Endpoints returns the number of registered endpoints (tests).
+func (h *Host) Endpoints() int { return len(h.byTx) }
+
+// AggregateConnStats sums TCP statistics over all local endpoints.
+func (h *Host) AggregateConnStats() tcp.Stats {
+	var out tcp.Stats
+	for _, ep := range h.byTx {
+		st := ep.conn.Stats()
+		out.SentBytes += st.SentBytes
+		out.RetransBytes += st.RetransBytes
+		out.Retransmits += st.Retransmits
+		out.FastRetransmit += st.FastRetransmit
+		out.Timeouts += st.Timeouts
+		out.AcksSent += st.AcksSent
+		out.DupAcksSent += st.DupAcksSent
+		out.AcksReceived += st.AcksReceived
+		out.DupAcksRecv += st.DupAcksRecv
+		out.DeliveredBytes += st.DeliveredBytes
+		out.OOOSegments += st.OOOSegments
+		out.Probes += st.Probes
+	}
+	return out
+}
+
+// senderMissRate estimates the sender-copy cache miss probability from
+// the host's in-use send-buffer working set.
+func (h *Host) senderMissRate() float64 {
+	ws := units.Bytes(float64(h.sndInUse) * senderWSFraction)
+	m := h.senderWS.MissRate(ws)
+	if m > senderMissCap {
+		m = senderMissCap
+	}
+	return m
+}
+
+// flowIDs hands out unique flow identifiers per engine run.
+var nextFlowID skb.FlowID
+
+// ResetFlowIDs restarts flow numbering (call between independent runs to
+// keep experiments deterministic).
+func ResetFlowIDs() { nextFlowID = 0 }
+
+func allocFlowID() skb.FlowID {
+	nextFlowID++
+	return nextFlowID
+}
+
+// OpenConn opens a connection between aCore on host a and bCore on host
+// b, returning the two endpoints. Both directions are set up (full
+// duplex); steering entries are installed per each host's policy.
+func OpenConn(a *Host, aCore int, b *Host, bCore int) (*Endpoint, *Endpoint) {
+	if a.NIC == nil || b.NIC == nil {
+		panic("core: Connect the hosts before opening connections")
+	}
+	flowAB := allocFlowID()
+	flowBA := allocFlowID()
+	epA := newEndpoint(a, aCore, flowAB, flowBA)
+	epB := newEndpoint(b, bCore, flowBA, flowAB)
+	a.register(epA)
+	b.register(epB)
+	return epA, epB
+}
+
+func (h *Host) register(ep *Endpoint) {
+	if _, dup := h.byTx[ep.txFlow]; dup {
+		panic(fmt.Sprintf("core: duplicate tx flow %d", ep.txFlow))
+	}
+	h.byTx[ep.txFlow] = ep
+	h.byRx[ep.rxFlow] = ep
+	irqCore := h.steeringCoreFor(ep.appCore)
+	// Both incoming data (rxFlow) and incoming ACKs (txFlow) steer to the
+	// same queue.
+	h.steerTable[ep.rxFlow] = irqCore
+	h.steerTable[ep.txFlow] = irqCore
+	h.installSteering()
+	if h.opts.RcvSchedulerK > 0 {
+		h.schedGroups[ep.appCore] = append(h.schedGroups[ep.appCore], ep)
+		h.startRcvScheduler()
+	}
+}
+
+// rcvSchedPeriod is the receiver-driven scheduler's rotation interval.
+const rcvSchedPeriod = time.Millisecond
+
+// startRcvScheduler arms the Homa/pHost-inspired receiver scheduler (§4):
+// each rotation, at most K connections per receiving core are granted a
+// window (an equal share of the DCA capacity); the rest are clamped to
+// zero. Bounding concurrent senders bounds DDIO occupancy and restores
+// cache hits under incast — the control TCP's sender-driven design
+// denies the receiver (§3.3).
+func (h *Host) startRcvScheduler() {
+	if h.schedStarted {
+		return
+	}
+	h.schedStarted = true
+	k := h.opts.RcvSchedulerK
+	clamp := h.spec.DCACapacity() / units.Bytes(2*k)
+	var tick func()
+	tick = func() {
+		for core, eps := range h.schedGroups {
+			if len(eps) <= k {
+				continue
+			}
+			h.schedIdx[core] = (h.schedIdx[core] + 1) % len(eps)
+			start := h.schedIdx[core]
+			for i, ep := range eps {
+				active := false
+				for j := 0; j < k; j++ {
+					if (start+j)%len(eps) == i {
+						active = true
+						break
+					}
+				}
+				ep, active := ep, active
+				h.Sys.Core(h.processingCoreFor(ep)).RaiseSoftirq(func(ctx *exec.Ctx) {
+					ctx.Charge(cpumodel.Etc, h.costs.TimerFire)
+					if active {
+						ep.conn.SetWindowClamp(ctx, clamp)
+					} else {
+						ep.conn.SetWindowClamp(ctx, 0)
+					}
+				})
+			}
+		}
+		h.eng.After(rcvSchedPeriod, tick)
+	}
+	h.eng.After(rcvSchedPeriod, tick)
+}

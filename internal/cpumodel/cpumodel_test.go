@@ -1,0 +1,152 @@
+package cpumodel
+
+import (
+	"testing"
+
+	"hostsim/internal/units"
+)
+
+func TestCategoryNames(t *testing.T) {
+	want := map[Category]string{
+		DataCopy: "data_copy",
+		TCPIP:    "tcp/ip",
+		Netdev:   "netdev",
+		SKBMgmt:  "skb_mgmt",
+		Memory:   "memory",
+		Lock:     "lock",
+		Sched:    "sched",
+		Etc:      "etc",
+	}
+	for cat, name := range want {
+		if cat.String() != name {
+			t.Errorf("%d.String() = %q, want %q", cat, cat.String(), name)
+		}
+	}
+	if Category(-1).String() != "invalid" || Category(99).String() != "invalid" {
+		t.Error("out-of-range categories should stringify as invalid")
+	}
+}
+
+func TestCategoriesOrder(t *testing.T) {
+	cats := Categories()
+	if len(cats) != NumCategories {
+		t.Fatalf("Categories() returned %d, want %d", len(cats), NumCategories)
+	}
+	for i, c := range cats {
+		if int(c) != i {
+			t.Errorf("Categories()[%d] = %v", i, c)
+		}
+	}
+}
+
+func TestDefaultCostsArePositive(t *testing.T) {
+	c := Default()
+	perByte := []struct {
+		name string
+		v    units.PerByte
+	}{
+		{"CopyHit", c.CopyHit},
+		{"CopyMissLocal", c.CopyMissLocal},
+		{"CopyMissRemote", c.CopyMissRemote},
+		{"CopySenderWarm", c.CopySenderWarm},
+	}
+	for _, p := range perByte {
+		if p.v <= 0 {
+			t.Errorf("%s = %v, want > 0", p.name, p.v)
+		}
+	}
+	cyc := map[string]units.Cycles{
+		"TCPRxPerSKB": c.TCPRxPerSKB, "TCPTxPerSKB": c.TCPTxPerSKB,
+		"ACKGenerate": c.ACKGenerate, "ACKProcess": c.ACKProcess,
+		"NAPIPollBase": c.NAPIPollBase, "NAPIPerFrame": c.NAPIPerFrame,
+		"GROMergeFrame": c.GROMergeFrame, "GSOSegment": c.GSOSegment,
+		"SKBBuild": c.SKBBuild, "SKBAlloc": c.SKBAlloc,
+		"PageAllocPCP": c.PageAllocPCP, "PageAllocGlobal": c.PageAllocGlobal,
+		"IOMMUMap": c.IOMMUMap, "IOMMUUnmap": c.IOMMUUnmap,
+		"SockLockFast": c.SockLockFast, "SockLockContended": c.SockLockContended,
+		"ContextSwitch": c.ContextSwitch, "Wakeup": c.Wakeup,
+		"IRQEntry": c.IRQEntry, "SyscallBase": c.SyscallBase,
+	}
+	for name, v := range cyc {
+		if v <= 0 {
+			t.Errorf("%s = %d, want > 0", name, v)
+		}
+	}
+}
+
+func TestCostOrderingInvariants(t *testing.T) {
+	c := Default()
+	if c.CopyHit >= c.CopyMissLocal {
+		t.Error("an L3 hit copy must be cheaper than a DRAM copy")
+	}
+	if c.CopyMissLocal >= c.CopyMissRemote {
+		t.Error("a local-DRAM copy must be cheaper than a remote-DRAM copy")
+	}
+	if c.PageAllocPCP >= c.PageAllocGlobal {
+		t.Error("pageset allocation must be cheaper than global")
+	}
+	if c.PageFreePCP >= c.PageFreeGlobal {
+		t.Error("pageset free must be cheaper than global")
+	}
+	if c.SockLockFast >= c.SockLockContended {
+		t.Error("uncontended lock must be cheaper than contended")
+	}
+}
+
+// The blended copy cost at the paper's observed 49% miss rate must sit near
+// 0.32 cycles/B so that data copy is ~49% of a 0.65 c/B total budget
+// (42Gbps on one 3.4GHz core). This pins the calibration. See DESIGN.md.
+func TestCopyCalibrationBudget(t *testing.T) {
+	c := Default()
+	blended := 0.51*float64(c.CopyHit) + 0.49*float64(c.CopyMissLocal)
+	if blended < 0.28 || blended > 0.36 {
+		t.Errorf("blended copy cost at 49%% miss = %.3f c/B, want 0.28..0.36", blended)
+	}
+}
+
+func TestBreakdownAddTotal(t *testing.T) {
+	var b Breakdown
+	b.Add(DataCopy, 100)
+	b.Add(TCPIP, 50)
+	b.Add(DataCopy, 25)
+	if b[DataCopy] != 125 {
+		t.Errorf("DataCopy = %d, want 125", b[DataCopy])
+	}
+	if b.Total() != 175 {
+		t.Errorf("Total = %d, want 175", b.Total())
+	}
+}
+
+func TestBreakdownFractions(t *testing.T) {
+	var b Breakdown
+	f := b.Fractions()
+	for i, v := range f {
+		if v != 0 {
+			t.Errorf("empty breakdown fraction[%d] = %v, want 0", i, v)
+		}
+	}
+	b.Add(DataCopy, 75)
+	b.Add(Lock, 25)
+	f = b.Fractions()
+	if f[DataCopy] != 0.75 || f[Lock] != 0.25 {
+		t.Errorf("fractions = %v, want 0.75/0.25", f)
+	}
+	var sum float64
+	for _, v := range f {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("fractions sum to %v, want 1", sum)
+	}
+}
+
+func TestBreakdownMerge(t *testing.T) {
+	var a, b Breakdown
+	a.Add(Sched, 10)
+	b.Add(Sched, 5)
+	b.Add(Etc, 7)
+	a.Merge(&b)
+	if a[Sched] != 15 || a[Etc] != 7 {
+		t.Errorf("merge = %v", a)
+	}
+}

@@ -1,0 +1,436 @@
+// Package exec models CPU cores and the scheduling of network-stack work
+// onto them.
+//
+// Each core executes work items serially at its clock frequency. Two kinds
+// of work exist, mirroring the kernel contexts the paper profiles:
+//
+//   - softirq work (IRQ handlers, NAPI polling, receive-side TCP/IP) —
+//     strictly prioritised over threads, run in FIFO order, charged no
+//     context-switch cost;
+//   - threads (application/syscall context) — round-robin scheduled, with
+//     a context-switch charge when the core changes threads, a wakeup
+//     charge paid by the waker, and a sleep/wake protocol that is safe
+//     against lost wakeups (a wake racing a quantum that decided to block
+//     keeps the thread runnable, like the kernel's try_to_wake_up).
+//
+// Every cycle executed lands in one of the paper's Table-1 accounting
+// categories, which is how the CPU-breakdown figures are produced.
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"hostsim/internal/cpumodel"
+	"hostsim/internal/sim"
+	"hostsim/internal/topology"
+	"hostsim/internal/units"
+)
+
+// DefaultGranularity is the scheduler's wakeup/preemption granularity: a
+// running thread keeps its core until another runnable thread's virtual
+// runtime falls this far behind (CFS's sched_wakeup_granularity idea).
+// It balances batching (cheap context switches) against responsiveness;
+// CFS's default is of millisecond order once scaled.
+const DefaultGranularity = 250 * time.Microsecond
+
+// DefaultSleeperCredit is the vruntime credit a thread may accumulate
+// while sleeping. Keeping it below the granularity means a woken
+// IO-bound thread does NOT preempt the incumbent immediately — it waits
+// out the remaining wakeup granularity (CFS's wakeup_granularity check).
+// This wait is what throttles ping-pong RPC threads sharing a core with
+// a bulk flow (§3.7, Fig. 11 of the paper).
+const DefaultSleeperCredit = 50 * time.Microsecond
+
+// System owns the cores of one host. Threads are scheduled with a
+// simplified CFS: each thread accrues virtual runtime while executing;
+// the scheduler runs the thread with the smallest vruntime, with a
+// granularity hysteresis in favour of the incumbent, and wakeups grant at
+// most one granularity of sleeper credit.
+type System struct {
+	eng         *sim.Engine
+	spec        topology.MachineSpec
+	costs       *cpumodel.Costs
+	cores       []*Core
+	granularity units.Cycles
+	sleepCredit units.Cycles
+}
+
+// SetGranularity overrides the scheduling granularity (tests, ablations).
+func (s *System) SetGranularity(d time.Duration) {
+	if d <= 0 {
+		panic("exec: non-positive granularity")
+	}
+	s.granularity = units.CyclesIn(d, s.spec.Frequency)
+}
+
+// SetSleeperCredit overrides the wakeup vruntime credit (tests, ablations).
+func (s *System) SetSleeperCredit(d time.Duration) {
+	if d < 0 {
+		panic("exec: negative sleeper credit")
+	}
+	s.sleepCredit = units.CyclesIn(d, s.spec.Frequency)
+}
+
+// NewSystem builds the cores for spec.
+func NewSystem(eng *sim.Engine, spec topology.MachineSpec, costs *cpumodel.Costs) *System {
+	if eng == nil || costs == nil {
+		panic("exec: nil engine or cost table")
+	}
+	s := &System{eng: eng, spec: spec, costs: costs,
+		granularity: units.CyclesIn(DefaultGranularity, spec.Frequency),
+		sleepCredit: units.CyclesIn(DefaultSleeperCredit, spec.Frequency)}
+	s.cores = make([]*Core, spec.NumCores())
+	for i := range s.cores {
+		s.cores[i] = &Core{sys: s, id: i, node: spec.NodeOf(i)}
+	}
+	return s
+}
+
+// Core returns core i.
+func (s *System) Core(i int) *Core { return s.cores[i] }
+
+// NumCores returns the core count.
+func (s *System) NumCores() int { return len(s.cores) }
+
+// Engine returns the simulation engine.
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// Spec returns the machine description.
+func (s *System) Spec() topology.MachineSpec { return s.spec }
+
+// Costs returns the cycle cost table.
+func (s *System) Costs() *cpumodel.Costs { return s.costs }
+
+// ResetAccounting zeroes all cores' cycle accounting and busy time; used
+// to discard warm-up before a measurement window.
+func (s *System) ResetAccounting() {
+	for _, c := range s.cores {
+		c.acct = cpumodel.Breakdown{}
+		c.busy = 0
+	}
+}
+
+// TotalBusy returns the summed busy time across cores.
+func (s *System) TotalBusy() time.Duration {
+	var t time.Duration
+	for _, c := range s.cores {
+		t += c.busy
+	}
+	return t
+}
+
+// TotalBreakdown returns the merged per-category accounting of all cores.
+func (s *System) TotalBreakdown() cpumodel.Breakdown {
+	var b cpumodel.Breakdown
+	for _, c := range s.cores {
+		b.Merge(&c.acct)
+	}
+	return b
+}
+
+// threadState tracks the scheduling lifecycle.
+type threadState int
+
+const (
+	stateBlocked threadState = iota
+	stateRunnable
+	stateRunning
+)
+
+// Thread is an application-context execution entity pinned to one core.
+type Thread struct {
+	name        string
+	core        *Core
+	state       threadState
+	run         func(*Ctx)
+	willBlock   bool
+	pendingWake bool
+	vruntime    units.Cycles // fair-share accounting (CFS-style)
+}
+
+// Name returns the thread's diagnostic name.
+func (t *Thread) Name() string { return t.name }
+
+// Core returns the core the thread is pinned to.
+func (t *Thread) Core() *Core { return t.core }
+
+// Blocked reports whether the thread is parked waiting for a wake.
+func (t *Thread) Blocked() bool { return t.state == stateBlocked }
+
+// Core is one CPU core.
+type Core struct {
+	sys  *System
+	id   int
+	node int
+
+	running  bool
+	current  *Thread // last thread context that ran (for switch detection)
+	softirq  []func(*Ctx)
+	runq     []*Thread // runnable threads, selected by min vruntime
+	minVR    units.Cycles
+	acct     cpumodel.Breakdown
+	busy     time.Duration
+	inflight *Ctx
+}
+
+// enqueueWoken admits a freshly woken thread with bounded sleeper credit:
+// it may claim at most one granularity of vruntime headstart, so sleepers
+// preempt promptly without being able to monopolise the core.
+func (c *Core) enqueueWoken(t *Thread) {
+	t.state = stateRunnable
+	floor := c.minVR - c.sys.sleepCredit
+	if t.vruntime < floor {
+		t.vruntime = floor
+	}
+	c.runq = append(c.runq, t)
+}
+
+// ID returns the core id.
+func (c *Core) ID() int { return c.id }
+
+// Node returns the core's NUMA node.
+func (c *Core) Node() int { return c.node }
+
+// BusyTime returns accumulated busy time since the last reset.
+func (c *Core) BusyTime() time.Duration { return c.busy }
+
+// Accounting returns a copy of the per-category cycle tally.
+func (c *Core) Accounting() cpumodel.Breakdown { return c.acct }
+
+// Utilization returns busy/window, clamped to [0,1].
+func (c *Core) Utilization(window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	u := float64(c.busy) / float64(window)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// NewThread creates a thread pinned to this core. run is invoked each time
+// the scheduler grants the thread a quantum; it must either charge cycles
+// or block (a zero-cost non-blocking quantum would livelock the core and
+// panics). Threads start blocked; call Wake (or WakeFromCtx) to start.
+func (c *Core) NewThread(name string, run func(*Ctx)) *Thread {
+	if run == nil {
+		panic("exec: nil thread body")
+	}
+	return &Thread{name: name, core: c, run: run, state: stateBlocked}
+}
+
+// RaiseSoftirq queues softirq work on the core. The work runs before any
+// thread gets the CPU. Safe to call from outside any work item (e.g. a
+// simulated hardware event); dispatch is triggered immediately.
+func (c *Core) RaiseSoftirq(fn func(*Ctx)) {
+	if fn == nil {
+		panic("exec: nil softirq")
+	}
+	c.softirq = append(c.softirq, fn)
+	c.dispatch()
+}
+
+// SoftirqBacklog returns the number of queued softirq items.
+func (c *Core) SoftirqBacklog() int { return len(c.softirq) }
+
+// Wake makes t runnable from outside any work item (hardware events,
+// timer expiry). No wakeup cost is charged — use Ctx.Wake from inside
+// stack code, which charges the waker.
+func (t *Thread) Wake() { t.wake() }
+
+func (t *Thread) wake() bool {
+	switch t.state {
+	case stateBlocked:
+		t.core.enqueueWoken(t)
+		t.core.dispatch()
+		return true
+	case stateRunning:
+		t.pendingWake = true
+		return false
+	default:
+		return false
+	}
+}
+
+// dispatch starts the next work item if the core is free.
+func (c *Core) dispatch() {
+	if c.running {
+		return
+	}
+	var (
+		fn       func(*Ctx)
+		thread   *Thread
+		switchTo bool
+	)
+	switch {
+	case len(c.softirq) > 0:
+		fn = c.softirq[0]
+		c.softirq = c.softirq[1:]
+	case len(c.runq) > 0:
+		thread = c.pickThread()
+		thread.state = stateRunning
+		switchTo = thread != c.current
+		fn = thread.run
+	default:
+		return // idle
+	}
+	c.running = true
+	ctx := &Ctx{core: c, start: c.sys.eng.Now(), thread: thread}
+	c.inflight = ctx
+	if thread != nil && switchTo {
+		ctx.Charge(cpumodel.Sched, c.sys.costs.ContextSwitch)
+		c.current = thread
+	}
+	fn(ctx)
+	ctx.done = true
+	c.inflight = nil
+	if ctx.cycles <= 0 {
+		if thread != nil && !ctx.blocked {
+			panic(fmt.Sprintf("exec: thread %q ran a zero-cost non-blocking quantum", thread.name))
+		}
+		if ctx.cycles < 0 {
+			panic("exec: negative charge")
+		}
+		// Zero-cost blocking quantum: complete instantly.
+		c.complete(ctx)
+		return
+	}
+	d := ctx.cycles.Duration(c.sys.spec.Frequency)
+	c.sys.eng.After(d, func() { c.complete(ctx) })
+}
+
+// pickThread removes and returns the next thread to run: the minimum
+// vruntime, except the incumbent keeps the CPU while it is within one
+// granularity of the minimum (batching hysteresis).
+func (c *Core) pickThread() *Thread {
+	best := 0
+	for i, t := range c.runq {
+		if t.vruntime < c.runq[best].vruntime {
+			best = i
+		}
+	}
+	if c.current != nil && c.current != c.runq[best] {
+		for i, t := range c.runq {
+			if t == c.current {
+				if t.vruntime < c.runq[best].vruntime+c.sys.granularity {
+					best = i
+				}
+				break
+			}
+		}
+	}
+	t := c.runq[best]
+	c.runq = append(c.runq[:best], c.runq[best+1:]...)
+	if t.vruntime > c.minVR {
+		c.minVR = t.vruntime
+	}
+	return t
+}
+
+// complete finishes a work item: applies accounting, resolves the
+// thread's next state, and dispatches further work.
+func (c *Core) complete(ctx *Ctx) {
+	c.acct.Merge(&ctx.acct)
+	c.busy += ctx.cycles.Duration(c.sys.spec.Frequency)
+	if t := ctx.thread; t != nil {
+		t.vruntime += ctx.cycles
+		if ctx.blocked && !t.pendingWake {
+			t.state = stateBlocked
+		} else {
+			t.state = stateRunnable
+			c.runq = append(c.runq, t)
+		}
+		t.pendingWake = false
+		t.willBlock = false
+	}
+	c.running = false
+	c.dispatch()
+}
+
+// Ctx is the execution context of one work item. All cycle charges and
+// side effects of the item flow through it.
+type Ctx struct {
+	core    *Core
+	thread  *Thread
+	start   sim.Time
+	cycles  units.Cycles
+	acct    cpumodel.Breakdown
+	blocked bool
+	done    bool
+}
+
+// Charge adds cycles in category cat to the running item.
+func (x *Ctx) Charge(cat cpumodel.Category, c units.Cycles) {
+	if x.done {
+		panic("exec: Charge after work item completed")
+	}
+	if c < 0 {
+		panic("exec: negative charge")
+	}
+	x.cycles += c
+	x.acct.Add(cat, c)
+}
+
+// ChargeBytes charges a per-byte cost over n bytes.
+func (x *Ctx) ChargeBytes(cat cpumodel.Category, p units.PerByte, n units.Bytes) {
+	x.Charge(cat, p.Of(n))
+}
+
+// Now returns the item's logical time: start plus cycles charged so far.
+func (x *Ctx) Now() sim.Time {
+	return x.start.Add(x.cycles.Duration(x.core.sys.spec.Frequency))
+}
+
+// Core returns the core the item runs on.
+func (x *Ctx) Core() *Core { return x.core }
+
+// Costs returns the system cost table.
+func (x *Ctx) Costs() *cpumodel.Costs { return x.core.sys.costs }
+
+// Defer schedules fn at the item's current logical time — i.e. after the
+// work charged so far has "executed". Use it for side effects that leave
+// the core (transmits, cross-core wakes).
+func (x *Ctx) Defer(fn func()) {
+	x.core.sys.eng.At(x.Now(), fn)
+}
+
+// Block marks the current thread as wanting to sleep at quantum end. Only
+// valid in thread context.
+func (x *Ctx) Block() {
+	if x.thread == nil {
+		panic("exec: Block outside thread context")
+	}
+	x.blocked = true
+}
+
+// Wake makes t runnable, charging the wakeup cost (plus the idle-exit
+// cost if t's core was idle) to this context — the waker pays, as in the
+// kernel.
+func (x *Ctx) Wake(t *Thread) {
+	costs := x.core.sys.costs
+	if t.state != stateBlocked {
+		// Awake already (running or queued): the waker still walks the
+		// waitqueue (sock_def_readable on an awake task), a cheap but
+		// real cost, and a running target re-checks its condition.
+		x.Charge(cpumodel.Sched, costs.WakeCheck)
+		if t.state == stateRunning {
+			t.pendingWake = true
+		}
+		return
+	}
+	x.Charge(cpumodel.Sched, costs.Wakeup)
+	tc := t.core
+	if tc != x.core && !tc.running && len(tc.runq) == 0 && len(tc.softirq) == 0 {
+		x.Charge(cpumodel.Sched, costs.IdleWake)
+	}
+	if tc == x.core {
+		// Same core: wake takes effect when observed — mark immediately;
+		// dispatch happens at this item's completion.
+		tc.enqueueWoken(t)
+		return
+	}
+	// Cross-core: the wake lands at this item's logical time.
+	x.Defer(func() { t.wake() })
+}

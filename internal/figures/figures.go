@@ -1,0 +1,266 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation (§3, Figs. 3-13 and Table 2) from the simulator. Each
+// experiment produces text tables with the same rows/series the paper
+// plots; cmd/figures renders them and bench_test.go wraps each in a
+// benchmark.
+package figures
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"hostsim"
+)
+
+// RunConfig controls simulation length and seeding for all experiments.
+type RunConfig struct {
+	Seed     int64
+	Warmup   time.Duration
+	Duration time.Duration
+}
+
+// Default returns the standard measurement window.
+func Default() RunConfig {
+	return RunConfig{Seed: 7, Warmup: 15 * time.Millisecond, Duration: 25 * time.Millisecond}
+}
+
+func (rc RunConfig) config(s hostsim.Stack) hostsim.Config {
+	return hostsim.Config{Stack: s, Seed: rc.Seed, Warmup: rc.Warmup, Duration: rc.Duration}
+}
+
+// Table is one rendered figure/table.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// CSV renders the table as comma-separated values (header + rows).
+// Cells containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s: %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	return b.String()
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment regenerates one paper figure.
+type Experiment struct {
+	ID    string // e.g. "fig3a"
+	Title string
+	Paper string // the paper's reported takeaway, for EXPERIMENTS.md
+	Run   func(rc RunConfig) (*Table, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool { return less(out[i].ID, out[j].ID) })
+	return out
+}
+
+// less orders figure ids naturally (fig3a < fig3e < fig10a < table2).
+func less(a, b string) bool {
+	na, sa := splitID(a)
+	nb, sb := splitID(b)
+	if na != nb {
+		return na < nb
+	}
+	return sa < sb
+}
+
+func splitID(id string) (int, string) {
+	digits, suffix := "", ""
+	for i := 0; i < len(id); i++ {
+		if id[i] >= '0' && id[i] <= '9' {
+			digits += string(id[i])
+		} else if digits != "" {
+			suffix = id[i:]
+			break
+		}
+	}
+	var n int
+	fmt.Sscanf(digits, "%d", &n)
+	if strings.HasPrefix(id, "table") {
+		n += 100 // tables sort after figures
+	}
+	if strings.HasPrefix(id, "ext") {
+		n += 200 // extensions after tables
+	}
+	if strings.HasPrefix(id, "abl") {
+		n += 300 // ablations after extensions
+	}
+	if strings.HasPrefix(id, "app") {
+		n += 400 // appendix breakdowns last
+	}
+	return n, suffix
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ---------------------------------------------------------------------------
+// Shared run helpers. Runs are memoized per (config, workload) so that
+// sub-figures sharing scenarios (3a-3d, 9a-9d, ...) pay once.
+
+var runCache = map[string]*hostsim.Result{}
+
+func run(cfg hostsim.Config, wl hostsim.Workload) (*hostsim.Result, error) {
+	key := fmt.Sprintf("%+v|%+v", cfg, wl)
+	if r, ok := runCache[key]; ok {
+		return r, nil
+	}
+	r, err := hostsim.Run(cfg, wl)
+	if err != nil {
+		return nil, err
+	}
+	runCache[key] = r
+	return r, nil
+}
+
+// ClearCache drops memoized runs (benchmarks use it to avoid reuse).
+func ClearCache() { runCache = map[string]*hostsim.Result{} }
+
+// ladder returns the paper's incremental optimization steps of Fig. 3a.
+func ladder() []struct {
+	Name  string
+	Stack hostsim.Stack
+} {
+	noOpt := hostsim.NoOptimizations()
+	tsogro := noOpt
+	tsogro.TSO, tsogro.GSO, tsogro.GRO = true, true, true
+	jumbo := tsogro
+	jumbo.JumboFrames = true
+	all := hostsim.AllOptimizations()
+	return []struct {
+		Name  string
+		Stack hostsim.Stack
+	}{
+		{"No Opt.", noOpt},
+		{"+TSO/GRO", tsogro},
+		{"+Jumbo", jumbo},
+		{"+aRFS (all)", all},
+	}
+}
+
+// ablations returns Fig. 3a's leave-one-out columns.
+func ablations() []struct {
+	Name  string
+	Stack hostsim.Stack
+} {
+	all := hostsim.AllOptimizations()
+	noTSOGRO := all
+	noTSOGRO.TSO, noTSOGRO.GRO = false, false // GSO stays on (kernel default)
+	noJumbo := all
+	noJumbo.JumboFrames = false
+	return []struct {
+		Name  string
+		Stack hostsim.Stack
+	}{
+		{"All Opt.", all},
+		{"w/o TSO/GRO", noTSOGRO},
+		{"w/o Jumbo", noJumbo},
+	}
+}
+
+// breakdownColumns is the Table-1 category order used in all breakdowns.
+var breakdownColumns = []string{
+	"data_copy", "tcp/ip", "netdev", "skb_mgmt", "memory", "lock", "sched", "etc",
+}
+
+func breakdownRow(name string, bd map[string]float64) []string {
+	row := []string{name}
+	for _, c := range breakdownColumns {
+		row = append(row, fmt.Sprintf("%.3f", bd[c]))
+	}
+	return row
+}
+
+func breakdownHeader(first string) []string {
+	return append([]string{first}, breakdownColumns...)
+}
+
+func gb(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

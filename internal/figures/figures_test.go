@@ -1,0 +1,178 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// quick returns a fast measurement window for tests.
+func quick() RunConfig {
+	return RunConfig{Seed: 3, Warmup: 6 * time.Millisecond, Duration: 8 * time.Millisecond}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f",
+		"fig4",
+		"fig5a", "fig5b", "fig5c",
+		"fig6a", "fig6b", "fig6c",
+		"fig7a", "fig7b", "fig7c",
+		"fig8a", "fig8b", "fig8c",
+		"fig9a", "fig9b", "fig9c", "fig9d",
+		"fig10a", "fig10b", "fig10c",
+		"fig11a", "fig11b",
+		"fig12a", "fig12b", "fig12c",
+		"fig13a", "fig13b", "fig13c",
+		"table2",
+		"ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7",
+		"abl1", "abl2", "abl3", "abl4", "abl5",
+		"app1", "app2", "app3", "app4", "app5",
+	}
+	got := All()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Errorf("All()[%d] = %s, want %s (paper order)", i, got[i].ID, id)
+		}
+	}
+	for _, e := range got {
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("%s: incomplete registration", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig3a"); !ok {
+		t.Error("fig3a not found")
+	}
+	if _, ok := ByID("fig99"); ok {
+		t.Error("fig99 should not exist")
+	}
+}
+
+// Every experiment must run end to end and produce a consistent table.
+func TestAllExperimentsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	ClearCache()
+	rc := quick()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(rc)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if tbl.ID != e.ID {
+				t.Errorf("table ID %q != experiment ID %q", tbl.ID, e.ID)
+			}
+			if len(tbl.Rows) == 0 || len(tbl.Columns) == 0 {
+				t.Fatal("empty table")
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Columns) {
+					t.Errorf("row %d has %d cells, want %d", i, len(row), len(tbl.Columns))
+				}
+			}
+			s := tbl.String()
+			if !strings.Contains(s, e.ID) || !strings.Contains(s, tbl.Columns[0]) {
+				t.Error("rendered table missing header")
+			}
+		})
+	}
+}
+
+func TestRunCache(t *testing.T) {
+	ClearCache()
+	rc := quick()
+	if _, err := fig3a(rc); err != nil {
+		t.Fatal(err)
+	}
+	n := len(runCache)
+	if n == 0 {
+		t.Fatal("cache empty after a run")
+	}
+	// Re-running the same figure must not add entries.
+	if _, err := fig3a(rc); err != nil {
+		t.Fatal(err)
+	}
+	if len(runCache) != n {
+		t.Errorf("cache grew on identical rerun: %d -> %d", n, len(runCache))
+	}
+	// fig3b shares fig3a's ladder runs.
+	if _, err := fig3b(rc); err != nil {
+		t.Fatal(err)
+	}
+	if len(runCache) != n {
+		t.Errorf("fig3b should fully reuse fig3a's runs (%d -> %d)", n, len(runCache))
+	}
+	ClearCache()
+	if len(runCache) != 0 {
+		t.Error("ClearCache left entries")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		ID:      "x",
+		Title:   "demo",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"wide-cell-value", "1"}},
+		Notes:   []string{"hello"},
+	}
+	s := tbl.String()
+	for _, want := range []string{"== x: demo ==", "wide-cell-value", "long-column", "note: hello"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("expected 4 lines, got %d", len(lines))
+	}
+}
+
+func TestCSVAndMarkdownRendering(t *testing.T) {
+	tbl := &Table{
+		ID:      "x",
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"v,1", `say "hi"`}, {"2", "3"}},
+		Notes:   []string{"a note"},
+	}
+	csv := tbl.CSV()
+	wantCSV := "a,b\n\"v,1\",\"say \"\"hi\"\"\"\n2,3\n"
+	if csv != wantCSV {
+		t.Errorf("CSV:\n%q\nwant:\n%q", csv, wantCSV)
+	}
+	md := tbl.Markdown()
+	for _, want := range []string{"### x: demo", "| a | b |", "|---|---|", "| 2 | 3 |", "*a note*"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	cases := []struct {
+		a, b string
+	}{
+		{"fig3a", "fig3b"},
+		{"fig3f", "fig4"},
+		{"fig9d", "fig10a"},
+		{"fig13c", "table2"},
+	}
+	for _, c := range cases {
+		if !less(c.a, c.b) {
+			t.Errorf("%s should sort before %s", c.a, c.b)
+		}
+		if less(c.b, c.a) {
+			t.Errorf("%s should not sort before %s", c.b, c.a)
+		}
+	}
+}

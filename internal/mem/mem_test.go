@@ -1,0 +1,226 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hostsim/internal/cpumodel"
+	"hostsim/internal/topology"
+	"hostsim/internal/units"
+)
+
+// tally is a Charger that records per-category totals.
+type tally struct {
+	got cpumodel.Breakdown
+}
+
+func (t *tally) Charge(cat cpumodel.Category, c units.Cycles) { t.got.Add(cat, c) }
+
+func newAlloc() *Allocator {
+	return NewAllocator(topology.Default(), cpumodel.Default())
+}
+
+func TestAllocPlacesOnLocalNode(t *testing.T) {
+	a := newAlloc()
+	var ch tally
+	pages := a.Alloc(&ch, 7, 3) // core 7 is node 1
+	if len(pages) != 3 {
+		t.Fatalf("got %d pages, want 3", len(pages))
+	}
+	for _, p := range pages {
+		if p.Node != 1 {
+			t.Errorf("page on node %d, want 1", p.Node)
+		}
+		if p.ID == 0 {
+			t.Error("page ID must be non-zero")
+		}
+	}
+	if a.InUse() != 3 {
+		t.Errorf("InUse = %d, want 3", a.InUse())
+	}
+}
+
+func TestUniquePageIDs(t *testing.T) {
+	a := newAlloc()
+	seen := map[int64]bool{}
+	for core := 0; core < 4; core++ {
+		for _, p := range a.Alloc(cpumodel.Discard{}, core, 50) {
+			if seen[int64(p.ID)] {
+				t.Fatalf("duplicate page ID %d", p.ID)
+			}
+			seen[int64(p.ID)] = true
+		}
+	}
+}
+
+func TestPagesetRecycling(t *testing.T) {
+	a := newAlloc()
+	var ch tally
+	pages := a.Alloc(&ch, 0, 10)
+	if a.Stats().AllocGlobal != 10 {
+		t.Fatalf("first allocation should be global, got %+v", a.Stats())
+	}
+	a.Free(&ch, 0, pages)
+	if a.Stats().FreePCP != 10 {
+		t.Fatalf("local frees should land in the pageset, got %+v", a.Stats())
+	}
+	again := a.Alloc(&ch, 0, 10)
+	if a.Stats().AllocPCP != 10 {
+		t.Fatalf("recycled allocation should be served by pageset, got %+v", a.Stats())
+	}
+	// LIFO: most recently freed page comes back first.
+	if again[0].ID != pages[9].ID {
+		t.Errorf("pageset should be LIFO: got %d, want %d", again[0].ID, pages[9].ID)
+	}
+}
+
+func TestPagesetCapacitySpillsToGlobal(t *testing.T) {
+	a := newAlloc()
+	a.SetPagesetCap(4)
+	var ch tally
+	pages := a.Alloc(&ch, 0, 10)
+	a.Free(&ch, 0, pages)
+	st := a.Stats()
+	if st.FreePCP != 4 || st.FreeGlobal != 6 {
+		t.Errorf("want 4 pcp frees + 6 global, got %+v", st)
+	}
+}
+
+func TestRemoteFreeCostsMore(t *testing.T) {
+	a := newAlloc()
+	costs := cpumodel.Default()
+	var local, remote tally
+	p := a.Alloc(&local, 0, 1) // node 0
+	a.SetPagesetCap(0)         // force global frees so costs are comparable
+	local = tally{}
+	a.Free(&local, 0, p) // free on same node
+	q := a.Alloc(&remote, 0, 1)
+	remote = tally{}
+	a.Free(&remote, 6, q) // core 6 = node 1: remote free
+	wantExtra := costs.PageFreeRemote
+	if remote.got[cpumodel.Memory]-local.got[cpumodel.Memory] != wantExtra {
+		t.Errorf("remote free extra = %d, want %d",
+			remote.got[cpumodel.Memory]-local.got[cpumodel.Memory], wantExtra)
+	}
+	if a.Stats().FreeRemote != 1 {
+		t.Errorf("FreeRemote = %d, want 1", a.Stats().FreeRemote)
+	}
+}
+
+func TestRemoteFreeNeverEntersLocalPageset(t *testing.T) {
+	a := newAlloc()
+	p := a.Alloc(cpumodel.Discard{}, 0, 5) // node-0 pages
+	a.Free(cpumodel.Discard{}, 6, p)       // freed from node-1 core
+	if a.PagesetLen(6) != 0 {
+		t.Error("remote pages must not enter the freeing core's pageset")
+	}
+	// And a subsequent node-1 alloc gets node-1 pages.
+	q := a.Alloc(cpumodel.Discard{}, 6, 1)
+	if q[0].Node != 1 {
+		t.Errorf("node = %d, want 1", q[0].Node)
+	}
+}
+
+func TestChargesGoToMemoryCategory(t *testing.T) {
+	a := newAlloc()
+	var ch tally
+	p := a.Alloc(&ch, 0, 2)
+	a.Free(&ch, 0, p)
+	if ch.got[cpumodel.Memory] == 0 {
+		t.Error("allocation should charge the Memory category")
+	}
+	for cat := range ch.got {
+		if cpumodel.Category(cat) != cpumodel.Memory && ch.got[cat] != 0 {
+			t.Errorf("unexpected charge in %v", cpumodel.Category(cat))
+		}
+	}
+}
+
+func TestIOMMUAccounting(t *testing.T) {
+	a := newAlloc()
+	costs := cpumodel.Default()
+	var ch tally
+	a.DMAMap(&ch, 4)
+	a.DMAUnmap(&ch, 4)
+	if ch.got[cpumodel.Memory] != 0 {
+		t.Error("IOMMU disabled: map/unmap must be free")
+	}
+	a.SetIOMMU(true)
+	a.DMAMap(&ch, 4)
+	a.DMAUnmap(&ch, 4)
+	want := costs.IOMMUMap*4 + costs.IOMMUUnmap*4
+	if ch.got[cpumodel.Memory] != want {
+		t.Errorf("IOMMU charges = %d, want %d", ch.got[cpumodel.Memory], want)
+	}
+	st := a.Stats()
+	if st.IOMMUMaps != 4 || st.IOMMUUnmaps != 4 {
+		t.Errorf("IOMMU stats = %+v", st)
+	}
+}
+
+func TestOverFreePanics(t *testing.T) {
+	a := newAlloc()
+	p := a.Alloc(cpumodel.Discard{}, 0, 1)
+	a.Free(cpumodel.Discard{}, 0, p)
+	defer func() {
+		if recover() == nil {
+			t.Error("double free should panic")
+		}
+	}()
+	a.Free(cpumodel.Discard{}, 0, p)
+}
+
+func TestNegativeAllocPanics(t *testing.T) {
+	a := newAlloc()
+	defer func() {
+		if recover() == nil {
+			t.Error("Alloc(-1) should panic")
+		}
+	}()
+	a.Alloc(cpumodel.Discard{}, 0, -1)
+}
+
+// Property: any sequence of alloc/free keeps InUse = allocated - freed,
+// and pageset length never exceeds its capacity.
+func TestPropertyConservation(t *testing.T) {
+	f := func(ops []uint8) bool {
+		a := newAlloc()
+		a.SetPagesetCap(16)
+		var held []Page
+		var allocated, freed int64
+		for _, op := range ops {
+			core := int(op) % 24
+			if op%2 == 0 || len(held) == 0 {
+				n := int(op%5) + 1
+				held = append(held, a.Alloc(cpumodel.Discard{}, core, n)...)
+				allocated += int64(n)
+			} else {
+				n := int(op%uint8(len(held))) + 1
+				if n > len(held) {
+					n = len(held)
+				}
+				a.Free(cpumodel.Discard{}, core, held[:n])
+				held = held[n:]
+				freed += int64(n)
+			}
+			for c := 0; c < 24; c++ {
+				if a.PagesetLen(c) > 16 {
+					return false
+				}
+			}
+		}
+		return a.InUse() == allocated-freed
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(21))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPagesFor(t *testing.T) {
+	a := newAlloc()
+	if a.PagesFor(9000) != 3 {
+		t.Errorf("PagesFor(9000) = %d, want 3", a.PagesFor(9000))
+	}
+}

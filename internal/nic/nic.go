@@ -1,0 +1,484 @@
+// Package nic models a commodity 100Gbps NIC and its driver: per-core Rx
+// queues with descriptor rings and page stashes, DMA with DDIO insertion
+// into the NIC-local L3, interrupt moderation, NAPI polling with budget
+// and softirq re-arming, GRO (software) or LRO (hardware) aggregation,
+// TSO-style transmission, and receive flow steering (Table 2 of the
+// paper: RSS / RPS / RFS / aRFS core selection).
+package nic
+
+import (
+	"fmt"
+	"time"
+
+	"hostsim/internal/cache"
+	"hostsim/internal/cpumodel"
+	"hostsim/internal/exec"
+	"hostsim/internal/mem"
+	"hostsim/internal/sim"
+	"hostsim/internal/skb"
+	"hostsim/internal/units"
+	"hostsim/internal/wire"
+)
+
+// FrameHeader is the wire overhead per frame (Ethernet+IP+TCP); the MSS is
+// MTU minus this, so a full frame occupies exactly MTU bytes on the wire.
+const FrameHeader units.Bytes = 66
+
+// Config describes the NIC and driver features in play.
+type Config struct {
+	RxRing           int           // Rx descriptors per queue
+	MTU              units.Bytes   // wire MTU (1500 or 9000)
+	TSO              bool          // hardware segmentation offload (Tx)
+	GRO              bool          // software receive aggregation
+	LRO              bool          // hardware receive aggregation (overrides GRO)
+	ModerationDelay  time.Duration // IRQ coalescing time
+	ModerationFrames int           // IRQ fires early at this backlog
+	NAPIWeight       int           // frames per NAPI poll before re-arming
+	// DCAHazardFactor scales the descriptor-count-driven eviction hazard
+	// (see cache.DCA); hazard = min(MaxHazard, factor * ringPages/dcaSlots).
+	DCAHazardFactor float64
+	MaxHazard       float64
+}
+
+// DefaultConfig mirrors the paper's all-optimizations-enabled setup.
+func DefaultConfig() Config {
+	return Config{
+		RxRing:           1024,
+		MTU:              9000,
+		TSO:              true,
+		GRO:              true,
+		LRO:              false,
+		ModerationDelay:  12 * time.Microsecond,
+		ModerationFrames: 24,
+		NAPIWeight:       64,
+		DCAHazardFactor:  0.035,
+		MaxHazard:        0.9,
+	}
+}
+
+// MSS returns the per-frame payload limit.
+func (c Config) MSS() units.Bytes { return c.MTU - FrameHeader }
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.RxRing <= 0:
+		return fmt.Errorf("nic: RxRing = %d, want > 0", c.RxRing)
+	case c.MTU <= FrameHeader:
+		return fmt.Errorf("nic: MTU = %d, want > %d", c.MTU, FrameHeader)
+	case c.ModerationDelay < 0:
+		return fmt.Errorf("nic: negative ModerationDelay")
+	case c.ModerationFrames <= 0:
+		return fmt.Errorf("nic: ModerationFrames = %d, want > 0", c.ModerationFrames)
+	case c.NAPIWeight <= 0:
+		return fmt.Errorf("nic: NAPIWeight = %d, want > 0", c.NAPIWeight)
+	case c.DCAHazardFactor < 0 || c.MaxHazard < 0 || c.MaxHazard > 1:
+		return fmt.Errorf("nic: bad hazard parameters")
+	}
+	return nil
+}
+
+// Steering selects the core whose Rx queue handles a flow — the paper's
+// Table 2 mechanisms.
+type Steering interface {
+	QueueFor(flow skb.FlowID) int
+}
+
+// RSS hashes the flow onto one of the given cores (hardware receive side
+// scaling: 4-tuple hash → queue).
+type RSS struct {
+	Cores []int
+}
+
+// QueueFor implements Steering.
+func (r RSS) QueueFor(flow skb.FlowID) int {
+	if len(r.Cores) == 0 {
+		panic("nic: RSS with no cores")
+	}
+	h := uint32(flow) * 2654435761 // Knuth multiplicative hash
+	return r.Cores[h%uint32(len(r.Cores))]
+}
+
+// Pinned steers flows via an explicit table (aRFS: the NIC learns the core
+// the application runs on), with a fallback for unknown flows.
+type Pinned struct {
+	Table    map[skb.FlowID]int
+	Fallback Steering
+}
+
+// QueueFor implements Steering.
+func (p Pinned) QueueFor(flow skb.FlowID) int {
+	if c, ok := p.Table[flow]; ok {
+		return c
+	}
+	if p.Fallback == nil {
+		panic(fmt.Sprintf("nic: no steering entry or fallback for flow %d", flow))
+	}
+	return p.Fallback.QueueFor(flow)
+}
+
+// FixedCore steers every flow to one core (the paper's deterministic
+// worst case when aRFS is disabled: IRQs pinned to a remote-NUMA core).
+type FixedCore int
+
+// QueueFor implements Steering.
+func (f FixedCore) QueueFor(skb.FlowID) int { return int(f) }
+
+// Stats counts NIC-level events.
+type Stats struct {
+	RxFrames    int64
+	RxBytes     units.Bytes
+	RxDropped   int64 // no descriptor available
+	TxFrames    int64
+	TxBytes     units.Bytes
+	IRQs        int64
+	NAPIPolls   int64
+	LROCoalesce int64
+}
+
+// DeliverFunc receives fully assembled SKBs from NAPI, in softirq context
+// on the queue's core. It is the entry point into TCP/IP Rx processing.
+type DeliverFunc func(*exec.Ctx, *skb.SKB)
+
+// TxCompleteFunc is notified (in "hardware" context — no CPU charge) when
+// a data frame has been handed to the wire; hosts use it to drive TCP
+// small-queue (TSQ) completions.
+type TxCompleteFunc func(flow skb.FlowID, bytes units.Bytes)
+
+// NIC is one host's network interface.
+type NIC struct {
+	eng     *sim.Engine
+	sys     *exec.System
+	alloc   *mem.Allocator
+	dca     *cache.DCA // nil = DCA disabled
+	cfg     Config
+	link    *wire.Link
+	deliver DeliverFunc
+	steer   Steering
+	queues  map[int]*rxQueue // by core id
+	stats   Stats
+
+	// Egress: one Tx queue per submitting core, drained round-robin one
+	// frame at a time — the frame-level interleaving of a multi-queue
+	// NIC's DMA scheduler. This is what breaks per-flow burst adjacency
+	// on the wire when many cores transmit (Fig. 8c).
+	txqs       map[int][]*skb.Frame
+	txOrder    []int
+	txNext     int
+	txBusy     bool
+	txComplete TxCompleteFunc
+}
+
+type rxQueue struct {
+	nic          *NIC
+	core         int
+	posted       int // descriptors with buffers available
+	stash        []mem.Page
+	stashDeficit int // pages taken by DMA since the last replenish
+	descDeficit  int // descriptors consumed since the last replenish
+	backlog      []*skb.Frame
+	napi         bool // NAPI scheduled or running
+	modTimer     *sim.Timer
+	irqPending   bool // charge IRQEntry on next poll
+}
+
+// New builds a NIC. dca may be nil (DCA disabled). link is the egress
+// link; deliver is the Rx upcall.
+func New(eng *sim.Engine, sys *exec.System, alloc *mem.Allocator, dca *cache.DCA,
+	cfg Config, link *wire.Link, deliver DeliverFunc) *NIC {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if eng == nil || sys == nil || alloc == nil || link == nil || deliver == nil {
+		panic("nic: nil dependency")
+	}
+	n := &NIC{
+		eng: eng, sys: sys, alloc: alloc, dca: dca, cfg: cfg,
+		link: link, deliver: deliver,
+		steer:  RSS{Cores: []int{0}},
+		queues: make(map[int]*rxQueue),
+		txqs:   make(map[int][]*skb.Frame),
+	}
+	if dca != nil {
+		dca.SetHazard(n.DCAHazard())
+	}
+	return n
+}
+
+// DCAHazard computes the descriptor-count-driven eviction hazard for the
+// configured ring (see cache.DCA and Fig. 3e).
+func (n *NIC) DCAHazard() float64 {
+	if n.dca == nil {
+		return 0
+	}
+	pagesPerFrame := n.alloc.PagesFor(n.cfg.MTU)
+	ringPages := float64(n.cfg.RxRing * pagesPerFrame)
+	h := n.cfg.DCAHazardFactor * ringPages / float64(n.dca.Capacity())
+	if h > n.cfg.MaxHazard {
+		h = n.cfg.MaxHazard
+	}
+	return h
+}
+
+// SetSteering installs the receive flow steering policy.
+func (n *NIC) SetSteering(s Steering) {
+	if s == nil {
+		panic("nic: nil steering")
+	}
+	n.steer = s
+}
+
+// Config returns the NIC configuration.
+func (n *NIC) Config() Config { return n.cfg }
+
+// Stats returns a copy of the counters.
+func (n *NIC) Stats() Stats { return n.stats }
+
+// Link returns the egress link (tests).
+func (n *NIC) Link() *wire.Link { return n.link }
+
+// queue returns (creating if needed) the Rx queue bound to core.
+func (n *NIC) queue(core int) *rxQueue {
+	q, ok := n.queues[core]
+	if !ok {
+		q = &rxQueue{nic: n, core: core, posted: n.cfg.RxRing}
+		// Pre-fill the page stash for all posted descriptors, as the
+		// driver does at ifup. Boot-time cost is not accounted.
+		pages := n.cfg.RxRing * n.alloc.PagesFor(n.cfg.MTU)
+		q.stash = n.alloc.Alloc(cpumodel.Discard{}, core, pages)
+		n.queues[core] = q
+	}
+	return q
+}
+
+// SetTxComplete installs the Tx completion callback.
+func (n *NIC) SetTxComplete(fn TxCompleteFunc) { n.txComplete = fn }
+
+// SendFrames enqueues Tx frames on the calling core's Tx queue at the
+// context's logical time, charging the per-skb doorbell cost. The egress
+// scheduler drains queues round-robin at line rate.
+func (n *NIC) SendFrames(ctx *exec.Ctx, frames []*skb.Frame) {
+	if len(frames) == 0 {
+		return
+	}
+	ctx.Charge(cpumodel.Netdev, ctx.Costs().TxDoorbell)
+	core := ctx.Core().ID()
+	fs := frames
+	ctx.Defer(func() { n.enqueueTx(core, fs) })
+}
+
+// SendFramesNow is SendFrames for non-CPU contexts. It enqueues on queue
+// 0 immediately with no CPU charge; prefer SendFrames.
+func (n *NIC) SendFramesNow(frames []*skb.Frame) {
+	n.enqueueTx(0, frames)
+}
+
+func (n *NIC) enqueueTx(core int, frames []*skb.Frame) {
+	n.stats.TxFrames += int64(len(frames))
+	for _, f := range frames {
+		n.stats.TxBytes += f.WireSize()
+	}
+	if _, ok := n.txqs[core]; !ok {
+		n.txOrder = append(n.txOrder, core)
+	}
+	n.txqs[core] = append(n.txqs[core], frames...)
+	n.pumpTx()
+}
+
+// pumpTx drains the Tx queues round-robin, one frame per service slot, at
+// line rate.
+func (n *NIC) pumpTx() {
+	if n.txBusy {
+		return
+	}
+	f := n.nextTxFrame()
+	if f == nil {
+		return
+	}
+	n.txBusy = true
+	n.link.Send(f)
+	if n.txComplete != nil && !f.IsAck() && f.Len > 0 {
+		n.txComplete(f.Flow, f.Len)
+	}
+	n.eng.After(n.link.Rate().Serialize(f.WireSize()), func() {
+		n.txBusy = false
+		n.pumpTx()
+	})
+}
+
+func (n *NIC) nextTxFrame() *skb.Frame {
+	for i := 0; i < len(n.txOrder); i++ {
+		n.txNext = (n.txNext + 1) % len(n.txOrder)
+		q := n.txOrder[n.txNext]
+		frames := n.txqs[q]
+		if len(frames) == 0 {
+			continue
+		}
+		f := frames[0]
+		n.txqs[q] = frames[1:]
+		return f
+	}
+	return nil
+}
+
+// ReceiveFromWire is the link delivery callback: DMA the frame into host
+// memory and schedule NAPI per the moderation policy.
+func (n *NIC) ReceiveFromWire(f *skb.Frame) {
+	core := n.steer.QueueFor(f.Flow)
+	q := n.queue(core)
+	if q.posted <= 0 {
+		n.stats.RxDropped++
+		return
+	}
+	q.posted--
+	n.stats.RxFrames++
+	n.stats.RxBytes += f.Len
+	// DMA: attach pages and, if the memory lands on the NIC-local node
+	// with DCA enabled, push the lines into the L3 (DDIO).
+	need := n.alloc.PagesFor(f.Len)
+	if need > len(q.stash) {
+		// Stash exhausted (replenish lag): emergency refill with no CPU
+		// cost attribution (the DMA engine stalls, not the CPU).
+		q.stash = append(q.stash, n.alloc.Alloc(cpumodel.Discard{}, q.core, need-len(q.stash))...)
+	}
+	f.Pages = make([]mem.Page, need)
+	copy(f.Pages, q.stash[len(q.stash)-need:])
+	q.stash = q.stash[:len(q.stash)-need]
+	q.stashDeficit += need
+	q.descDeficit++
+	if n.dca != nil {
+		nicNode := n.sys.Spec().NICNode
+		for _, p := range f.Pages {
+			if p.Node == nicNode {
+				n.dca.Insert(p.ID)
+			}
+		}
+	}
+	if n.cfg.LRO && q.tryLRO(f) {
+		n.stats.LROCoalesce++
+	} else {
+		q.backlog = append(q.backlog, f)
+	}
+	q.maybeInterrupt()
+}
+
+// tryLRO coalesces f into the last backlog frame if contiguous, same-flow
+// and within the 64KB aggregate bound — hardware aggregation, no CPU cost.
+func (q *rxQueue) tryLRO(f *skb.Frame) bool {
+	if f.IsAck() || len(q.backlog) == 0 {
+		return false
+	}
+	last := q.backlog[len(q.backlog)-1]
+	if last.IsAck() || last.Flow != f.Flow {
+		return false
+	}
+	if last.Seq+int64(last.Len) != f.Seq || last.Len+f.Len > skb.MaxGROSize {
+		return false
+	}
+	last.Len += f.Len
+	last.Pages = append(last.Pages, f.Pages...)
+	last.CE = last.CE || f.CE
+	return true
+}
+
+// maybeInterrupt applies the IRQ moderation policy.
+func (q *rxQueue) maybeInterrupt() {
+	if q.napi {
+		return // NAPI already scheduled/running; it will see the backlog
+	}
+	if len(q.backlog) >= q.nic.cfg.ModerationFrames {
+		if q.modTimer != nil {
+			q.modTimer.Stop()
+			q.modTimer = nil
+		}
+		q.fireIRQ()
+		return
+	}
+	if q.modTimer == nil || !q.modTimer.Pending() {
+		q.modTimer = q.nic.eng.After(q.nic.cfg.ModerationDelay, func() {
+			q.modTimer = nil
+			if !q.napi && len(q.backlog) > 0 {
+				q.fireIRQ()
+			}
+		})
+	}
+}
+
+func (q *rxQueue) fireIRQ() {
+	q.nic.stats.IRQs++
+	q.napi = true
+	q.irqPending = true
+	q.scheduleNAPI()
+}
+
+func (q *rxQueue) scheduleNAPI() {
+	q.nic.sys.Core(q.core).RaiseSoftirq(q.poll)
+}
+
+// poll is the NAPI handler: drain up to NAPIWeight frames, build skbs,
+// aggregate, deliver upwards, replenish descriptors, and either re-arm
+// interrupts or re-schedule itself.
+func (q *rxQueue) poll(ctx *exec.Ctx) {
+	n := q.nic
+	costs := ctx.Costs()
+	n.stats.NAPIPolls++
+	if q.irqPending {
+		ctx.Charge(cpumodel.Etc, costs.IRQEntry)
+		q.irqPending = false
+	}
+	ctx.Charge(cpumodel.Netdev, costs.NAPIPollBase)
+
+	budget := n.cfg.NAPIWeight
+	if budget > len(q.backlog) {
+		budget = len(q.backlog)
+	}
+	batch := q.backlog[:budget]
+	q.backlog = q.backlog[budget:]
+
+	useGRO := n.cfg.GRO && !n.cfg.LRO
+	var gro *skb.GRO
+	if useGRO {
+		gro = skb.NewGRO(costs)
+	}
+	consumed := 0
+	var out []*skb.SKB
+	for _, f := range batch {
+		f.Born = ctx.Now()
+		consumed++
+		ctx.Charge(cpumodel.Netdev, costs.NAPIPerFrame)
+		ctx.Charge(cpumodel.SKBMgmt, costs.SKBBuild)
+		ctx.Charge(cpumodel.Memory, costs.SKBAlloc)
+		n.alloc.DMAUnmap(ctx, len(f.Pages))
+		if useGRO {
+			out = append(out, gro.Receive(ctx, f)...)
+		} else {
+			out = append(out, skb.FromFrame(f))
+		}
+	}
+	if useGRO {
+		out = append(out, gro.Flush()...)
+	}
+	for _, s := range out {
+		n.deliver(ctx, s)
+	}
+
+	// Replenish: re-post the descriptors consumed since the last poll and
+	// restock exactly the pages DMA took from the stash.
+	if consumed > 0 {
+		if q.stashDeficit > 0 {
+			newPages := n.alloc.Alloc(ctx, q.core, q.stashDeficit)
+			n.alloc.DMAMap(ctx, len(newPages))
+			q.stash = append(q.stash, newPages...)
+			q.stashDeficit = 0
+		}
+		q.posted += q.descDeficit
+		q.descDeficit = 0
+	}
+
+	if len(q.backlog) > 0 {
+		// More arrived than budget: stay in softirq (no new IRQ).
+		q.scheduleNAPI()
+		return
+	}
+	q.napi = false // napi_complete: re-arm interrupts
+}

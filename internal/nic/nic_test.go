@@ -1,0 +1,437 @@
+package nic
+
+import (
+	"testing"
+	"time"
+
+	"hostsim/internal/cache"
+	"hostsim/internal/cpumodel"
+	"hostsim/internal/exec"
+	"hostsim/internal/mem"
+	"hostsim/internal/sim"
+	"hostsim/internal/skb"
+	"hostsim/internal/topology"
+	"hostsim/internal/units"
+	"hostsim/internal/wire"
+)
+
+// rig wires a NIC to a loopback link and a collecting consumer.
+type rig struct {
+	eng   *sim.Engine
+	sys   *exec.System
+	alloc *mem.Allocator
+	dca   *cache.DCA
+	nic   *NIC
+	got   []*skb.SKB
+}
+
+func newRig(t *testing.T, cfg Config, withDCA bool) *rig {
+	t.Helper()
+	r := &rig{eng: sim.NewEngine(1)}
+	spec := topology.Default()
+	r.sys = exec.NewSystem(r.eng, spec, cpumodel.Default())
+	r.alloc = mem.NewAllocator(spec, cpumodel.Default())
+	if withDCA {
+		r.dca = cache.NewDCA(cache.DCAConfig{
+			Capacity: spec.DCACapacity(),
+			PageSize: spec.PageSize,
+			Rand:     r.eng.Rand(),
+		})
+	}
+	// Egress link loops back into the same NIC (unused in Rx tests).
+	var n *NIC
+	link := wire.NewLink(r.eng, spec.LinkRate, 2*time.Microsecond, func(f *skb.Frame) {
+		n.ReceiveFromWire(f)
+	})
+	n = New(r.eng, r.sys, r.alloc, r.dca, cfg, link, func(ctx *exec.Ctx, s *skb.SKB) {
+		r.got = append(r.got, s)
+	})
+	r.nic = n
+	return r
+}
+
+// inject delivers a data frame directly from the "wire".
+func (r *rig) inject(flow skb.FlowID, seq int64, l units.Bytes) {
+	r.nic.ReceiveFromWire(&skb.Frame{Flow: flow, Seq: seq, Len: l})
+}
+
+func (r *rig) run(d time.Duration) { r.eng.Run(sim.Time(d)) }
+
+func TestSingleFrameDeliveredAfterModeration(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newRig(t, cfg, true)
+	r.nic.SetSteering(FixedCore(0))
+	r.inject(1, 0, 4096)
+	r.run(time.Millisecond)
+	if len(r.got) != 1 {
+		t.Fatalf("delivered %d skbs, want 1", len(r.got))
+	}
+	s := r.got[0]
+	if s.Len != 4096 || s.Frames != 1 || s.Flow != 1 {
+		t.Errorf("skb = %v", s)
+	}
+	if s.Born < sim.Time(cfg.ModerationDelay) {
+		t.Errorf("NAPI ran at %v, before the moderation delay %v", s.Born, cfg.ModerationDelay)
+	}
+	if r.nic.Stats().IRQs != 1 {
+		t.Errorf("IRQs = %d, want 1", r.nic.Stats().IRQs)
+	}
+}
+
+func TestBurstTriggersEarlyIRQ(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ModerationDelay = time.Millisecond // would be far too late
+	cfg.ModerationFrames = 8
+	r := newRig(t, cfg, true)
+	r.nic.SetSteering(FixedCore(0))
+	for i := 0; i < 8; i++ {
+		r.inject(1, int64(i)*1500, 1500)
+	}
+	r.run(100 * time.Microsecond)
+	if len(r.got) == 0 {
+		t.Fatal("burst above ModerationFrames should fire the IRQ early")
+	}
+}
+
+func TestGROAggregatesWithinPoll(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newRig(t, cfg, true)
+	r.nic.SetSteering(FixedCore(0))
+	// 7 contiguous jumbo frames, one flow: one ~62KB skb.
+	mss := cfg.MSS()
+	for i := 0; i < 7; i++ {
+		r.inject(1, int64(i)*int64(mss), mss)
+	}
+	r.run(time.Millisecond)
+	if len(r.got) != 1 {
+		t.Fatalf("delivered %d skbs, want 1 aggregate", len(r.got))
+	}
+	if r.got[0].Frames != 7 || r.got[0].Len != 7*mss {
+		t.Errorf("aggregate = %v", r.got[0])
+	}
+}
+
+func TestGRODisabledDeliversPerFrame(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GRO = false
+	r := newRig(t, cfg, true)
+	r.nic.SetSteering(FixedCore(0))
+	for i := 0; i < 5; i++ {
+		r.inject(1, int64(i)*1500, 1500)
+	}
+	r.run(time.Millisecond)
+	if len(r.got) != 5 {
+		t.Fatalf("delivered %d skbs, want 5 (GRO off)", len(r.got))
+	}
+}
+
+func TestLROCoalescesWithoutCPU(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LRO = true
+	r := newRig(t, cfg, true)
+	r.nic.SetSteering(FixedCore(0))
+	mss := cfg.MSS()
+	for i := 0; i < 5; i++ {
+		r.inject(1, int64(i)*int64(mss), mss)
+	}
+	r.run(time.Millisecond)
+	if len(r.got) != 1 {
+		t.Fatalf("delivered %d skbs, want 1 LRO aggregate", len(r.got))
+	}
+	if r.nic.Stats().LROCoalesce != 4 {
+		t.Errorf("LROCoalesce = %d, want 4", r.nic.Stats().LROCoalesce)
+	}
+}
+
+func TestDescriptorExhaustionDrops(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RxRing = 4
+	cfg.ModerationDelay = 10 * time.Millisecond // keep NAPI away
+	cfg.ModerationFrames = 1000
+	r := newRig(t, cfg, true)
+	r.nic.SetSteering(FixedCore(0))
+	for i := 0; i < 10; i++ {
+		r.inject(1, int64(i)*1500, 1500)
+	}
+	st := r.nic.Stats()
+	if st.RxFrames != 4 || st.RxDropped != 6 {
+		t.Errorf("RxFrames = %d RxDropped = %d, want 4/6", st.RxFrames, st.RxDropped)
+	}
+}
+
+func TestReplenishRestoresDescriptors(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RxRing = 4
+	r := newRig(t, cfg, true)
+	r.nic.SetSteering(FixedCore(0))
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 4; i++ {
+			r.inject(1, int64(round*4+i)*1500, 1500)
+		}
+		r.run(time.Duration(round+1) * 200 * time.Microsecond)
+	}
+	st := r.nic.Stats()
+	if st.RxDropped != 0 {
+		t.Errorf("drops with replenish keeping up: %d", st.RxDropped)
+	}
+	if st.RxFrames != 20 {
+		t.Errorf("RxFrames = %d, want 20", st.RxFrames)
+	}
+}
+
+func TestDDIOInsertsOnlyNICLocalPages(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newRig(t, cfg, true)
+	// Steer to core 12 (node 2, NIC-remote): pages allocate on node 2 and
+	// must not enter the node-0 DCA.
+	r.nic.SetSteering(FixedCore(12))
+	r.inject(1, 0, 9000-66)
+	r.run(time.Millisecond)
+	if got := r.dca.Stats().Inserts; got != 0 {
+		t.Errorf("remote-node DMA inserted %d pages into DCA, want 0", got)
+	}
+	// Now a NIC-local queue.
+	r.nic.SetSteering(FixedCore(0))
+	r.inject(2, 0, 9000-66)
+	r.run(2 * time.Millisecond)
+	if got := r.dca.Stats().Inserts; got == 0 {
+		t.Error("NIC-local DMA should insert into DCA")
+	}
+}
+
+func TestNAPIBudgetSplitsLargeBacklog(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ModerationFrames = 1000
+	cfg.ModerationDelay = 50 * time.Microsecond
+	cfg.NAPIWeight = 16
+	r := newRig(t, cfg, true)
+	r.nic.SetSteering(FixedCore(0))
+	for i := 0; i < 64; i++ {
+		r.inject(1, int64(i)*1500, 1500)
+	}
+	r.run(5 * time.Millisecond)
+	st := r.nic.Stats()
+	if st.NAPIPolls < 4 {
+		t.Errorf("NAPIPolls = %d, want >= 4 (64 frames / weight 16)", st.NAPIPolls)
+	}
+	if st.IRQs != 1 {
+		t.Errorf("IRQs = %d, want 1 (softirq re-polls without new IRQs)", st.IRQs)
+	}
+	var total units.Bytes
+	for _, s := range r.got {
+		total += s.Len
+	}
+	if total != 64*1500 {
+		t.Errorf("delivered %d bytes, want %d", total, 64*1500)
+	}
+}
+
+func TestRSSDeterministicSpread(t *testing.T) {
+	r := RSS{Cores: []int{0, 1, 2, 3}}
+	seen := map[int]bool{}
+	for f := skb.FlowID(0); f < 64; f++ {
+		c1 := r.QueueFor(f)
+		c2 := r.QueueFor(f)
+		if c1 != c2 {
+			t.Fatal("RSS must be deterministic per flow")
+		}
+		seen[c1] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("RSS used %d of 4 cores over 64 flows; poor spread", len(seen))
+	}
+}
+
+func TestPinnedSteeringWithFallback(t *testing.T) {
+	p := Pinned{
+		Table:    map[skb.FlowID]int{7: 3},
+		Fallback: FixedCore(9),
+	}
+	if p.QueueFor(7) != 3 {
+		t.Error("pinned entry ignored")
+	}
+	if p.QueueFor(8) != 9 {
+		t.Error("fallback ignored")
+	}
+}
+
+func TestPinnedWithoutFallbackPanics(t *testing.T) {
+	p := Pinned{Table: map[skb.FlowID]int{}}
+	defer func() {
+		if recover() == nil {
+			t.Error("missing entry without fallback should panic")
+		}
+	}()
+	p.QueueFor(1)
+}
+
+func TestDCAHazardGrowsWithRing(t *testing.T) {
+	mk := func(ring int) float64 {
+		cfg := DefaultConfig()
+		cfg.RxRing = ring
+		r := newRig(t, cfg, true)
+		return r.nic.DCAHazard()
+	}
+	small, large := mk(128), mk(8192)
+	if small >= large {
+		t.Errorf("hazard should grow with ring size: %v vs %v", small, large)
+	}
+	if large > 0.9 {
+		t.Errorf("hazard must respect MaxHazard, got %v", large)
+	}
+	cfg := DefaultConfig()
+	r := newRig(t, cfg, false)
+	if r.nic.DCAHazard() != 0 {
+		t.Error("hazard without DCA should be 0")
+	}
+}
+
+func TestSendFramesChargesDoorbellAndTransmits(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newRig(t, cfg, true)
+	r.nic.SetSteering(FixedCore(0))
+	frames := []*skb.Frame{
+		{Flow: 1, Seq: 0, Len: 8934},
+		{Flow: 1, Seq: 8934, Len: 8934},
+	}
+	r.sys.Core(3).RaiseSoftirq(func(ctx *exec.Ctx) {
+		ctx.Charge(cpumodel.TCPIP, 100)
+		r.nic.SendFrames(ctx, frames)
+	})
+	r.run(time.Millisecond)
+	st := r.nic.Stats()
+	if st.TxFrames != 2 {
+		t.Errorf("TxFrames = %d, want 2", st.TxFrames)
+	}
+	acct := r.sys.Core(3).Accounting()
+	if acct[cpumodel.Netdev] == 0 {
+		t.Error("doorbell cost should land in Netdev")
+	}
+	// The loopback delivers them back: flow 1 steered to core 0.
+	if len(r.got) == 0 {
+		t.Error("frames never came back around the loopback")
+	}
+}
+
+func TestPageConservationThroughRxPath(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newRig(t, cfg, true)
+	r.nic.SetSteering(FixedCore(0))
+	for i := 0; i < 20; i++ {
+		r.inject(1, int64(i)*4096, 4096)
+	}
+	r.run(5 * time.Millisecond)
+	// Consumer frees the skb pages, as TCP/app would after copy.
+	var freed int
+	for _, s := range r.got {
+		r.alloc.Free(cpumodel.Discard{}, 0, s.Pages)
+		freed += len(s.Pages)
+	}
+	if freed != 20 {
+		t.Fatalf("freed %d pages, want 20 (one per 4KB frame)", freed)
+	}
+	// Replenish allocated exactly what DMA consumed, so the only pages
+	// still held are the posted ring's stash (ring x pages-per-MTU).
+	want := int64(cfg.RxRing * r.alloc.PagesFor(cfg.MTU))
+	if r.alloc.InUse() != want {
+		t.Errorf("InUse = %d, want ring stash %d", r.alloc.InUse(), want)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.RxRing = 0 },
+		func(c *Config) { c.MTU = 66 },
+		func(c *Config) { c.ModerationDelay = -1 },
+		func(c *Config) { c.ModerationFrames = 0 },
+		func(c *Config) { c.NAPIWeight = 0 },
+		func(c *Config) { c.DCAHazardFactor = -1 },
+		func(c *Config) { c.MaxHazard = 2 },
+	}
+	for i, f := range bad {
+		cfg := DefaultConfig()
+		f(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("mutation %d should fail validation", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestTxRoundRobinInterleavesCores(t *testing.T) {
+	// Frames submitted from two cores must interleave frame-by-frame on
+	// the wire — the multi-queue DMA scheduling that defeats per-flow
+	// burst adjacency (Fig. 8c's mechanism).
+	eng := sim.NewEngine(1)
+	spec := topology.Default()
+	sys := exec.NewSystem(eng, spec, cpumodel.Default())
+	alloc := mem.NewAllocator(spec, cpumodel.Default())
+	var order []skb.FlowID
+	link := wire.NewLink(eng, spec.LinkRate, 0, func(f *skb.Frame) { order = append(order, f.Flow) })
+	n := New(eng, sys, alloc, nil, DefaultConfig(), link, func(*exec.Ctx, *skb.SKB) {})
+
+	burst := func(flow skb.FlowID) []*skb.Frame {
+		out := make([]*skb.Frame, 6)
+		for i := range out {
+			out[i] = &skb.Frame{Flow: flow, Seq: int64(i) * 8934, Len: 8934}
+		}
+		return out
+	}
+	sys.Core(0).RaiseSoftirq(func(ctx *exec.Ctx) {
+		ctx.Charge(cpumodel.TCPIP, 100)
+		n.SendFrames(ctx, burst(1))
+	})
+	sys.Core(1).RaiseSoftirq(func(ctx *exec.Ctx) {
+		ctx.Charge(cpumodel.TCPIP, 100)
+		n.SendFrames(ctx, burst(2))
+	})
+	eng.Run(sim.Time(time.Millisecond))
+	if len(order) != 12 {
+		t.Fatalf("delivered %d frames", len(order))
+	}
+	// After both queues are loaded the scheduler must alternate: no run
+	// of more than 2 consecutive same-flow frames.
+	run := 1
+	for i := 1; i < len(order); i++ {
+		if order[i] == order[i-1] {
+			run++
+			if run > 2 {
+				t.Fatalf("egress did not interleave: %v", order)
+			}
+		} else {
+			run = 1
+		}
+	}
+}
+
+func TestTxCompleteCallbackPerDataFrame(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newRig(t, cfg, false)
+	var completed units.Bytes
+	var frames int
+	r.nic.SetTxComplete(func(flow skb.FlowID, b units.Bytes) {
+		completed += b
+		frames++
+	})
+	r.sys.Core(0).RaiseSoftirq(func(ctx *exec.Ctx) {
+		ctx.Charge(cpumodel.TCPIP, 100)
+		r.nic.SendFrames(ctx, []*skb.Frame{
+			{Flow: 5, Seq: 0, Len: 8934},
+			{Flow: 5, Seq: 8934, Len: 8934},
+			{Flow: 5, Ack: &skb.AckInfo{Cum: 1}}, // pure ACK: no completion
+		})
+	})
+	r.run(time.Millisecond)
+	if frames != 2 || completed != 2*8934 {
+		t.Errorf("completions = %d frames / %v bytes, want 2 / %v", frames, completed, units.Bytes(2*8934))
+	}
+}
+
+func TestMSS(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.MSS() != 9000-FrameHeader {
+		t.Errorf("MSS = %d", cfg.MSS())
+	}
+}

@@ -1,0 +1,189 @@
+// Package sim implements the discrete-event simulation engine at the heart
+// of hostsim.
+//
+// The engine owns a virtual clock (nanosecond resolution), a binary-heap
+// event queue, and a seeded random source. Everything in a simulation —
+// packet arrivals, CPU work completions, timers — is an event. The engine
+// is strictly single-threaded and deterministic: events at the same
+// timestamp fire in scheduling order, and all randomness flows from the
+// engine's seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in simulated time, in nanoseconds since the start of the
+// run.
+type Time int64
+
+// Duration converts t to a time.Duration from the simulation epoch.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Add returns t advanced by d.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// An event is a callback scheduled at a time. seq breaks timestamp ties in
+// FIFO order so the simulation is deterministic.
+type event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 once popped or cancelled
+}
+
+// Timer is a handle to a scheduled event that may be cancelled or
+// rescheduled before it fires.
+type Timer struct {
+	e   *event
+	eng *Engine
+}
+
+// Stop cancels the timer. It reports whether the timer was pending (false
+// if it already fired or was stopped).
+func (t *Timer) Stop() bool {
+	if t == nil || t.e == nil || t.e.index < 0 {
+		return false
+	}
+	heap.Remove(&t.eng.q, t.e.index)
+	t.e.index = -1
+	t.e.fn = nil
+	return true
+}
+
+// Pending reports whether the timer is still scheduled.
+func (t *Timer) Pending() bool { return t != nil && t.e != nil && t.e.index >= 0 }
+
+// When returns the time the timer is scheduled to fire. Only meaningful
+// while Pending.
+func (t *Timer) When() Time { return t.e.at }
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine drives a simulation run.
+type Engine struct {
+	now    Time
+	q      eventQueue
+	seq    uint64
+	rng    *rand.Rand
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.q) }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// At schedules fn at absolute time t and returns a cancellable Timer.
+// Scheduling in the past panics: it always indicates a logic error.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil event")
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.q, ev)
+	return &Timer{e: ev, eng: e}
+}
+
+// After schedules fn after delay d.
+func (e *Engine) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Halt stops the run loop after the current event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Run executes events until the queue empties, the horizon passes, or
+// Halt is called. It returns the time of the last executed event (or the
+// horizon, whichever is smaller once the horizon is hit).
+//
+// The horizon is exclusive: an event scheduled exactly at the horizon does
+// not run, so a run to horizon H observes the half-open interval [0, H).
+func (e *Engine) Run(horizon Time) Time {
+	e.halted = false
+	for len(e.q) > 0 && !e.halted {
+		next := e.q[0]
+		if next.at >= horizon {
+			e.now = horizon
+			return e.now
+		}
+		heap.Pop(&e.q)
+		e.now = next.at
+		e.fired++
+		fn := next.fn
+		next.fn = nil
+		fn()
+	}
+	if e.now < horizon && len(e.q) == 0 {
+		// Queue drained before the horizon: time still advances to it so
+		// rate metrics divide by the full window.
+		e.now = horizon
+	}
+	return e.now
+}
+
+// Step executes the single next event, if any, and reports whether one ran.
+func (e *Engine) Step() bool {
+	if len(e.q) == 0 {
+		return false
+	}
+	next := heap.Pop(&e.q).(*event)
+	e.now = next.at
+	e.fired++
+	fn := next.fn
+	next.fn = nil
+	fn()
+	return true
+}

@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEngineThroughput measures raw event dispatch rate — the
+// simulator's fundamental cost unit.
+func BenchmarkEngineThroughput(b *testing.B) {
+	e := NewEngine(1)
+	var step func()
+	n := 0
+	step = func() {
+		n++
+		if n < b.N {
+			e.After(time.Nanosecond, step)
+		}
+	}
+	b.ResetTimer()
+	e.At(0, step)
+	e.Run(Time(1) << 60)
+	if n != b.N {
+		b.Fatalf("ran %d events, want %d", n, b.N)
+	}
+}
+
+// BenchmarkEngineFanOut measures heap behaviour with many pending events.
+func BenchmarkEngineFanOut(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e := NewEngine(1)
+		b.StartTimer()
+		for j := 0; j < 4096; j++ {
+			d := time.Duration(e.Rand().Intn(100000)) * time.Nanosecond
+			e.After(d, func() {})
+		}
+		e.Run(Time(1) << 40)
+	}
+}
+
+// BenchmarkTimerStop measures cancel cost (RTO timers churn constantly).
+func BenchmarkTimerStop(b *testing.B) {
+	e := NewEngine(1)
+	for i := 0; i < b.N; i++ {
+		t := e.At(Time(i+1)<<20, func() {})
+		t.Stop()
+	}
+}

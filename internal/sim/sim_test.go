@@ -1,0 +1,294 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []Time
+	for _, d := range []time.Duration{50, 10, 30, 20, 40} {
+		d := d
+		e.After(d*time.Nanosecond, func() { got = append(got, e.Now()) })
+	}
+	e.Run(Time(1e9))
+	want := []Time{10, 20, 30, 40, 50}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func() { order = append(order, i) })
+	}
+	e.Run(1000)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestHorizonIsExclusive(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.At(100, func() { ran = true })
+	end := e.Run(100)
+	if ran {
+		t.Error("event exactly at horizon must not run")
+	}
+	if end != 100 {
+		t.Errorf("Run returned %v, want horizon 100", end)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("event should remain pending, got %d", e.Pending())
+	}
+}
+
+func TestClockAdvancesToHorizonOnDrain(t *testing.T) {
+	e := NewEngine(1)
+	e.At(10, func() {})
+	end := e.Run(500)
+	if end != 500 || e.Now() != 500 {
+		t.Errorf("drained run should advance clock to horizon, got %v", end)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling before now should panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run(1000)
+}
+
+func TestNilEventPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling nil func should panic")
+		}
+	}()
+	e.At(1, nil)
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	tm := e.At(100, func() { ran = true })
+	if !tm.Pending() {
+		t.Error("timer should be pending after scheduling")
+	}
+	if !tm.Stop() {
+		t.Error("Stop should report true for a pending timer")
+	}
+	if tm.Stop() {
+		t.Error("second Stop should report false")
+	}
+	if tm.Pending() {
+		t.Error("stopped timer should not be pending")
+	}
+	e.Run(1000)
+	if ran {
+		t.Error("stopped timer fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	e := NewEngine(1)
+	tm := e.At(5, func() {})
+	e.Run(10)
+	if tm.Stop() {
+		t.Error("Stop after firing should report false")
+	}
+}
+
+func TestTimerWhen(t *testing.T) {
+	e := NewEngine(1)
+	tm := e.At(123, func() {})
+	if tm.When() != 123 {
+		t.Errorf("When = %v, want 123", tm.When())
+	}
+}
+
+func TestHalt(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.At(1, func() { count++; e.Halt() })
+	e.At(2, func() { count++ })
+	e.Run(100)
+	if count != 1 {
+		t.Errorf("Halt should stop the loop; ran %d events", count)
+	}
+	// Remaining event still runs on resumed Run.
+	e.Run(100)
+	if count != 2 {
+		t.Errorf("resumed run should execute remaining event; ran %d", count)
+	}
+}
+
+func TestStep(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	e.At(1, func() { n++ })
+	e.At(2, func() { n++ })
+	if !e.Step() || n != 1 {
+		t.Fatal("first Step should run one event")
+	}
+	if !e.Step() || n != 2 {
+		t.Fatal("second Step should run the second event")
+	}
+	if e.Step() {
+		t.Fatal("Step on empty queue should report false")
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	e := NewEngine(1)
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			e.After(time.Nanosecond, recurse)
+		}
+	}
+	e.At(0, recurse)
+	e.Run(Time(1e6))
+	if depth != 100 {
+		t.Errorf("cascade depth = %d, want 100", depth)
+	}
+	if e.Fired() != 100 {
+		t.Errorf("Fired = %d, want 100", e.Fired())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		e := NewEngine(seed)
+		var trace []int64
+		for i := 0; i < 200; i++ {
+			d := time.Duration(e.Rand().Intn(1000)) * time.Nanosecond
+			e.After(d, func() { trace = append(trace, int64(e.Now())+int64(e.Rand().Intn(7))) })
+		}
+		e.Run(Time(1e6))
+		return trace
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatal("same seed produced different event counts")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at event %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces; RNG not wired to seed")
+	}
+}
+
+// Property: for any set of (time, id) pairs, events fire sorted by time
+// with ties in insertion order.
+func TestPropertyHeapOrdering(t *testing.T) {
+	f := func(times []uint16) bool {
+		if len(times) == 0 {
+			return true
+		}
+		e := NewEngine(1)
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var fired []rec
+		for i, tt := range times {
+			i, at := i, Time(tt)
+			e.At(at, func() { fired = append(fired, rec{at, i}) })
+		}
+		e.Run(Time(1 << 20))
+		if len(fired) != len(times) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool {
+			if fired[i].at != fired[j].at {
+				return fired[i].at < fired[j].at
+			}
+			return fired[i].seq < fired[j].seq
+		})
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: stopping a random subset of timers fires exactly the others.
+func TestPropertyTimerCancellation(t *testing.T) {
+	f := func(times []uint16, cancelMask []bool) bool {
+		e := NewEngine(1)
+		firedSet := make(map[int]bool)
+		timers := make([]*Timer, len(times))
+		for i, tt := range times {
+			i := i
+			timers[i] = e.At(Time(tt), func() { firedSet[i] = true })
+		}
+		cancelled := make(map[int]bool)
+		for i := range timers {
+			if i < len(cancelMask) && cancelMask[i] {
+				timers[i].Stop()
+				cancelled[i] = true
+			}
+		}
+		e.Run(Time(1 << 20))
+		for i := range times {
+			if cancelled[i] == firedSet[i] {
+				return false // fired XOR cancelled must hold
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegativeAfterClampsToNow(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.At(10, func() {
+		e.After(-5*time.Nanosecond, func() { ran = true })
+	})
+	e.Run(100)
+	if !ran {
+		t.Error("negative After should clamp to now and fire")
+	}
+}

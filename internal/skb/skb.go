@@ -1,0 +1,207 @@
+// Package skb models socket buffers and the segmentation/coalescing
+// machinery that operates on them: wire frames, the in-kernel SKB unit,
+// software segmentation (GSO) and generic receive offload (GRO).
+//
+// A Frame is what travels on the wire (one MTU-or-smaller unit, or a pure
+// ACK); an SKB is the unit handed between stack layers. The receive path
+// builds one SKB per frame in the driver and then GRO merges adjacent
+// same-flow SKBs, up to 64KB, flushing at NAPI poll boundaries — exactly
+// the dynamics whose per-flow batching collapse the paper studies in
+// §3.5 (Fig. 8c).
+package skb
+
+import (
+	"fmt"
+
+	"hostsim/internal/cpumodel"
+	"hostsim/internal/mem"
+	"hostsim/internal/sim"
+	"hostsim/internal/units"
+)
+
+// FlowID identifies a TCP connection (one direction of traffic).
+type FlowID int32
+
+// MaxGROSize is the largest SKB GRO will build (64KB, like Linux).
+const MaxGROSize units.Bytes = 64 * units.KB
+
+// MaxGROFlows is the number of flows GRO tracks concurrently before
+// evicting the oldest entry (Linux's legacy gro_list bound).
+const MaxGROFlows = 8
+
+// Range is a half-open byte range [Start, End) in a flow's sequence space.
+type Range struct {
+	Start, End int64
+}
+
+// Len returns the range length.
+func (r Range) Len() int64 { return r.End - r.Start }
+
+// AckInfo is the TCP acknowledgment content carried by a pure-ACK frame.
+type AckInfo struct {
+	Cum     int64       // cumulative ack: all bytes < Cum received
+	Window  units.Bytes // advertised receive window
+	SACK    []Range     // up to 3 selective-ack ranges above Cum
+	ECNEcho bool        // DCTCP congestion-experienced echo
+}
+
+// Frame is one unit on the wire.
+type Frame struct {
+	Flow  FlowID
+	Seq   int64       // first payload byte's sequence number
+	Len   units.Bytes // payload bytes (0 for a pure ACK)
+	Ack   *AckInfo    // non-nil for pure ACKs
+	CE    bool        // ECN congestion-experienced mark (set by a switch)
+	Pages []mem.Page  // receive-side DMA pages (set by the receiving NIC)
+	Born  sim.Time    // when NAPI processed this frame at the receiver
+}
+
+// IsAck reports whether f is a pure acknowledgment.
+func (f *Frame) IsAck() bool { return f.Ack != nil }
+
+// WireSize returns the bytes the frame occupies on the wire, including a
+// fixed 66-byte Ethernet+IP+TCP header overhead (14+20+20 + options/FCS).
+func (f *Frame) WireSize() units.Bytes {
+	const hdr = 66
+	return f.Len + hdr
+}
+
+// SKB is the in-stack buffer unit: possibly several merged frames.
+type SKB struct {
+	Flow   FlowID
+	Seq    int64
+	Len    units.Bytes
+	Frames int        // wire frames aggregated into this skb
+	Pages  []mem.Page // backing pages (receive path)
+	Ack    *AckInfo   // set on pure-ACK skbs
+	CE     bool       // any merged frame carried a CE mark
+	Born   sim.Time   // NAPI timestamp of the first frame (latency metric)
+}
+
+// End returns the sequence number one past the skb's last byte.
+func (s *SKB) End() int64 { return s.Seq + int64(s.Len) }
+
+func (s *SKB) String() string {
+	return fmt.Sprintf("skb{flow %d seq %d len %d frames %d}", s.Flow, s.Seq, s.Len, s.Frames)
+}
+
+// FromFrame builds a driver-level SKB from one received frame.
+func FromFrame(f *Frame) *SKB {
+	return &SKB{
+		Flow:   f.Flow,
+		Seq:    f.Seq,
+		Len:    f.Len,
+		Frames: 1,
+		Pages:  f.Pages,
+		Ack:    f.Ack,
+		CE:     f.CE,
+		Born:   f.Born,
+	}
+}
+
+// SegmentSizes returns the wire-frame payload sizes produced by cutting
+// total bytes into mss-sized chunks (the GSO/TSO split).
+func SegmentSizes(total, mss units.Bytes) []units.Bytes {
+	if mss <= 0 {
+		panic("skb: non-positive mss")
+	}
+	if total <= 0 {
+		return nil
+	}
+	n := int((total + mss - 1) / mss)
+	out := make([]units.Bytes, 0, n)
+	for total > 0 {
+		c := mss
+		if total < c {
+			c = total
+		}
+		out = append(out, c)
+		total -= c
+	}
+	return out
+}
+
+// GRO is the generic receive offload engine: one per NIC Rx queue. It
+// merges adjacent in-order frames of the same flow into large SKBs.
+type GRO struct {
+	costs *cpumodel.Costs
+	// entries in arrival order (index 0 = oldest); at most MaxGROFlows.
+	entries []*SKB
+	// Merged/Flushed count SKBs for diagnostics.
+	Merged  int64
+	Flushed int64
+}
+
+// NewGRO returns a GRO engine charging costs from the given table.
+func NewGRO(costs *cpumodel.Costs) *GRO {
+	if costs == nil {
+		panic("skb: nil cost table")
+	}
+	return &GRO{costs: costs}
+}
+
+// Receive offers one frame to GRO, charging CPU work to ch. It returns
+// any SKBs flushed as a side effect (a completed 64KB aggregate, a
+// non-mergeable predecessor, or an evicted flow). Pure ACKs bypass
+// aggregation and are returned immediately.
+func (g *GRO) Receive(ch cpumodel.Charger, f *Frame) []*SKB {
+	if f.IsAck() {
+		return []*SKB{FromFrame(f)}
+	}
+	var out []*SKB
+	idx := -1
+	for i, e := range g.entries {
+		if e.Flow == f.Flow {
+			idx = i
+			break
+		}
+	}
+	if idx >= 0 {
+		e := g.entries[idx]
+		if e.End() == f.Seq && e.Len+f.Len <= MaxGROSize {
+			// Contiguous and within bound: merge.
+			e.Len += f.Len
+			e.Frames++
+			e.Pages = append(e.Pages, f.Pages...)
+			e.CE = e.CE || f.CE
+			g.Merged++
+			ch.Charge(cpumodel.Netdev, g.costs.GROMergeFrame)
+			if e.Len == MaxGROSize {
+				out = append(out, g.remove(idx))
+			}
+			return out
+		}
+		// Same flow but out of order or full: flush the old entry and
+		// start fresh — this is how packet loss and interleaving destroy
+		// GRO efficiency.
+		out = append(out, g.remove(idx))
+	} else if len(g.entries) >= MaxGROFlows {
+		// Too many concurrent flows: evict the oldest entry.
+		out = append(out, g.remove(0))
+	}
+	ch.Charge(cpumodel.Netdev, g.costs.GRONewFlow)
+	g.entries = append(g.entries, FromFrame(f))
+	return out
+}
+
+// Flush drains all held entries (called at the end of a NAPI poll).
+func (g *GRO) Flush() []*SKB {
+	if len(g.entries) == 0 {
+		return nil
+	}
+	out := make([]*SKB, len(g.entries))
+	copy(out, g.entries)
+	g.entries = g.entries[:0]
+	g.Flushed += int64(len(out))
+	return out
+}
+
+// Held returns the number of in-progress entries.
+func (g *GRO) Held() int { return len(g.entries) }
+
+func (g *GRO) remove(i int) *SKB {
+	e := g.entries[i]
+	g.entries = append(g.entries[:i], g.entries[i+1:]...)
+	g.Flushed++
+	return e
+}

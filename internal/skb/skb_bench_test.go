@@ -1,0 +1,49 @@
+package skb
+
+import (
+	"testing"
+
+	"hostsim/internal/cpumodel"
+	"hostsim/internal/units"
+)
+
+// BenchmarkGROSingleFlow measures the merge fast path (one flow, in
+// order), the hot loop of every receive-side simulation.
+func BenchmarkGROSingleFlow(b *testing.B) {
+	g := NewGRO(cpumodel.Default())
+	ch := cpumodel.Discard{}
+	b.ReportAllocs()
+	var seq int64
+	for i := 0; i < b.N; i++ {
+		g.Receive(ch, &Frame{Flow: 1, Seq: seq, Len: 8934})
+		seq += 8934
+		if i%64 == 63 {
+			g.Flush()
+		}
+	}
+}
+
+// BenchmarkGROInterleaved measures the all-to-all regime: many flows
+// thrashing the 8-entry table.
+func BenchmarkGROInterleaved(b *testing.B) {
+	g := NewGRO(cpumodel.Default())
+	ch := cpumodel.Discard{}
+	seqs := make([]int64, 24)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fl := FlowID(i % 24)
+		g.Receive(ch, &Frame{Flow: fl, Seq: seqs[fl], Len: 8934})
+		seqs[fl] += 8934
+		if i%64 == 63 {
+			g.Flush()
+		}
+	}
+}
+
+// BenchmarkSegmentSizes measures the GSO/TSO split helper.
+func BenchmarkSegmentSizes(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SegmentSizes(64*units.KB, 8934)
+	}
+}

@@ -1,0 +1,307 @@
+package skb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hostsim/internal/cpumodel"
+	"hostsim/internal/mem"
+	"hostsim/internal/units"
+)
+
+func frame(flow FlowID, seq int64, l units.Bytes) *Frame {
+	return &Frame{Flow: flow, Seq: seq, Len: l,
+		Pages: []mem.Page{{ID: 1}, {ID: 2}}}
+}
+
+func TestSegmentSizes(t *testing.T) {
+	cases := []struct {
+		total, mss units.Bytes
+		want       []units.Bytes
+	}{
+		{0, 1500, nil},
+		{-1, 1500, nil},
+		{1000, 1500, []units.Bytes{1000}},
+		{3000, 1500, []units.Bytes{1500, 1500}},
+		{3100, 1500, []units.Bytes{1500, 1500, 100}},
+		{65536, 8900, []units.Bytes{8900, 8900, 8900, 8900, 8900, 8900, 8900, 3236}},
+	}
+	for _, c := range cases {
+		got := SegmentSizes(c.total, c.mss)
+		if len(got) != len(c.want) {
+			t.Errorf("SegmentSizes(%d,%d) = %v, want %v", c.total, c.mss, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("SegmentSizes(%d,%d)[%d] = %d, want %d", c.total, c.mss, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestSegmentSizesConserveBytes(t *testing.T) {
+	f := func(total uint32, mssRaw uint16) bool {
+		mss := units.Bytes(mssRaw%9000) + 1
+		tot := units.Bytes(total % (1 << 20))
+		var sum units.Bytes
+		for _, s := range SegmentSizes(tot, mss) {
+			if s <= 0 || s > mss {
+				return false
+			}
+			sum += s
+		}
+		return sum == tot || (tot <= 0 && sum == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentSizesPanicsOnBadMSS(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mss=0 should panic")
+		}
+	}()
+	SegmentSizes(100, 0)
+}
+
+func TestFrameWireSize(t *testing.T) {
+	f := frame(1, 0, 1434)
+	if f.WireSize() != 1500 {
+		t.Errorf("WireSize = %d, want 1500", f.WireSize())
+	}
+}
+
+func TestGROMergesContiguousSameFlow(t *testing.T) {
+	g := NewGRO(cpumodel.Default())
+	ch := cpumodel.Discard{}
+	if out := g.Receive(ch, frame(1, 0, 9000)); len(out) != 0 {
+		t.Fatalf("first frame should be held, got %d skbs", len(out))
+	}
+	if out := g.Receive(ch, frame(1, 9000, 9000)); len(out) != 0 {
+		t.Fatalf("contiguous frame should merge, got %d skbs", len(out))
+	}
+	flushed := g.Flush()
+	if len(flushed) != 1 {
+		t.Fatalf("Flush returned %d skbs, want 1", len(flushed))
+	}
+	s := flushed[0]
+	if s.Len != 18000 || s.Frames != 2 || s.Seq != 0 {
+		t.Errorf("merged skb = %v", s)
+	}
+	if len(s.Pages) != 4 {
+		t.Errorf("merged skb has %d pages, want 4", len(s.Pages))
+	}
+}
+
+func TestGRODoesNotMergeAcrossFlows(t *testing.T) {
+	g := NewGRO(cpumodel.Default())
+	ch := cpumodel.Discard{}
+	g.Receive(ch, frame(1, 0, 1500))
+	g.Receive(ch, frame(2, 0, 1500))
+	flushed := g.Flush()
+	if len(flushed) != 2 {
+		t.Fatalf("want 2 separate skbs, got %d", len(flushed))
+	}
+	for _, s := range flushed {
+		if s.Frames != 1 {
+			t.Errorf("cross-flow merge happened: %v", s)
+		}
+	}
+}
+
+func TestGROFlushesOnGap(t *testing.T) {
+	g := NewGRO(cpumodel.Default())
+	ch := cpumodel.Discard{}
+	g.Receive(ch, frame(1, 0, 1500))
+	out := g.Receive(ch, frame(1, 3000, 1500)) // gap: 1500..3000 missing
+	if len(out) != 1 || out[0].Len != 1500 || out[0].Seq != 0 {
+		t.Fatalf("gap should flush the old entry, got %v", out)
+	}
+	flushed := g.Flush()
+	if len(flushed) != 1 || flushed[0].Seq != 3000 {
+		t.Fatalf("new entry should hold the post-gap frame, got %v", flushed)
+	}
+}
+
+func TestGROCapsAt64KB(t *testing.T) {
+	g := NewGRO(cpumodel.Default())
+	ch := cpumodel.Discard{}
+	var done []*SKB
+	var seq int64
+	// 16 frames of 4096B = 64KB exactly: the 16th completes the aggregate.
+	for i := 0; i < 16; i++ {
+		done = append(done, g.Receive(ch, frame(1, seq, 4096))...)
+		seq += 4096
+	}
+	if len(done) != 1 {
+		t.Fatalf("expected completed 64KB skb, got %d", len(done))
+	}
+	if done[0].Len != MaxGROSize || done[0].Frames != 16 {
+		t.Errorf("aggregate = %v", done[0])
+	}
+	if g.Held() != 0 {
+		t.Errorf("completed aggregate should leave no held entry, Held=%d", g.Held())
+	}
+}
+
+func TestGROOverflowStartsNewEntry(t *testing.T) {
+	g := NewGRO(cpumodel.Default())
+	ch := cpumodel.Discard{}
+	var out []*SKB
+	var seq int64
+	// 9000B jumbo frames: 7*9000=63000; the 8th would exceed 65536 so the
+	// 63000 entry flushes and a fresh one starts.
+	for i := 0; i < 8; i++ {
+		out = append(out, g.Receive(ch, frame(1, seq, 9000))...)
+		seq += 9000
+	}
+	if len(out) != 1 || out[0].Len != 63000 || out[0].Frames != 7 {
+		t.Fatalf("expected flushed 63000B skb, got %v", out)
+	}
+	rest := g.Flush()
+	if len(rest) != 1 || rest[0].Len != 9000 {
+		t.Fatalf("remainder = %v", rest)
+	}
+}
+
+func TestGROEvictsOldestFlowBeyondCapacity(t *testing.T) {
+	g := NewGRO(cpumodel.Default())
+	ch := cpumodel.Discard{}
+	for fl := FlowID(0); fl < MaxGROFlows; fl++ {
+		if out := g.Receive(ch, frame(fl, 0, 1500)); len(out) != 0 {
+			t.Fatalf("flow %d should be held", fl)
+		}
+	}
+	out := g.Receive(ch, frame(99, 0, 1500))
+	if len(out) != 1 || out[0].Flow != 0 {
+		t.Fatalf("9th flow should evict flow 0, got %v", out)
+	}
+	if g.Held() != MaxGROFlows {
+		t.Errorf("Held = %d, want %d", g.Held(), MaxGROFlows)
+	}
+}
+
+func TestGROPureAckBypasses(t *testing.T) {
+	g := NewGRO(cpumodel.Default())
+	ch := cpumodel.Discard{}
+	g.Receive(ch, frame(1, 0, 1500))
+	ack := &Frame{Flow: 1, Ack: &AckInfo{Cum: 100, Window: 1000}}
+	out := g.Receive(ch, ack)
+	if len(out) != 1 || out[0].Ack == nil {
+		t.Fatalf("ACK should pass straight through, got %v", out)
+	}
+	if g.Held() != 1 {
+		t.Error("ACK must not disturb held data entries")
+	}
+}
+
+func TestGROChargesNetdev(t *testing.T) {
+	g := NewGRO(cpumodel.Default())
+	var ch tally
+	g.Receive(&ch, frame(1, 0, 1500))
+	g.Receive(&ch, frame(1, 1500, 1500))
+	if ch.got[cpumodel.Netdev] == 0 {
+		t.Error("GRO work should charge Netdev")
+	}
+}
+
+func TestGROCEPropagates(t *testing.T) {
+	g := NewGRO(cpumodel.Default())
+	ch := cpumodel.Discard{}
+	g.Receive(ch, frame(1, 0, 1500))
+	f := frame(1, 1500, 1500)
+	f.CE = true
+	g.Receive(ch, f)
+	out := g.Flush()
+	if len(out) != 1 || !out[0].CE {
+		t.Error("CE mark should survive merging")
+	}
+}
+
+// Property: over any frame arrival pattern, GRO conserves bytes and frame
+// counts, never merges across flows, never exceeds MaxGROSize, and every
+// output skb covers a contiguous range.
+func TestPropertyGROConservation(t *testing.T) {
+	f := func(flows []uint8, lens []uint16) bool {
+		g := NewGRO(cpumodel.Default())
+		ch := cpumodel.Discard{}
+		nextSeq := map[FlowID]int64{}
+		inBytes := map[FlowID]units.Bytes{}
+		inFrames := 0
+		var outs []*SKB
+		n := len(flows)
+		if len(lens) < n {
+			n = len(lens)
+		}
+		for i := 0; i < n; i++ {
+			fl := FlowID(flows[i] % 12)
+			l := units.Bytes(lens[i]%9000) + 1
+			fr := frame(fl, nextSeq[fl], l)
+			nextSeq[fl] += int64(l)
+			inBytes[fl] += l
+			inFrames++
+			outs = append(outs, g.Receive(ch, fr)...)
+		}
+		outs = append(outs, g.Flush()...)
+		outBytes := map[FlowID]units.Bytes{}
+		outFrames := 0
+		for _, s := range outs {
+			if s.Len > MaxGROSize || s.Len <= 0 {
+				return false
+			}
+			outBytes[s.Flow] += s.Len
+			outFrames += s.Frames
+		}
+		if outFrames != inFrames {
+			return false
+		}
+		for fl, b := range inBytes {
+			if outBytes[fl] != b {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(31))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Interleaving many flows produces smaller aggregates than a single flow —
+// the Fig. 8c effect at the GRO level.
+func TestInterleavingShrinksAggregates(t *testing.T) {
+	avg := func(nflows int) float64 {
+		g := NewGRO(cpumodel.Default())
+		ch := cpumodel.Discard{}
+		seq := make([]int64, nflows)
+		var outs []*SKB
+		for round := 0; round < 240; round++ {
+			fl := round % nflows
+			outs = append(outs, g.Receive(ch, frame(FlowID(fl), seq[fl], 4096))...)
+			seq[fl] += 4096
+			if round%16 == 15 { // NAPI poll boundary every 16 frames
+				outs = append(outs, g.Flush()...)
+			}
+		}
+		outs = append(outs, g.Flush()...)
+		var total units.Bytes
+		for _, s := range outs {
+			total += s.Len
+		}
+		return float64(total) / float64(len(outs))
+	}
+	one := avg(1)
+	many := avg(16)
+	if one < 4*float64(many) {
+		t.Errorf("single-flow aggregates (%.0fB) should dwarf 16-flow ones (%.0fB)", one, many)
+	}
+}
+
+type tally struct{ got cpumodel.Breakdown }
+
+func (t *tally) Charge(cat cpumodel.Category, c units.Cycles) { t.got.Add(cat, c) }

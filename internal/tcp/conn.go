@@ -1,0 +1,810 @@
+// Package tcp implements the simulated TCP engine: byte-stream
+// connections with congestion control (CUBIC, DCTCP, BBR), flow control
+// with Linux-style receive-buffer autotuning, delayed and duplicate ACKs,
+// SACK-based fast retransmission, retransmission timeouts, zero-window
+// probing, and BBR pacing.
+//
+// The package is deliberately free of CPU-cost policy beyond protocol
+// work: the host (internal/core) supplies Hooks that transmit segments,
+// charge the transmit path, and react to socket events, so the same
+// protocol engine runs under every stack configuration the paper studies.
+package tcp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hostsim/internal/cpumodel"
+	"hostsim/internal/exec"
+	"hostsim/internal/mem"
+	"hostsim/internal/sim"
+	"hostsim/internal/skb"
+	"hostsim/internal/units"
+)
+
+// Config parameterises one connection endpoint.
+type Config struct {
+	MSS          units.Bytes // wire segment payload limit
+	SegmentBytes units.Bytes // tx skb size: 64KB under TSO/GSO, MSS otherwise
+	SndBuf       units.Bytes // send buffer bound
+	RcvBuf       units.Bytes // initial receive buffer
+	RcvBufMax    units.Bytes // autotune cap; 0 = RcvBuf is fixed
+	InitCwnd     units.Bytes // initial congestion window; 0 = 10*MSS
+	MinRTO       time.Duration
+	PersistTime  time.Duration // zero-window probe interval
+	DelAckBytes  units.Bytes   // ack at least every this many delivered bytes; 0 = 2*MSS
+	DelAckTime   time.Duration // trailing-edge delayed-ack timer; 0 = 500us
+	// TSQBytes bounds the connection's unsent-to-wire bytes in the
+	// qdisc/NIC (TCP Small Queues); 0 = 256KB. The host reports wire
+	// departures via TxCompleted.
+	TSQBytes units.Bytes
+}
+
+// DefaultConfig mirrors Linux defaults on the paper's testbed (tcp_rmem
+// max 6MB, 64KB TSO aggregates, CUBIC handled by the CC factory).
+func DefaultConfig(mss units.Bytes) Config {
+	return Config{
+		MSS:          mss,
+		SegmentBytes: 64 * units.KB,
+		SndBuf:       4 * units.MB,
+		RcvBuf:       128 * units.KB,
+		RcvBufMax:    6 * units.MB,
+		MinRTO:       10 * time.Millisecond,
+		PersistTime:  5 * time.Millisecond,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.MSS <= 0:
+		return fmt.Errorf("tcp: MSS = %d", c.MSS)
+	case c.SegmentBytes < c.MSS:
+		return fmt.Errorf("tcp: SegmentBytes %d < MSS %d", c.SegmentBytes, c.MSS)
+	case c.SndBuf < c.SegmentBytes:
+		return fmt.Errorf("tcp: SndBuf %d < SegmentBytes", c.SndBuf)
+	case c.RcvBuf <= 0:
+		return fmt.Errorf("tcp: RcvBuf = %d", c.RcvBuf)
+	case c.MinRTO <= 0:
+		return fmt.Errorf("tcp: MinRTO = %v", c.MinRTO)
+	case c.PersistTime <= 0:
+		return fmt.Errorf("tcp: PersistTime = %v", c.PersistTime)
+	}
+	return nil
+}
+
+// Hooks connects a Conn to its host. All fields are required except
+// OnWritable/OnReadable/OnAckedPages, which may be nil.
+type Hooks struct {
+	// SendSegment transmits [seq, seq+len) of the connection's tx flow,
+	// charging the tx data path to ctx. retrans marks retransmissions.
+	SendSegment func(ctx *exec.Ctx, c *Conn, seq int64, length units.Bytes, retrans bool)
+	// SendAck emits a pure ACK on the reverse path.
+	SendAck func(ctx *exec.Ctx, c *Conn, info *skb.AckInfo)
+	// SendProbe emits a zero-length window probe.
+	SendProbe func(ctx *exec.Ctx, c *Conn)
+	// Softirq runs fn in softirq context on the connection's core
+	// (timer handlers: RTO, persist, pacer).
+	Softirq func(fn func(*exec.Ctx))
+	// OnReadable fires when new in-order data enters the receive queue.
+	OnReadable func(ctx *exec.Ctx, c *Conn)
+	// OnWritable fires when send-buffer space opens.
+	OnWritable func(ctx *exec.Ctx, c *Conn)
+	// OnAckedPages releases the sender-side pages backing acked bytes.
+	OnAckedPages func(ctx *exec.Ctx, c *Conn, pages []mem.Page)
+}
+
+// Stats tracks a connection's protocol activity.
+type Stats struct {
+	SentBytes      units.Bytes // first transmissions
+	RetransBytes   units.Bytes
+	Retransmits    int64
+	FastRetransmit int64
+	Timeouts       int64
+	AcksSent       int64
+	DupAcksSent    int64
+	AcksReceived   int64
+	DupAcksRecv    int64
+	DeliveredBytes units.Bytes // handed to the application in order
+	OOOSegments    int64
+	Probes         int64
+}
+
+type sentChunk struct {
+	endSeq int64
+	pages  []mem.Page
+}
+
+// Conn is one endpoint of a TCP connection: transmit state for its
+// outgoing flow and receive state for the incoming flow.
+type Conn struct {
+	eng   *sim.Engine
+	costs *cpumodel.Costs
+	cfg   Config
+	hooks Hooks
+	cc    CongestionControl
+	flow  skb.FlowID // the flow this endpoint transmits
+
+	// ---- transmit state.
+	sndUna        int64
+	sndNxt        int64
+	appLimit      int64 // bytes the application has committed to the stream
+	rightEdge     int64 // sndUna + peer window (flow-control limit)
+	chunks        []sentChunk
+	sacked        []skb.Range
+	retxNext      int64 // next hole byte to retransmit within recovery
+	dupAcks       int
+	inRecovery    bool
+	recoveryEnd   int64
+	recoveryStall int // acks in recovery without cumulative progress
+	rtoTimer      *sim.Timer
+	persistTimer  *sim.Timer
+	srtt, rttvar  time.Duration
+	rttSeq        int64 // segment end whose ack yields the next RTT sample
+	rttSentAt     sim.Time
+	pacer         pacerState
+	inQdisc       units.Bytes // bytes handed to the qdisc/NIC, not yet on the wire
+
+	// ---- receive state.
+	rcvNxt      int64
+	rcvBuf      units.Bytes
+	ooo         []*skb.SKB // sorted by Seq, non-overlapping
+	oooBytes    units.Bytes
+	recvQ       []*skb.SKB
+	recvQBytes  units.Bytes
+	unacked     units.Bytes // delivered bytes since last ack
+	lastAdvWnd  units.Bytes
+	ecnPending  bool // CE seen since last ack (DCTCP echo)
+	delAckTimer *sim.Timer
+	peerWnd     units.Bytes // last window seen from the peer (dup-ack test)
+	tuneAcc     units.Bytes // delivered bytes since the last DRS mark
+	quickAcks   int         // remaining immediate acks (quickack mode)
+	wndClamp    units.Bytes // receiver scheduler clamp; -1 = none
+
+	stats Stats
+}
+
+// New builds a connection endpoint for flow, transmitting via hooks and
+// governed by cc.
+func New(eng *sim.Engine, costs *cpumodel.Costs, cfg Config, flow skb.FlowID,
+	cc CongestionControl, hooks Hooks) *Conn {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if eng == nil || costs == nil || cc == nil {
+		panic("tcp: nil dependency")
+	}
+	if hooks.SendSegment == nil || hooks.SendAck == nil || hooks.Softirq == nil || hooks.SendProbe == nil {
+		panic("tcp: missing required hook")
+	}
+	if cfg.InitCwnd == 0 {
+		cfg.InitCwnd = 10 * cfg.MSS
+	}
+	if cfg.DelAckBytes == 0 {
+		cfg.DelAckBytes = 2 * cfg.MSS
+	}
+	if cfg.DelAckTime == 0 {
+		cfg.DelAckTime = 500 * time.Microsecond
+	}
+	if cfg.TSQBytes == 0 {
+		cfg.TSQBytes = 256 * units.KB
+	}
+	c := &Conn{
+		eng: eng, costs: costs, cfg: cfg, hooks: hooks, cc: cc, flow: flow,
+		rcvBuf:    cfg.RcvBuf,
+		rightEdge: int64(cfg.RcvBuf), // peer starts with its initial window
+		srtt:      0,
+		wndClamp:  -1,
+	}
+	c.lastAdvWnd = cfg.RcvBuf
+	cc.Init(c)
+	return c
+}
+
+// Flow returns the transmit-direction flow id.
+func (c *Conn) Flow() skb.FlowID { return c.flow }
+
+// Stats returns a copy of the counters.
+func (c *Conn) Stats() Stats { return c.stats }
+
+// CC returns the congestion controller (inspection).
+func (c *Conn) CC() CongestionControl { return c.cc }
+
+// SRTT returns the smoothed RTT estimate (0 until the first sample).
+func (c *Conn) SRTT() time.Duration { return c.srtt }
+
+// RcvBuf returns the current receive buffer size (autotuned or fixed).
+func (c *Conn) RcvBuf() units.Bytes { return c.rcvBuf }
+
+// ---------------------------------------------------------------------------
+// Transmit path.
+
+// SndBufFree returns how many bytes the application may append.
+func (c *Conn) SndBufFree() units.Bytes {
+	used := units.Bytes(c.appLimit - c.sndUna)
+	if used >= c.cfg.SndBuf {
+		return 0
+	}
+	return c.cfg.SndBuf - used
+}
+
+// SendData appends n stream bytes backed by pages (already copied into
+// kernel memory by the caller) and pushes what the windows allow. n must
+// not exceed SndBufFree.
+func (c *Conn) SendData(ctx *exec.Ctx, n units.Bytes, pages []mem.Page) {
+	if n <= 0 {
+		panic("tcp: SendData of non-positive length")
+	}
+	if n > c.SndBufFree() {
+		panic("tcp: SendData beyond free send buffer")
+	}
+	c.appLimit += int64(n)
+	c.chunks = append(c.chunks, sentChunk{endSeq: c.appLimit, pages: pages})
+	c.pump(ctx)
+}
+
+// InFlight returns unacked-and-unsacked bytes in the pipe.
+func (c *Conn) InFlight() units.Bytes {
+	var sackedBytes int64
+	for _, r := range c.sacked {
+		sackedBytes += r.Len()
+	}
+	return units.Bytes(c.sndNxt - c.sndUna - sackedBytes)
+}
+
+// pump transmits new data while the congestion and flow-control windows
+// allow. Under pacing, segments are released by the pacer timer instead.
+func (c *Conn) pump(ctx *exec.Ctx) {
+	if c.pacer.active(c) {
+		c.pacer.pump(ctx, c)
+		return
+	}
+	for c.canSendNext() {
+		c.sendNext(ctx)
+	}
+	c.maybePersist()
+}
+
+func (c *Conn) canSendNext() bool {
+	if c.sndNxt >= c.appLimit {
+		return false
+	}
+	if c.sndNxt >= c.rightEdge {
+		return false // peer window exhausted
+	}
+	if c.inQdisc >= c.cfg.TSQBytes {
+		return false // TCP small queues: qdisc already holds enough
+	}
+	return c.InFlight() < c.cc.Cwnd()
+}
+
+// TxCompleted reports that bytes of this connection left the host on the
+// wire; TSQ budget reopens and sending resumes. Called from softirq
+// context (Tx completion processing).
+func (c *Conn) TxCompleted(ctx *exec.Ctx, bytes units.Bytes) {
+	c.inQdisc -= bytes
+	if c.inQdisc < 0 {
+		c.inQdisc = 0
+	}
+	c.pump(ctx)
+}
+
+// InQdisc returns the bytes queued toward the NIC (tests).
+func (c *Conn) InQdisc() units.Bytes { return c.inQdisc }
+
+// sendNext transmits one segment of new data and returns its length.
+func (c *Conn) sendNext(ctx *exec.Ctx) units.Bytes {
+	length := units.Bytes(c.appLimit - c.sndNxt)
+	if length > c.cfg.SegmentBytes {
+		length = c.cfg.SegmentBytes
+	}
+	if avail := units.Bytes(c.rightEdge - c.sndNxt); length > avail {
+		length = avail
+	}
+	seq := c.sndNxt
+	c.sndNxt += int64(length)
+	c.stats.SentBytes += length
+	c.inQdisc += length
+	if c.rttSeq <= c.sndUna { // arm a fresh RTT sample
+		c.rttSeq = c.sndNxt
+		c.rttSentAt = ctx.Now()
+	}
+	c.hooks.SendSegment(ctx, c, seq, length, false)
+	c.armRTO()
+	return length
+}
+
+// OnSegment processes an arriving skb for this endpoint: pure ACKs feed
+// the transmit state, data feeds the receive state. Zero-length non-ACK
+// skbs are window probes.
+func (c *Conn) OnSegment(ctx *exec.Ctx, s *skb.SKB) {
+	switch {
+	case s.Ack != nil:
+		c.onAck(ctx, s.Ack)
+	case s.Len == 0:
+		c.stats.Probes++
+		ctx.Charge(cpumodel.TCPIP, c.costs.TCPRxPerSKB/2)
+		c.sendAck(ctx, false)
+	default:
+		c.onData(ctx, s)
+	}
+}
+
+func (c *Conn) onAck(ctx *exec.Ctx, a *skb.AckInfo) {
+	costs := c.costs
+	ctx.Charge(cpumodel.TCPIP, costs.ACKProcess)
+	ctx.Charge(cpumodel.TCPIP, costs.CCUpdate)
+	c.stats.AcksReceived++
+
+	if edge := a.Cum + int64(a.Window); edge > c.rightEdge {
+		c.rightEdge = edge
+	}
+	windowChanged := a.Window != c.peerWnd
+	c.peerWnd = a.Window
+	newlyAcked := a.Cum - c.sndUna
+	if newlyAcked < 0 {
+		newlyAcked = 0
+	}
+
+	if a.Cum > c.sndUna {
+		c.sndUna = a.Cum
+		c.dupAcks = 0
+		c.recoveryStall = 0
+		c.releaseAcked(ctx)
+		// RTT sample (Karn's rule is approximated by sampling only the
+		// armed sequence, which is never re-armed across retransmission).
+		if c.rttSeq > 0 && a.Cum >= c.rttSeq {
+			c.rttSample(time.Duration(ctx.Now() - c.rttSentAt))
+			c.rttSeq = 0
+		}
+		c.trimSacked()
+		if c.inRecovery && c.sndUna >= c.recoveryEnd {
+			c.inRecovery = false
+			c.cc.OnRecoveryExit()
+		}
+		c.armRTO()
+	} else if c.sndNxt > c.sndUna && (len(a.SACK) > 0 || !windowChanged) {
+		// Classic duplicate-ACK test: no cum advance, outstanding data,
+		// and either SACK evidence or an unchanged window (pure window
+		// updates are not congestion signals).
+		c.dupAcks++
+		c.stats.DupAcksRecv++
+		ctx.Charge(cpumodel.TCPIP, costs.DupACKExtra)
+	}
+	c.mergeSACK(a.SACK)
+
+	c.cc.OnAck(ctx, units.Bytes(newlyAcked), c.srtt, a.ECNEcho)
+
+	if !c.inRecovery && (c.dupAcks >= 3 || c.sackedBeyond(3*int64(c.cfg.MSS))) {
+		c.enterRecovery(ctx)
+	}
+	if c.inRecovery {
+		// RACK-style re-probe: if acks keep arriving without cumulative
+		// progress, the earlier retransmission itself was probably lost —
+		// rewind and resend the first hole instead of stalling to RTO.
+		if newlyAcked == 0 {
+			c.recoveryStall++
+			if c.recoveryStall >= 8 {
+				c.recoveryStall = 0
+				c.retxNext = c.sndUna
+			}
+		}
+		c.retransmitHoles(ctx)
+	}
+	c.pump(ctx)
+	if c.hooks.OnWritable != nil && newlyAcked > 0 {
+		c.hooks.OnWritable(ctx, c)
+	}
+}
+
+// releaseAcked frees page chunks fully below sndUna.
+func (c *Conn) releaseAcked(ctx *exec.Ctx) {
+	var freed []mem.Page
+	for len(c.chunks) > 0 && c.chunks[0].endSeq <= c.sndUna {
+		freed = append(freed, c.chunks[0].pages...)
+		c.chunks = c.chunks[1:]
+	}
+	if len(freed) > 0 && c.hooks.OnAckedPages != nil {
+		c.hooks.OnAckedPages(ctx, c, freed)
+	}
+}
+
+func (c *Conn) rttSample(rtt time.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	if c.srtt == 0 {
+		c.srtt = rtt
+		c.rttvar = rtt / 2
+		return
+	}
+	d := c.srtt - rtt
+	if d < 0 {
+		d = -d
+	}
+	c.rttvar = (3*c.rttvar + d) / 4
+	c.srtt = (7*c.srtt + rtt) / 8
+}
+
+// RTO returns the current retransmission timeout.
+func (c *Conn) RTO() time.Duration {
+	rto := c.srtt + 4*c.rttvar
+	if rto < c.cfg.MinRTO {
+		rto = c.cfg.MinRTO
+	}
+	return rto
+}
+
+func (c *Conn) armRTO() {
+	if c.rtoTimer != nil {
+		c.rtoTimer.Stop()
+		c.rtoTimer = nil
+	}
+	if c.sndNxt == c.sndUna {
+		return // nothing outstanding
+	}
+	c.rtoTimer = c.eng.After(c.RTO(), func() {
+		c.hooks.Softirq(func(ctx *exec.Ctx) { c.onRTO(ctx) })
+	})
+}
+
+func (c *Conn) onRTO(ctx *exec.Ctx) {
+	if c.sndNxt == c.sndUna {
+		return // acked in the meantime
+	}
+	c.stats.Timeouts++
+	ctx.Charge(cpumodel.Etc, c.costs.TimerFire)
+	c.cc.OnRTO()
+	c.sacked = nil
+	c.inRecovery = false
+	c.dupAcks = 0
+	c.retransmitRange(ctx, c.sndUna, c.cfg.MSS)
+	c.armRTO()
+}
+
+// mergeSACK folds the peer's SACK report into the scoreboard.
+func (c *Conn) mergeSACK(ranges []skb.Range) {
+	for _, r := range ranges {
+		if r.End <= c.sndUna || r.Len() <= 0 {
+			continue
+		}
+		if r.Start < c.sndUna {
+			r.Start = c.sndUna
+		}
+		c.sacked = append(c.sacked, r)
+	}
+	if len(c.sacked) == 0 {
+		return
+	}
+	sort.Slice(c.sacked, func(i, j int) bool { return c.sacked[i].Start < c.sacked[j].Start })
+	merged := c.sacked[:1]
+	for _, r := range c.sacked[1:] {
+		last := &merged[len(merged)-1]
+		if r.Start <= last.End {
+			if r.End > last.End {
+				last.End = r.End
+			}
+		} else {
+			merged = append(merged, r)
+		}
+	}
+	c.sacked = merged
+}
+
+func (c *Conn) trimSacked() {
+	out := c.sacked[:0]
+	for _, r := range c.sacked {
+		if r.End > c.sndUna {
+			if r.Start < c.sndUna {
+				r.Start = c.sndUna
+			}
+			out = append(out, r)
+		}
+	}
+	c.sacked = out
+}
+
+// sackedBeyond reports whether at least n bytes are sacked above sndUna —
+// the SACK analogue of three duplicate ACKs.
+func (c *Conn) sackedBeyond(n int64) bool {
+	var total int64
+	for _, r := range c.sacked {
+		total += r.Len()
+	}
+	return total >= n
+}
+
+func (c *Conn) enterRecovery(ctx *exec.Ctx) {
+	c.inRecovery = true
+	c.recoveryEnd = c.sndNxt
+	c.retxNext = c.sndUna
+	c.stats.FastRetransmit++
+	c.cc.OnLoss()
+	c.retransmitHoles(ctx)
+}
+
+// retransmitHoles resends un-sacked gaps while the window allows.
+func (c *Conn) retransmitHoles(ctx *exec.Ctx) {
+	for c.InFlight() < c.cc.Cwnd() {
+		start, length := c.nextHole()
+		if length <= 0 {
+			return
+		}
+		c.retransmitRange(ctx, start, length)
+	}
+}
+
+// nextHole finds the next missing range at or above retxNext and below
+// the highest sacked byte (only ranges the SACK evidence says are lost).
+func (c *Conn) nextHole() (int64, units.Bytes) {
+	if len(c.sacked) == 0 {
+		if c.dupAcks >= 3 && c.retxNext <= c.sndUna {
+			// No SACK info (pure dupacks): resend the first segment.
+			return c.sndUna, c.cfg.MSS
+		}
+		return 0, 0
+	}
+	pos := c.retxNext
+	if pos < c.sndUna {
+		pos = c.sndUna
+	}
+	for _, r := range c.sacked {
+		if pos < r.Start {
+			length := units.Bytes(r.Start - pos)
+			if length > c.cfg.MSS {
+				length = c.cfg.MSS
+			}
+			return pos, length
+		}
+		if pos < r.End {
+			pos = r.End
+		}
+	}
+	return 0, 0 // no hole below the highest sacked byte
+}
+
+func (c *Conn) retransmitRange(ctx *exec.Ctx, seq int64, length units.Bytes) {
+	if end := c.sndNxt; seq+int64(length) > end {
+		length = units.Bytes(end - seq)
+	}
+	if length <= 0 {
+		return
+	}
+	c.stats.Retransmits++
+	c.stats.RetransBytes += length
+	c.inQdisc += length
+	c.retxNext = seq + int64(length)
+	ctx.Charge(cpumodel.TCPIP, c.costs.Retransmit)
+	c.hooks.SendSegment(ctx, c, seq, length, true)
+}
+
+// maybePersist arms the zero-window probe timer when data waits on a
+// closed peer window.
+func (c *Conn) maybePersist() {
+	stalled := c.sndNxt < c.appLimit && c.sndNxt >= c.rightEdge
+	if !stalled {
+		if c.persistTimer != nil {
+			c.persistTimer.Stop()
+			c.persistTimer = nil
+		}
+		return
+	}
+	if c.persistTimer != nil && c.persistTimer.Pending() {
+		return
+	}
+	c.persistTimer = c.eng.After(c.cfg.PersistTime, func() {
+		c.hooks.Softirq(func(ctx *exec.Ctx) {
+			if c.sndNxt < c.appLimit && c.sndNxt >= c.rightEdge {
+				c.stats.Probes++
+				ctx.Charge(cpumodel.Etc, c.costs.TimerFire)
+				c.hooks.SendProbe(ctx, c)
+				c.persistTimer = nil
+				c.maybePersist()
+			}
+		})
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Receive path.
+
+func (c *Conn) onData(ctx *exec.Ctx, s *skb.SKB) {
+	ctx.Charge(cpumodel.TCPIP, c.costs.TCPRxPerSKB)
+	if s.CE {
+		c.ecnPending = true
+	}
+	switch {
+	case s.Seq == c.rcvNxt:
+		c.acceptInOrder(ctx, s)
+	case s.Seq > c.rcvNxt:
+		// Out of order: queue, signal the gap immediately, and enter
+		// quickack mode (Linux acks every segment for a while after
+		// reordering, inflating ACK-processing costs under loss — §3.6).
+		c.stats.OOOSegments++
+		ctx.Charge(cpumodel.TCPIP, c.costs.TCPRxOOO)
+		c.insertOOO(s)
+		c.quickAcks = 16
+		c.sendAck(ctx, true)
+	default:
+		// Duplicate (retransmission overlap): ack what we have.
+		if s.End() > c.rcvNxt {
+			// Partially new: trim the stale prefix and accept.
+			trim := c.rcvNxt - s.Seq
+			s.Seq = c.rcvNxt
+			s.Len -= units.Bytes(trim)
+			c.acceptInOrder(ctx, s)
+			return
+		}
+		c.sendAck(ctx, false)
+	}
+}
+
+func (c *Conn) acceptInOrder(ctx *exec.Ctx, s *skb.SKB) {
+	c.enqueueRecv(s)
+	// Drain any out-of-order skbs this unblocks.
+	for len(c.ooo) > 0 && c.ooo[0].Seq <= c.rcvNxt {
+		q := c.ooo[0]
+		c.ooo = c.ooo[1:]
+		c.oooBytes -= q.Len
+		if q.End() <= c.rcvNxt {
+			continue // fully duplicate
+		}
+		if q.Seq < c.rcvNxt {
+			trim := c.rcvNxt - q.Seq
+			q.Seq = c.rcvNxt
+			q.Len -= units.Bytes(trim)
+		}
+		c.enqueueRecv(q)
+	}
+	c.autotune()
+	c.unacked += s.Len
+	if c.quickAcks > 0 {
+		c.quickAcks--
+		c.sendAck(ctx, false)
+	} else if c.unacked >= c.cfg.DelAckBytes || len(c.ooo) > 0 {
+		c.sendAck(ctx, false)
+	} else if c.delAckTimer == nil || !c.delAckTimer.Pending() {
+		// Trailing-edge delayed ACK so the final sub-threshold bytes of a
+		// burst are still acknowledged.
+		c.delAckTimer = c.eng.After(c.cfg.DelAckTime, func() {
+			c.hooks.Softirq(func(ctx *exec.Ctx) {
+				if c.unacked > 0 {
+					ctx.Charge(cpumodel.Etc, c.costs.TimerFire)
+					c.sendAck(ctx, false)
+				}
+			})
+		})
+	}
+	if c.hooks.OnReadable != nil {
+		c.hooks.OnReadable(ctx, c)
+	}
+}
+
+func (c *Conn) enqueueRecv(s *skb.SKB) {
+	c.rcvNxt = s.End()
+	c.recvQ = append(c.recvQ, s)
+	c.recvQBytes += s.Len
+	c.stats.DeliveredBytes += s.Len
+	c.tuneAcc += s.Len
+}
+
+func (c *Conn) insertOOO(s *skb.SKB) {
+	i := sort.Search(len(c.ooo), func(i int) bool { return c.ooo[i].Seq >= s.Seq })
+	if i < len(c.ooo) && c.ooo[i].Seq == s.Seq {
+		return // exact duplicate
+	}
+	c.ooo = append(c.ooo, nil)
+	copy(c.ooo[i+1:], c.ooo[i:])
+	c.ooo[i] = s
+	c.oooBytes += s.Len
+}
+
+// advertisedWindow returns the receive window to advertise. Like Linux
+// (tcp_adv_win_scale=1), only half the buffer is offered as window — the
+// rest budgets skb overhead — so a 6MB autotuned buffer advertises 3MB.
+func (c *Conn) advertisedWindow() units.Bytes {
+	capacity := c.rcvBuf / 2
+	if c.wndClamp >= 0 && c.wndClamp < capacity {
+		capacity = c.wndClamp
+	}
+	used := c.recvQBytes + c.oooBytes
+	if used >= capacity {
+		return 0
+	}
+	return capacity - used
+}
+
+// SetWindowClamp clamps the advertised receive window (receiver-driven
+// scheduling, §4 of the paper); clamp < 0 removes the clamp. When the
+// window opens as a result, an immediate window-update ACK tells the
+// sender.
+func (c *Conn) SetWindowClamp(ctx *exec.Ctx, clamp units.Bytes) {
+	before := c.advertisedWindow()
+	c.wndClamp = clamp
+	if after := c.advertisedWindow(); after > before {
+		c.sendAck(ctx, false)
+	}
+}
+
+// sendAck emits an acknowledgment; dup marks an out-of-order trigger.
+func (c *Conn) sendAck(ctx *exec.Ctx, dup bool) {
+	if c.delAckTimer != nil {
+		c.delAckTimer.Stop()
+		c.delAckTimer = nil
+	}
+	ctx.Charge(cpumodel.TCPIP, c.costs.ACKGenerate)
+	info := &skb.AckInfo{
+		Cum:     c.rcvNxt,
+		Window:  c.advertisedWindow(),
+		ECNEcho: c.ecnPending,
+	}
+	c.ecnPending = false
+	// Up to 3 SACK ranges from the OOO queue (coalesced).
+	var ranges []skb.Range
+	for _, q := range c.ooo {
+		if n := len(ranges); n > 0 && ranges[n-1].End == q.Seq {
+			ranges[n-1].End = q.End()
+			continue
+		}
+		if len(ranges) == 3 {
+			break
+		}
+		ranges = append(ranges, skb.Range{Start: q.Seq, End: q.End()})
+	}
+	info.SACK = ranges
+	c.unacked = 0
+	c.lastAdvWnd = info.Window
+	c.stats.AcksSent++
+	if dup {
+		c.stats.DupAcksSent++
+	}
+	c.hooks.SendAck(ctx, c, info)
+}
+
+// autotune models Linux's dynamic right-sizing (DRS): each time a full
+// receive-buffer's worth of data arrives (one "rcv_rtt" in DRS terms),
+// the buffer doubles toward tcp_rmem[2]. When the receiver CPU is the
+// bottleneck this measured rcv_rtt inflates with host queueing, so the
+// buffer keeps growing regardless — the overshoot past the cache-optimal
+// point that §3.1 of the paper calls out.
+func (c *Conn) autotune() {
+	if c.cfg.RcvBufMax == 0 || c.rcvBuf >= c.cfg.RcvBufMax {
+		return
+	}
+	if c.tuneAcc < c.rcvBuf {
+		return
+	}
+	c.tuneAcc = 0
+	c.rcvBuf *= 2
+	if c.rcvBuf > c.cfg.RcvBufMax {
+		c.rcvBuf = c.cfg.RcvBufMax
+	}
+}
+
+// Readable returns the bytes queued for the application.
+func (c *Conn) Readable() units.Bytes { return c.recvQBytes }
+
+// Read pops up to max bytes of whole skbs from the receive queue. The
+// caller (application layer) performs the data copy and frees the pages.
+// A window-update ACK is sent when the window reopens significantly.
+func (c *Conn) Read(ctx *exec.Ctx, max units.Bytes) []*skb.SKB {
+	var out []*skb.SKB
+	var taken units.Bytes
+	for len(c.recvQ) > 0 && taken < max {
+		s := c.recvQ[0]
+		c.recvQ = c.recvQ[1:]
+		c.recvQBytes -= s.Len
+		taken += s.Len
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	// Window update: if the advertised window was small and has now
+	// meaningfully reopened, tell the sender.
+	if c.lastAdvWnd < 2*c.cfg.MSS && c.advertisedWindow() >= 2*c.cfg.MSS {
+		c.sendAck(ctx, false)
+	}
+	return out
+}

@@ -1,0 +1,264 @@
+package tcp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hostsim/internal/cpumodel"
+	"hostsim/internal/exec"
+	"hostsim/internal/skb"
+	"hostsim/internal/units"
+)
+
+// bareConn builds a connection with no-op hooks for scoreboard unit tests.
+func bareConn(t *testing.T) (*pipe, *Conn) {
+	t.Helper()
+	p := newPipe(t, 77, "cubic", 8934, nil, 0)
+	return p, p.a
+}
+
+func TestMergeSACKCoalesces(t *testing.T) {
+	_, c := bareConn(t)
+	c.sndUna = 1000
+	c.mergeSACK([]skb.Range{{Start: 5000, End: 6000}})
+	c.mergeSACK([]skb.Range{{Start: 6000, End: 7000}}) // adjacent: merge
+	c.mergeSACK([]skb.Range{{Start: 9000, End: 9500}})
+	c.mergeSACK([]skb.Range{{Start: 5500, End: 6500}}) // overlapping: absorb
+	if len(c.sacked) != 2 {
+		t.Fatalf("sacked = %v, want 2 coalesced ranges", c.sacked)
+	}
+	if c.sacked[0] != (skb.Range{Start: 5000, End: 7000}) {
+		t.Errorf("first range = %v", c.sacked[0])
+	}
+	if c.sacked[1] != (skb.Range{Start: 9000, End: 9500}) {
+		t.Errorf("second range = %v", c.sacked[1])
+	}
+}
+
+func TestMergeSACKClampsBelowUna(t *testing.T) {
+	_, c := bareConn(t)
+	c.sndUna = 5000
+	c.mergeSACK([]skb.Range{{Start: 1000, End: 2000}}) // stale: fully below
+	if len(c.sacked) != 0 {
+		t.Errorf("stale range accepted: %v", c.sacked)
+	}
+	c.mergeSACK([]skb.Range{{Start: 4000, End: 7000}}) // partial: clamp
+	if len(c.sacked) != 1 || c.sacked[0].Start != 5000 {
+		t.Errorf("clamp failed: %v", c.sacked)
+	}
+}
+
+// Property: any sequence of SACK reports leaves the scoreboard sorted,
+// non-overlapping, and entirely above sndUna.
+func TestPropertySACKScoreboardInvariants(t *testing.T) {
+	f := func(starts []uint16, lens []uint8, una uint16) bool {
+		p := newPipe(t, 78, "cubic", 8934, nil, 0)
+		c := p.a
+		c.sndUna = int64(una)
+		n := len(starts)
+		if len(lens) < n {
+			n = len(lens)
+		}
+		for i := 0; i < n; i++ {
+			s := int64(starts[i])
+			c.mergeSACK([]skb.Range{{Start: s, End: s + int64(lens[i])}})
+		}
+		for i, r := range c.sacked {
+			if r.Start >= r.End {
+				return false
+			}
+			if r.Start < c.sndUna {
+				return false
+			}
+			if i > 0 && c.sacked[i-1].End >= r.Start {
+				return false // must be sorted and disjoint with gaps
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(9))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNextHoleWalksGaps(t *testing.T) {
+	_, c := bareConn(t)
+	c.sndUna = 0
+	c.sndNxt = 100000
+	c.cfg.MSS = 10000
+	c.mergeSACK([]skb.Range{{Start: 20000, End: 30000}, {Start: 50000, End: 60000}})
+	c.retxNext = 0
+	start, l := c.nextHole()
+	if start != 0 || l != 10000 {
+		t.Fatalf("first hole = (%d,%d), want (0,10000)", start, l)
+	}
+	c.retxNext = 20000 // first hole retransmitted
+	start, l = c.nextHole()
+	if start != 30000 || l != 10000 {
+		t.Fatalf("second hole = (%d,%d), want (30000,10000)", start, l)
+	}
+	c.retxNext = 60000 // past the last sacked byte: no evidence of loss
+	if _, l = c.nextHole(); l != 0 {
+		t.Fatalf("no hole expected above the highest SACK, got %d", l)
+	}
+}
+
+func TestNextHoleWithoutSACKNeedsDupacks(t *testing.T) {
+	_, c := bareConn(t)
+	c.sndUna = 1000
+	c.sndNxt = 50000
+	if _, l := c.nextHole(); l != 0 {
+		t.Error("no dupacks, no SACK: nothing to retransmit")
+	}
+	c.dupAcks = 3
+	c.retxNext = 0
+	start, l := c.nextHole()
+	if start != 1000 || l != c.cfg.MSS {
+		t.Errorf("dupack retransmit = (%d,%d)", start, l)
+	}
+}
+
+func TestTrimSackedAfterCumAdvance(t *testing.T) {
+	_, c := bareConn(t)
+	c.sndUna = 0
+	c.mergeSACK([]skb.Range{{Start: 1000, End: 2000}, {Start: 5000, End: 6000}})
+	c.sndUna = 5500
+	c.trimSacked()
+	if len(c.sacked) != 1 || c.sacked[0] != (skb.Range{Start: 5500, End: 6000}) {
+		t.Errorf("trim result = %v", c.sacked)
+	}
+}
+
+func TestRTOBacksOffAndRecovers(t *testing.T) {
+	// Deliver nothing (100% loss): RTO must fire and retransmit.
+	p := newPipe(t, 79, "cubic", 8934, nil, 1.0)
+	p.send(64 * units.KB)
+	p.run(100 * time.Millisecond)
+	if p.a.Stats().Timeouts == 0 {
+		t.Error("total loss should trigger RTO timeouts")
+	}
+	if p.a.Stats().Retransmits == 0 {
+		t.Error("RTO should retransmit")
+	}
+}
+
+func TestPersistProbeFiresOnZeroWindow(t *testing.T) {
+	p := newPipe(t, 80, "cubic", 8934, func(c *Config) {
+		c.RcvBuf = 64 * units.KB
+		c.RcvBufMax = 0
+		c.PersistTime = 2 * time.Millisecond
+	}, 0)
+	p.autoRead = false // receiver never drains: window slams shut
+	p.send(2 * units.MB)
+	p.run(50 * time.Millisecond)
+	if p.a.Stats().Probes == 0 {
+		t.Error("sender should send zero-window probes while stalled")
+	}
+}
+
+func TestDelAckTimerFlushesTrailingBytes(t *testing.T) {
+	p := newPipe(t, 81, "cubic", 8934, nil, 0)
+	// One small write, below the 2-MSS delack threshold.
+	p.sys.Core(1).RaiseSoftirq(func(ctx *exec.Ctx) {
+		ctx.Charge(cpumodel.Etc, 10)
+		p.a.SendData(ctx, 4*units.KB, nil)
+	})
+	p.run(20 * time.Millisecond)
+	if p.b.Stats().AcksSent == 0 {
+		t.Fatal("delayed-ack timer never fired for trailing bytes")
+	}
+	if p.a.SndBufFree() != p.a.cfg.SndBuf {
+		t.Error("trailing bytes never acked; send buffer still charged")
+	}
+}
+
+func TestQuickackModeAfterOOO(t *testing.T) {
+	p := newPipe(t, 82, "cubic", 8934, nil, 0)
+	acks0 := p.b.Stats().AcksSent
+	// Inject out-of-order then a train of in-order segments directly.
+	p.sys.Core(0).RaiseSoftirq(func(ctx *exec.Ctx) {
+		ctx.Charge(cpumodel.Etc, 10)
+		p.b.OnSegment(ctx, &skb.SKB{Flow: 1, Seq: 8934, Len: 1000}) // gap
+		p.b.OnSegment(ctx, &skb.SKB{Flow: 1, Seq: 0, Len: 8934})    // fill
+		for i := 0; i < 4; i++ {                                    // in-order train
+			p.b.OnSegment(ctx, &skb.SKB{Flow: 1, Seq: 9934 + int64(i)*100, Len: 100})
+		}
+	})
+	p.run(time.Millisecond)
+	// Quickack: the dup ack + the fill ack + one per train segment.
+	if got := p.b.Stats().AcksSent - acks0; got < 5 {
+		t.Errorf("quickack mode should ack every segment after OOO, got %d acks", got)
+	}
+}
+
+func TestInFlightAccountsSacked(t *testing.T) {
+	_, c := bareConn(t)
+	c.sndUna = 0
+	c.sndNxt = 100000
+	if c.InFlight() != 100000 {
+		t.Fatalf("InFlight = %v", c.InFlight())
+	}
+	c.mergeSACK([]skb.Range{{Start: 20000, End: 40000}})
+	if c.InFlight() != 80000 {
+		t.Errorf("InFlight = %v, want 80000 (sacked bytes excluded)", c.InFlight())
+	}
+}
+
+func TestPartialOverlapRetransmissionTrimmed(t *testing.T) {
+	p := newPipe(t, 83, "cubic", 8934, nil, 0)
+	p.sys.Core(0).RaiseSoftirq(func(ctx *exec.Ctx) {
+		ctx.Charge(cpumodel.Etc, 10)
+		p.b.OnSegment(ctx, &skb.SKB{Flow: 1, Seq: 0, Len: 8934})
+		// Retransmission overlapping already-received data.
+		p.b.OnSegment(ctx, &skb.SKB{Flow: 1, Seq: 4000, Len: 8934})
+	})
+	p.run(time.Millisecond)
+	if got := p.b.Stats().DeliveredBytes; got != 12934 {
+		t.Errorf("DeliveredBytes = %v, want 12934 (overlap trimmed)", got)
+	}
+	if p.b.rcvNxt != 12934 {
+		t.Errorf("rcvNxt = %v", p.b.rcvNxt)
+	}
+}
+
+func TestFullyDuplicateSegmentReacked(t *testing.T) {
+	p := newPipe(t, 84, "cubic", 8934, nil, 0)
+	p.sys.Core(0).RaiseSoftirq(func(ctx *exec.Ctx) {
+		ctx.Charge(cpumodel.Etc, 10)
+		p.b.OnSegment(ctx, &skb.SKB{Flow: 1, Seq: 0, Len: 8934})
+		p.b.OnSegment(ctx, &skb.SKB{Flow: 1, Seq: 0, Len: 8934}) // dup
+	})
+	p.run(time.Millisecond)
+	if got := p.b.Stats().DeliveredBytes; got != 8934 {
+		t.Errorf("DeliveredBytes = %v, duplicate delivered twice", got)
+	}
+	if p.b.Stats().AcksSent < 1 {
+		t.Error("duplicate should still be acked")
+	}
+}
+
+func TestOOOInsertKeepsOrder(t *testing.T) {
+	p := newPipe(t, 85, "cubic", 8934, nil, 0)
+	c := p.b
+	p.sys.Core(0).RaiseSoftirq(func(ctx *exec.Ctx) {
+		ctx.Charge(cpumodel.Etc, 10)
+		for _, seq := range []int64{30000, 10000, 20000, 10000} { // incl. dup
+			c.OnSegment(ctx, &skb.SKB{Flow: 1, Seq: seq, Len: 1000})
+		}
+	})
+	p.run(time.Millisecond)
+	if len(c.ooo) != 3 {
+		t.Fatalf("ooo length = %d, want 3 (dup dropped)", len(c.ooo))
+	}
+	for i := 1; i < len(c.ooo); i++ {
+		if c.ooo[i-1].Seq >= c.ooo[i].Seq {
+			t.Fatalf("ooo not sorted: %v %v", c.ooo[i-1].Seq, c.ooo[i].Seq)
+		}
+	}
+	if c.oooBytes != 3000 {
+		t.Errorf("oooBytes = %v", c.oooBytes)
+	}
+}

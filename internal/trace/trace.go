@@ -1,0 +1,155 @@
+// Package trace provides a lightweight event tracer for the simulated
+// data path — the equivalent of the paper's kernel instrumentation
+// scripts. Hosts emit typed events (syscalls, segment transmissions,
+// deliveries, acks, retransmissions) into a bounded ring; tools dump a
+// flow's timeline for debugging and teaching.
+//
+// A nil *Tracer is valid and free: every method no-ops, so the data path
+// carries no tracing cost unless a tracer is installed.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"hostsim/internal/sim"
+	"hostsim/internal/skb"
+)
+
+// Kind classifies a traced event.
+type Kind uint8
+
+// Event kinds along the Fig. 1 data path.
+const (
+	AppWrite   Kind = iota // application write syscall accepted bytes
+	AppRead                // application read syscall copied bytes
+	TxSegment              // TCP handed a segment to the NIC
+	Retransmit             // TCP retransmitted a range
+	DeliverSKB             // an skb reached TCP/IP Rx processing
+	AckSent                // receiver emitted an ACK
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"app-write", "app-read", "tx-segment", "retransmit", "deliver-skb", "ack-sent",
+}
+
+func (k Kind) String() string {
+	if k >= numKinds {
+		return "invalid"
+	}
+	return kindNames[k]
+}
+
+// Event is one traced occurrence. A and B are kind-specific: sequence
+// number and length for data events, cumulative ack and window for acks.
+type Event struct {
+	At   sim.Time
+	Host string
+	Core int
+	Flow skb.FlowID
+	Kind Kind
+	A, B int64
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case AckSent:
+		return fmt.Sprintf("%-12v %-8s core%-3d flow%-4d %-11s cum=%d wnd=%d",
+			e.At, e.Host, e.Core, e.Flow, e.Kind, e.A, e.B)
+	default:
+		return fmt.Sprintf("%-12v %-8s core%-3d flow%-4d %-11s seq=%d len=%d",
+			e.At, e.Host, e.Core, e.Flow, e.Kind, e.A, e.B)
+	}
+}
+
+// Tracer is a bounded ring of events. The zero value is unusable;
+// construct with New. A nil Tracer is a valid no-op sink.
+type Tracer struct {
+	ring    []Event
+	next    int
+	wrapped bool
+	flow    skb.FlowID // 0 = all flows
+	dropped int64
+}
+
+// New builds a tracer holding the most recent max events.
+func New(max int) *Tracer {
+	if max <= 0 {
+		panic("trace: non-positive capacity")
+	}
+	return &Tracer{ring: make([]Event, 0, max)}
+}
+
+// FilterFlow restricts recording to one flow (0 = all).
+func (t *Tracer) FilterFlow(f skb.FlowID) {
+	if t == nil {
+		return
+	}
+	t.flow = f
+}
+
+// Emit records an event. Safe on a nil tracer.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	if t.flow != 0 && e.Flow != t.flow {
+		return
+	}
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, e)
+		return
+	}
+	t.ring[t.next] = e
+	t.next = (t.next + 1) % cap(t.ring)
+	t.wrapped = true
+	t.dropped++
+}
+
+// Events returns the recorded events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	if !t.wrapped {
+		out := make([]Event, len(t.ring))
+		copy(out, t.ring)
+		return out
+	}
+	out := make([]Event, 0, cap(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.ring)
+}
+
+// Dropped returns how many events were evicted from the ring.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Dump writes the timeline to w, oldest first.
+func (t *Tracer) Dump(w io.Writer) error {
+	for _, e := range t.Events() {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	if d := t.Dropped(); d > 0 {
+		if _, err := fmt.Fprintf(w, "(%d earlier events evicted)\n", d); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"hostsim/internal/sim"
+	"hostsim/internal/skb"
+)
+
+func ev(at int64, flow skb.FlowID, k Kind) Event {
+	return Event{At: sim.Time(at), Host: "rcv", Core: 0, Flow: flow, Kind: k, A: at, B: 100}
+}
+
+func TestNilTracerIsFree(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{})
+	tr.FilterFlow(3)
+	if tr.Events() != nil || tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Error("nil tracer must be a pure no-op")
+	}
+	var sb strings.Builder
+	if err := tr.Dump(&sb); err != nil || sb.Len() != 0 {
+		t.Error("nil tracer Dump should write nothing")
+	}
+}
+
+func TestRingKeepsMostRecent(t *testing.T) {
+	tr := New(3)
+	for i := int64(1); i <= 5; i++ {
+		tr.Emit(ev(i, 1, AppRead))
+	}
+	got := tr.Events()
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, want := range []int64{3, 4, 5} {
+		if got[i].A != want {
+			t.Errorf("event %d = %d, want %d (oldest first)", i, got[i].A, want)
+		}
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", tr.Dropped())
+	}
+}
+
+func TestOrderBeforeWrap(t *testing.T) {
+	tr := New(10)
+	for i := int64(1); i <= 4; i++ {
+		tr.Emit(ev(i, 1, TxSegment))
+	}
+	got := tr.Events()
+	if len(got) != 4 || got[0].A != 1 || got[3].A != 4 {
+		t.Errorf("events = %v", got)
+	}
+}
+
+func TestFlowFilter(t *testing.T) {
+	tr := New(10)
+	tr.FilterFlow(7)
+	tr.Emit(ev(1, 7, AppWrite))
+	tr.Emit(ev(2, 8, AppWrite))
+	tr.Emit(ev(3, 7, AckSent))
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (flow filter)", tr.Len())
+	}
+	for _, e := range tr.Events() {
+		if e.Flow != 7 {
+			t.Errorf("flow %d leaked through the filter", e.Flow)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		AppWrite: "app-write", AppRead: "app-read", TxSegment: "tx-segment",
+		Retransmit: "retransmit", DeliverSKB: "deliver-skb", AckSent: "ack-sent",
+		Kind(99): "invalid",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestDumpFormats(t *testing.T) {
+	tr := New(4)
+	tr.Emit(Event{Host: "snd", Core: 2, Flow: 1, Kind: TxSegment, A: 8934, B: 65536})
+	tr.Emit(Event{Host: "rcv", Core: 0, Flow: 1, Kind: AckSent, A: 65536, B: 3 << 20})
+	var sb strings.Builder
+	if err := tr.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"tx-segment", "seq=8934", "ack-sent", "cum=65536", "wnd="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNewPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) should panic")
+		}
+	}()
+	New(0)
+}

@@ -1,0 +1,118 @@
+// Package units provides the strongly typed quantities used throughout the
+// simulator: byte counts, bit rates, CPU cycle counts, and frequencies.
+//
+// Keeping these as distinct named types catches the classic
+// bytes-vs-bits-vs-cycles unit bugs at compile time, and concentrates the
+// (lossy) conversions between cycles and simulated nanoseconds in one
+// place.
+package units
+
+import (
+	"fmt"
+	"time"
+)
+
+// Bytes is a count of bytes.
+type Bytes int64
+
+// Common byte quantities.
+const (
+	KB Bytes = 1 << 10
+	MB Bytes = 1 << 20
+	GB Bytes = 1 << 30
+)
+
+// Bits returns the number of bits in b.
+func (b Bytes) Bits() int64 { return int64(b) * 8 }
+
+func (b Bytes) String() string {
+	switch {
+	case b >= GB:
+		return fmt.Sprintf("%.2fGB", float64(b)/float64(GB))
+	case b >= MB:
+		return fmt.Sprintf("%.2fMB", float64(b)/float64(MB))
+	case b >= KB:
+		return fmt.Sprintf("%.2fKB", float64(b)/float64(KB))
+	}
+	return fmt.Sprintf("%dB", int64(b))
+}
+
+// BitRate is a data rate in bits per second.
+type BitRate int64
+
+// Common rates.
+const (
+	BitPerSecond BitRate = 1
+	Kbps                 = 1e3 * BitPerSecond
+	Mbps                 = 1e3 * Kbps
+	Gbps                 = 1e3 * Mbps
+)
+
+// Gigabits reports the rate in Gbps as a float.
+func (r BitRate) Gigabits() float64 { return float64(r) / float64(Gbps) }
+
+func (r BitRate) String() string {
+	switch {
+	case r >= Gbps:
+		return fmt.Sprintf("%.2fGbps", float64(r)/float64(Gbps))
+	case r >= Mbps:
+		return fmt.Sprintf("%.2fMbps", float64(r)/float64(Mbps))
+	case r >= Kbps:
+		return fmt.Sprintf("%.2fKbps", float64(r)/float64(Kbps))
+	}
+	return fmt.Sprintf("%dbps", int64(r))
+}
+
+// Serialize returns the wire time for b bytes at rate r.
+// Serialize panics if r is not positive: a zero-rate link is a
+// configuration error, not a runtime condition.
+func (r BitRate) Serialize(b Bytes) time.Duration {
+	if r <= 0 {
+		panic("units: Serialize on non-positive BitRate")
+	}
+	// b*8 ns-bits / (bits/s) -> seconds; compute in ns to keep precision:
+	// t_ns = bits * 1e9 / rate.
+	return time.Duration(b.Bits() * int64(time.Second) / int64(r))
+}
+
+// RateOf returns the average rate of transferring b bytes over d.
+func RateOf(b Bytes, d time.Duration) BitRate {
+	if d <= 0 {
+		return 0
+	}
+	return BitRate(float64(b.Bits()) / d.Seconds())
+}
+
+// Cycles is a CPU cycle count.
+type Cycles int64
+
+// Frequency is a CPU clock frequency in Hz.
+type Frequency int64
+
+// Common frequencies.
+const (
+	Hz  Frequency = 1
+	MHz           = 1e6 * Hz
+	GHz           = 1e9 * Hz
+)
+
+// Duration converts a cycle count at frequency f to wall time.
+func (c Cycles) Duration(f Frequency) time.Duration {
+	if f <= 0 {
+		panic("units: Duration on non-positive Frequency")
+	}
+	return time.Duration(int64(c) * int64(time.Second) / int64(f))
+}
+
+// CyclesIn returns the number of cycles elapsing over d at frequency f.
+func CyclesIn(d time.Duration, f Frequency) Cycles {
+	return Cycles(int64(d) * int64(f) / int64(time.Second))
+}
+
+// PerByte is a fractional per-byte cycle cost. Copy costs are fractions
+// of a cycle per byte on modern hardware, so an integer Cycles type
+// cannot express them.
+type PerByte float64
+
+// Of returns the (rounded) cycle cost of processing b bytes.
+func (p PerByte) Of(b Bytes) Cycles { return Cycles(float64(b)*float64(p) + 0.5) }

@@ -1,0 +1,139 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{512, "512B"},
+		{KB, "1.00KB"},
+		{1536, "1.50KB"},
+		{MB, "1.00MB"},
+		{3 * MB / 2, "1.50MB"},
+		{GB, "1.00GB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bytes(%d).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBitRateString(t *testing.T) {
+	cases := []struct {
+		in   BitRate
+		want string
+	}{
+		{100 * Gbps, "100.00Gbps"},
+		{Mbps, "1.00Mbps"},
+		{Kbps, "1.00Kbps"},
+		{500, "500bps"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("BitRate(%d).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSerialize(t *testing.T) {
+	// 1500B at 100Gbps = 12000 bits / 100e9 bps = 120ns.
+	got := (100 * Gbps).Serialize(1500)
+	if got != 120*time.Nanosecond {
+		t.Errorf("Serialize(1500B @ 100Gbps) = %v, want 120ns", got)
+	}
+	// 9000B at 10Gbps = 72000/10e9 s = 7.2us.
+	got = (10 * Gbps).Serialize(9000)
+	if got != 7200*time.Nanosecond {
+		t.Errorf("Serialize(9000B @ 10Gbps) = %v, want 7.2us", got)
+	}
+}
+
+func TestSerializePanicsOnZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Serialize on zero rate did not panic")
+		}
+	}()
+	BitRate(0).Serialize(1)
+}
+
+func TestRateOf(t *testing.T) {
+	// 12.5GB over 1s = 100Gbps.
+	r := RateOf(Bytes(12.5e9), time.Second)
+	if g := r.Gigabits(); g < 99.9 || g > 100.1 {
+		t.Errorf("RateOf(12.5e9B, 1s) = %vGbps, want ~100", g)
+	}
+	if RateOf(100, 0) != 0 {
+		t.Error("RateOf with zero duration should be 0")
+	}
+}
+
+func TestCyclesDuration(t *testing.T) {
+	// 3.4e9 cycles at 3.4GHz = 1s.
+	d := Cycles(3.4e9).Duration(Frequency(3.4e9))
+	if d != time.Second {
+		t.Errorf("3.4e9 cycles @ 3.4GHz = %v, want 1s", d)
+	}
+	// 34 cycles at 3.4GHz = 10ns.
+	d = Cycles(34).Duration(Frequency(3.4e9))
+	if d != 10*time.Nanosecond {
+		t.Errorf("34 cycles @ 3.4GHz = %v, want 10ns", d)
+	}
+}
+
+func TestCyclesIn(t *testing.T) {
+	c := CyclesIn(time.Second, Frequency(3.4e9))
+	if c != Cycles(3.4e9) {
+		t.Errorf("CyclesIn(1s, 3.4GHz) = %d, want 3.4e9", c)
+	}
+}
+
+func TestCyclesRoundTrip(t *testing.T) {
+	f := Frequency(3.4e9)
+	err := quick.Check(func(n uint32) bool {
+		c := Cycles(n)
+		back := CyclesIn(c.Duration(f), f)
+		// ns rounding loses at most a few cycles per conversion.
+		diff := int64(back - c)
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 4
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerByteOf(t *testing.T) {
+	if got := PerByte(0.5).Of(1000); got != 500 {
+		t.Errorf("PerByte(0.5).Of(1000) = %d, want 500", got)
+	}
+	if got := PerByte(0.5).Of(1); got != 1 {
+		t.Errorf("PerByte(0.5).Of(1) = %d, want 1 (round half up)", got)
+	}
+	if got := PerByte(2).Of(0); got != 0 {
+		t.Errorf("PerByte(2).Of(0) = %d, want 0", got)
+	}
+}
+
+func TestSerializeMonotonic(t *testing.T) {
+	r := 100 * Gbps
+	err := quick.Check(func(a, b uint16) bool {
+		x, y := Bytes(a), Bytes(b)
+		if x > y {
+			x, y = y, x
+		}
+		return r.Serialize(x) <= r.Serialize(y)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}

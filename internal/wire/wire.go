@@ -1,0 +1,117 @@
+// Package wire models the path between the two hosts' NICs: a full-duplex
+// 100Gbps link as two independent unidirectional serializers, with
+// propagation delay, an optional random-drop switch (the paper's Fig. 9
+// in-network congestion experiment), and an optional ECN marking threshold
+// (for DCTCP).
+package wire
+
+import (
+	"time"
+
+	"hostsim/internal/sim"
+	"hostsim/internal/skb"
+	"hostsim/internal/units"
+)
+
+// Stats counts link activity.
+type Stats struct {
+	Sent      int64       // frames accepted for transmission
+	Delivered int64       // frames handed to the receiver
+	Dropped   int64       // frames lost at the switch
+	Marked    int64       // frames CE-marked
+	TxBytes   units.Bytes // wire bytes serialized (including headers)
+}
+
+// Link is one direction of the inter-host path. Frames serialize in FIFO
+// order at the link rate, then propagate for Delay before delivery.
+type Link struct {
+	eng      *sim.Engine
+	rate     units.BitRate
+	delay    time.Duration
+	deliver  func(*skb.Frame)
+	lossRate float64
+	// ecnThreshold marks frames CE when the serializer backlog exceeds
+	// this many bytes (a proxy for switch queue depth). 0 disables ECN.
+	ecnThreshold units.Bytes
+	nextFree     sim.Time
+	stats        Stats
+}
+
+// NewLink builds a link delivering frames to deliver.
+func NewLink(eng *sim.Engine, rate units.BitRate, delay time.Duration, deliver func(*skb.Frame)) *Link {
+	if eng == nil || deliver == nil {
+		panic("wire: nil engine or delivery callback")
+	}
+	if rate <= 0 {
+		panic("wire: non-positive link rate")
+	}
+	if delay < 0 {
+		panic("wire: negative delay")
+	}
+	return &Link{eng: eng, rate: rate, delay: delay, deliver: deliver}
+}
+
+// SetLossRate configures the switch's Bernoulli drop probability.
+func (l *Link) SetLossRate(p float64) {
+	if p < 0 || p > 1 {
+		panic("wire: loss rate outside [0,1]")
+	}
+	l.lossRate = p
+}
+
+// SetECNThreshold enables CE marking when the serializer backlog exceeds
+// thresh bytes. Zero disables marking.
+func (l *Link) SetECNThreshold(thresh units.Bytes) {
+	if thresh < 0 {
+		panic("wire: negative ECN threshold")
+	}
+	l.ecnThreshold = thresh
+}
+
+// Rate returns the link rate.
+func (l *Link) Rate() units.BitRate { return l.rate }
+
+// Delay returns the propagation delay.
+func (l *Link) Delay() time.Duration { return l.delay }
+
+// Stats returns a copy of the counters.
+func (l *Link) Stats() Stats { return l.stats }
+
+// Backlog returns the bytes' worth of serialization time still queued.
+func (l *Link) Backlog() units.Bytes {
+	now := l.eng.Now()
+	if l.nextFree <= now {
+		return 0
+	}
+	return units.Bytes(int64(l.nextFree-now) * int64(l.rate) / (8 * int64(time.Second)))
+}
+
+// Send enqueues f for transmission. Loss and marking are evaluated at the
+// switch, i.e. after the frame has consumed wire time.
+func (l *Link) Send(f *skb.Frame) {
+	if f == nil {
+		panic("wire: nil frame")
+	}
+	l.stats.Sent++
+	now := l.eng.Now()
+	start := l.nextFree
+	if start < now {
+		start = now
+	}
+	ser := l.rate.Serialize(f.WireSize())
+	l.nextFree = start.Add(ser)
+	l.stats.TxBytes += f.WireSize()
+	if l.ecnThreshold > 0 && l.Backlog() > l.ecnThreshold {
+		f.CE = true
+		l.stats.Marked++
+	}
+	if l.lossRate > 0 && l.eng.Rand().Float64() < l.lossRate {
+		l.stats.Dropped++
+		return // consumed wire time, then died at the switch
+	}
+	deliverAt := l.nextFree.Add(l.delay)
+	l.eng.At(deliverAt, func() {
+		l.stats.Delivered++
+		l.deliver(f)
+	})
+}

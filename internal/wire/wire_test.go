@@ -1,0 +1,194 @@
+package wire
+
+import (
+	"testing"
+	"time"
+
+	"hostsim/internal/sim"
+	"hostsim/internal/skb"
+	"hostsim/internal/units"
+)
+
+func dataFrame(l units.Bytes) *skb.Frame {
+	return &skb.Frame{Flow: 1, Len: l}
+}
+
+func TestDeliveryTiming(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var at sim.Time
+	// 1434B payload -> 1500B wire = 120ns at 100Gbps, +2us propagation.
+	l := NewLink(eng, 100*units.Gbps, 2*time.Microsecond, func(f *skb.Frame) { at = eng.Now() })
+	l.Send(dataFrame(1434))
+	eng.Run(sim.Time(time.Millisecond))
+	want := sim.Time(120 + 2000)
+	if at != want {
+		t.Errorf("delivered at %v, want %v", at, want)
+	}
+}
+
+func TestSerializationQueueing(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var times []sim.Time
+	l := NewLink(eng, 100*units.Gbps, 0, func(f *skb.Frame) { times = append(times, eng.Now()) })
+	// Two 1434B frames sent back to back: second waits for the first.
+	l.Send(dataFrame(1434))
+	l.Send(dataFrame(1434))
+	eng.Run(sim.Time(time.Millisecond))
+	if len(times) != 2 {
+		t.Fatalf("delivered %d frames", len(times))
+	}
+	if times[0] != 120 || times[1] != 240 {
+		t.Errorf("times = %v, want [120 240]", times)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var got []skb.FlowID
+	l := NewLink(eng, 100*units.Gbps, time.Microsecond, func(f *skb.Frame) { got = append(got, f.Flow) })
+	for i := 0; i < 10; i++ {
+		f := dataFrame(9000)
+		f.Flow = skb.FlowID(i)
+		l.Send(f)
+	}
+	eng.Run(sim.Time(time.Millisecond))
+	for i, fl := range got {
+		if int(fl) != i {
+			t.Fatalf("out of order delivery: %v", got)
+		}
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	eng := sim.NewEngine(7)
+	delivered := 0
+	l := NewLink(eng, 100*units.Gbps, 0, func(f *skb.Frame) { delivered++ })
+	l.SetLossRate(0.1)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		l.Send(dataFrame(1434))
+	}
+	eng.Run(sim.Time(time.Second))
+	st := l.Stats()
+	if st.Sent != n {
+		t.Fatalf("Sent = %d", st.Sent)
+	}
+	lossFrac := float64(st.Dropped) / float64(n)
+	if lossFrac < 0.08 || lossFrac > 0.12 {
+		t.Errorf("observed loss %.4f, want ~0.1", lossFrac)
+	}
+	if int64(delivered) != st.Delivered || st.Delivered+st.Dropped != n {
+		t.Errorf("conservation: delivered %d + dropped %d != %d", st.Delivered, st.Dropped, n)
+	}
+}
+
+func TestZeroLossDeliversAll(t *testing.T) {
+	eng := sim.NewEngine(1)
+	delivered := 0
+	l := NewLink(eng, 100*units.Gbps, 0, func(f *skb.Frame) { delivered++ })
+	for i := 0; i < 1000; i++ {
+		l.Send(dataFrame(9000))
+	}
+	eng.Run(sim.Time(time.Second))
+	if delivered != 1000 {
+		t.Errorf("delivered %d/1000", delivered)
+	}
+}
+
+func TestECNMarking(t *testing.T) {
+	eng := sim.NewEngine(1)
+	marked := 0
+	l := NewLink(eng, 100*units.Gbps, 0, func(f *skb.Frame) {
+		if f.CE {
+			marked++
+		}
+	})
+	l.SetECNThreshold(30 * units.KB)
+	// Burst of 100 jumbo frames: the backlog quickly exceeds 30KB, so the
+	// later frames must be marked.
+	for i := 0; i < 100; i++ {
+		l.Send(dataFrame(9000))
+	}
+	eng.Run(sim.Time(time.Second))
+	if marked < 50 {
+		t.Errorf("marked %d/100, want most of the burst tail", marked)
+	}
+	if l.Stats().Marked != int64(marked) {
+		t.Error("Marked stat disagrees with delivered CE frames")
+	}
+}
+
+func TestNoECNWithoutThreshold(t *testing.T) {
+	eng := sim.NewEngine(1)
+	l := NewLink(eng, 100*units.Gbps, 0, func(f *skb.Frame) {
+		if f.CE {
+			t.Error("frame marked with ECN disabled")
+		}
+	})
+	for i := 0; i < 50; i++ {
+		l.Send(dataFrame(9000))
+	}
+	eng.Run(sim.Time(time.Second))
+}
+
+func TestBacklog(t *testing.T) {
+	eng := sim.NewEngine(1)
+	l := NewLink(eng, 100*units.Gbps, 0, func(f *skb.Frame) {})
+	if l.Backlog() != 0 {
+		t.Error("fresh link should have no backlog")
+	}
+	for i := 0; i < 10; i++ {
+		l.Send(dataFrame(9000 - 66))
+	}
+	// 10 frames x 9000B wire = 90KB backlog at t=0.
+	got := l.Backlog()
+	if got < 80*units.KB || got > 92*units.KB {
+		t.Errorf("Backlog = %v, want ~90KB", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cb := func(f *skb.Frame) {}
+	for name, fn := range map[string]func(){
+		"nil engine":    func() { NewLink(nil, units.Gbps, 0, cb) },
+		"nil callback":  func() { NewLink(eng, units.Gbps, 0, nil) },
+		"zero rate":     func() { NewLink(eng, 0, 0, cb) },
+		"neg delay":     func() { NewLink(eng, units.Gbps, -1, cb) },
+		"bad loss":      func() { NewLink(eng, units.Gbps, 0, cb).SetLossRate(1.5) },
+		"neg threshold": func() { NewLink(eng, units.Gbps, 0, cb).SetECNThreshold(-1) },
+		"nil frame":     func() { NewLink(eng, units.Gbps, 0, cb).Send(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestThroughputAtLineRate(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var bytes units.Bytes
+	l := NewLink(eng, 100*units.Gbps, time.Microsecond, func(f *skb.Frame) { bytes += f.Len })
+	// Keep the link saturated for 1ms: send the next frame upon delivery.
+	var send func()
+	sent := 0
+	send = func() {
+		if eng.Now() > sim.Time(time.Millisecond) {
+			return
+		}
+		l.Send(dataFrame(9000 - 66))
+		sent++
+		eng.After(l.Rate().Serialize(9000), send)
+	}
+	eng.At(0, func() { send() })
+	eng.Run(sim.Time(2 * time.Millisecond))
+	rate := units.RateOf(bytes, time.Millisecond+2*time.Microsecond)
+	if g := rate.Gigabits(); g < 95 || g > 101 {
+		t.Errorf("goodput = %.1fGbps, want ~99 (line rate minus headers)", g)
+	}
+}

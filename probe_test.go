@@ -1,0 +1,79 @@
+package hostsim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestProbeScenarios prints a one-line summary per paper scenario. It is
+// a diagnostic aid for calibration (run with -v); assertions live in
+// calibration_test.go.
+func TestProbeScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic probe")
+	}
+	short := Config{Seed: 1, Warmup: 15 * time.Millisecond, Duration: 25 * time.Millisecond}
+	type probe struct {
+		name string
+		cfg  Config
+		wl   Workload
+	}
+	all := AllOptimizations()
+	noOpt := NoOptimizations()
+	tsogro := noOpt
+	tsogro.TSO, tsogro.GSO, tsogro.GRO = true, true, true
+	jumbo := tsogro
+	jumbo.JumboFrames = true
+	dcaOff := all
+	dcaOff.DCA = false
+	iommu := all
+	iommu.IOMMU = true
+	bbr := all
+	bbr.CC = "bbr"
+	dctcp := all
+	dctcp.CC = "dctcp"
+
+	mk := func(s Stack) Config { c := short; c.Stack = s; return c }
+	lossCfg := func(rate float64) Config { c := mk(all); c.LossRate = rate; return c }
+
+	probes := []probe{
+		{"single/noopt", mk(noOpt), LongFlowWorkload(PatternSingle, 1)},
+		{"single/+tso-gro", mk(tsogro), LongFlowWorkload(PatternSingle, 1)},
+		{"single/+jumbo", mk(jumbo), LongFlowWorkload(PatternSingle, 1)},
+		{"single/+arfs(all)", mk(all), LongFlowWorkload(PatternSingle, 1)},
+		{"single/remote-numa", mk(all), Workload{Kind: "long", Pattern: PatternSingle, RemoteNUMA: true}},
+		{"single/dca-off", mk(dcaOff), LongFlowWorkload(PatternSingle, 1)},
+		{"single/iommu", mk(iommu), LongFlowWorkload(PatternSingle, 1)},
+		{"single/bbr", mk(bbr), LongFlowWorkload(PatternSingle, 1)},
+		{"single/dctcp", mk(dctcp), LongFlowWorkload(PatternSingle, 1)},
+		{"one-to-one/8", mk(all), LongFlowWorkload(PatternOneToOne, 8)},
+		{"one-to-one/24", mk(all), LongFlowWorkload(PatternOneToOne, 24)},
+		{"incast/8", mk(all), LongFlowWorkload(PatternIncast, 8)},
+		{"incast/24", mk(all), LongFlowWorkload(PatternIncast, 24)},
+		{"outcast/8", mk(all), LongFlowWorkload(PatternOutcast, 8)},
+		{"outcast/24", mk(all), LongFlowWorkload(PatternOutcast, 24)},
+		{"all-to-all/8", mk(all), LongFlowWorkload(PatternAllToAll, 8)},
+		{"all-to-all/24", mk(all), LongFlowWorkload(PatternAllToAll, 24)},
+		{"loss/1.5e-4", lossCfg(1.5e-4), LongFlowWorkload(PatternSingle, 1)},
+		{"loss/1.5e-3", lossCfg(1.5e-3), LongFlowWorkload(PatternSingle, 1)},
+		{"loss/1.5e-2", lossCfg(1.5e-2), LongFlowWorkload(PatternSingle, 1)},
+		{"rpc/4KB", mk(all), RPCIncastWorkload(16, 4096)},
+		{"rpc/16KB", mk(all), RPCIncastWorkload(16, 16384)},
+		{"rpc/64KB", mk(all), RPCIncastWorkload(16, 65536)},
+		{"mixed/0", mk(all), MixedWorkload(0, 4096)},
+		{"mixed/16", mk(all), MixedWorkload(16, 4096)},
+	}
+	for _, p := range probes {
+		res, err := Run(p.cfg, p.wl)
+		if err != nil {
+			t.Fatalf("%s: %v", p.name, err)
+		}
+		b := res.Receiver.Breakdown
+		t.Logf("%-20s thpt %6.2f tpc %6.2f [%s] sndBusy %5.2f rcvBusy %5.2f miss %4.1f%% copy %4.1f%% sched %4.1f%% mem %4.1f%% tcp %4.1f%% lat %8v skb %5.1fKB rpc %6d drops %5d retx %5d",
+			p.name, res.ThroughputGbps, res.ThroughputPerCoreGbps, res.Bottleneck,
+			res.Sender.BusyCores, res.Receiver.BusyCores,
+			res.Receiver.CacheMissRate*100, b["data_copy"]*100, b["sched"]*100, b["memory"]*100, b["tcp/ip"]*100,
+			res.Receiver.LatencyAvg.Round(time.Microsecond), res.Receiver.SKBAvgBytes/1024,
+			res.RPCCompleted, res.Receiver.NICDrops, res.Sender.Retransmits)
+	}
+}

@@ -1,0 +1,29 @@
+package hostsim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSmokeSingleFlow drives the full pipeline end to end once and prints
+// the headline metrics; the calibration tests pin the exact bands.
+func TestSmokeSingleFlow(t *testing.T) {
+	res, err := Run(Config{Stack: AllOptimizations(), Seed: 1,
+		Warmup: 10 * time.Millisecond, Duration: 20 * time.Millisecond},
+		LongFlowWorkload(PatternSingle, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("throughput          %.2f Gbps", res.ThroughputGbps)
+	t.Logf("throughput-per-core %.2f Gbps (bottleneck %s)", res.ThroughputPerCoreGbps, res.Bottleneck)
+	t.Logf("sender busy %.2f cores / receiver busy %.2f cores", res.Sender.BusyCores, res.Receiver.BusyCores)
+	t.Logf("receiver breakdown  %v", res.Receiver.Breakdown)
+	t.Logf("sender breakdown    %v", res.Sender.Breakdown)
+	t.Logf("cache miss          %.1f%%", res.Receiver.CacheMissRate*100)
+	t.Logf("latency avg %v p99 %v", res.Receiver.LatencyAvg, res.Receiver.LatencyP99)
+	t.Logf("skb avg %.1fKB, 64KB share %.2f", res.Receiver.SKBAvgBytes/1024, res.Receiver.SKB64KBShare)
+	t.Logf("retransmits %d, acks %d, drops %d", res.Sender.Retransmits, res.Receiver.AcksSent, res.Receiver.NICDrops)
+	if res.ThroughputGbps <= 1 {
+		t.Fatalf("single flow moved almost no data: %.2f Gbps", res.ThroughputGbps)
+	}
+}

@@ -1,0 +1,170 @@
+package hostsim
+
+import (
+	"fmt"
+	"time"
+
+	"hostsim/internal/core"
+	"hostsim/internal/units"
+	"hostsim/internal/workload"
+)
+
+// builtWorkload holds the running applications and measurement snapshots
+// for per-class goodput deltas.
+type builtWorkload struct {
+	long    []*workload.LongFlow
+	clients []*workload.RPCClient
+
+	longBase     units.Bytes
+	longBaseEach []units.Bytes
+	rpcBase      units.Bytes
+	rpcDone      int64
+}
+
+func buildWorkload(sender, receiver *core.Host, wl Workload) (*builtWorkload, error) {
+	b := &builtWorkload{}
+	switch wl.Kind {
+	case "long":
+		p, err := parsePattern(wl.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		n := wl.N
+		if p == workload.Single {
+			n = 1
+		}
+		if wl.RemoteNUMA {
+			if p != workload.Single {
+				return nil, fmt.Errorf("hostsim: RemoteNUMA supports the single pattern only")
+			}
+			// Application on the first core of NUMA node 2 (NIC on node 0).
+			rc := receiver.Spec().CoresOnNode(2)[0]
+			sEP, rEP := core.OpenConn(sender, 0, receiver, rc)
+			b.long = []*workload.LongFlow{workload.StartLongFlow(sEP, rEP)}
+			return b, nil
+		}
+		b.long = workload.LongFlows(sender, receiver, p, n)
+		return b, nil
+
+	case "rpc":
+		if wl.RPCClients <= 0 || wl.RPCSize <= 0 {
+			return nil, fmt.Errorf("hostsim: rpc workload needs RPCClients and RPCSize")
+		}
+		serverCore := 0
+		if wl.RemoteNUMA {
+			serverCore = receiver.Spec().CoresOnNode(2)[0]
+		}
+		clients, _ := workload.RPCIncast(sender, receiver, wl.RPCClients, serverCore, units.Bytes(wl.RPCSize))
+		b.clients = clients
+		return b, nil
+
+	case "mixed":
+		if wl.RPCSize <= 0 {
+			wl.RPCSize = 4096
+		}
+		shortCore := 0
+		if wl.Segregate {
+			shortCore = 1
+		}
+		lf, clients, _ := workload.MixedSplit(sender, receiver, 0, shortCore, wl.MixedShort, units.Bytes(wl.RPCSize))
+		b.long = []*workload.LongFlow{lf}
+		b.clients = clients
+		return b, nil
+
+	default:
+		return nil, fmt.Errorf("hostsim: unknown workload kind %q", wl.Kind)
+	}
+}
+
+func parsePattern(p Pattern) (workload.Pattern, error) {
+	switch p {
+	case PatternSingle:
+		return workload.Single, nil
+	case PatternOneToOne:
+		return workload.OneToOne, nil
+	case PatternIncast:
+		return workload.Incast, nil
+	case PatternOutcast:
+		return workload.Outcast, nil
+	case PatternAllToAll:
+		return workload.AllToAll, nil
+	default:
+		return 0, fmt.Errorf("hostsim: unknown pattern %q", p)
+	}
+}
+
+// snapshot records baselines at the start of the measurement window.
+func (b *builtWorkload) snapshot() {
+	b.longBase = 0
+	b.longBaseEach = b.longBaseEach[:0]
+	for _, lf := range b.long {
+		d := lf.Receiver.Conn().Stats().DeliveredBytes
+		b.longBase += d
+		b.longBaseEach = append(b.longBaseEach, d)
+	}
+	b.rpcBase, b.rpcDone = 0, 0
+	for _, c := range b.clients {
+		b.rpcBase += c.EP.Conn().Stats().DeliveredBytes
+		b.rpcDone += c.Completed
+	}
+}
+
+// deltas reports per-class progress over the window.
+func (b *builtWorkload) deltas(window time.Duration) (rpcs int64, longGbps, rpcGbps float64) {
+	var longBytes units.Bytes
+	for _, lf := range b.long {
+		longBytes += lf.Receiver.Conn().Stats().DeliveredBytes
+	}
+	longBytes -= b.longBase
+	var rpcBytes units.Bytes
+	for _, c := range b.clients {
+		rpcBytes += c.EP.Conn().Stats().DeliveredBytes
+		rpcs += c.Completed
+	}
+	rpcBytes -= b.rpcBase
+	rpcs -= b.rpcDone
+	// RPC goodput is reported one-way (response bytes delivered to the
+	// clients), following netperf's transaction-byte convention.
+	return rpcs, units.RateOf(longBytes, window).Gigabits(),
+		units.RateOf(rpcBytes, window).Gigabits()
+}
+
+// perFlow returns each long flow's goodput over the window (Gbps).
+func (b *builtWorkload) perFlow(window time.Duration) []float64 {
+	if len(b.long) == 0 {
+		return nil
+	}
+	out := make([]float64, len(b.long))
+	for i, lf := range b.long {
+		d := lf.Receiver.Conn().Stats().DeliveredBytes - b.longBaseEach[i]
+		out[i] = units.RateOf(d, window).Gigabits()
+	}
+	return out
+}
+
+// jain computes Jain's fairness index over per-flow goodputs: 1 is
+// perfectly fair, 1/n is maximally unfair.
+func jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+func hostRetransmits(h *core.Host) int64 {
+	st := h.AggregateConnStats()
+	return st.Retransmits
+}
+
+func hostAcksSent(h *core.Host) int64 {
+	st := h.AggregateConnStats()
+	return st.AcksSent
+}

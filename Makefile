@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test check fmt vet race bench figures
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: formatting, static analysis, and the full test
+# suite under the race detector.
+check: fmt vet race
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+figures:
+	$(GO) run ./cmd/figures

@@ -156,3 +156,35 @@ func BenchmarkScenarioMixed16(b *testing.B) {
 	benchScenario(b, benchCfg(hostsim.AllOptimizations()),
 		hostsim.MixedWorkload(16, 4096))
 }
+
+// benchRunCfg is one short end-to-end run for the telemetry-overhead
+// comparison benchmarks below.
+func benchRunCfg() hostsim.Config {
+	return hostsim.Config{
+		Stack: hostsim.AllOptimizations(), Seed: 7,
+		Warmup: 4 * time.Millisecond, Duration: 6 * time.Millisecond,
+	}
+}
+
+// BenchmarkRunTelemetryOff is the baseline data path with no telemetry
+// state allocated; compare against BenchmarkRunTelemetryOn to verify the
+// nil-registry fast path costs nothing when disabled.
+func BenchmarkRunTelemetryOff(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := hostsim.Run(benchRunCfg(), hostsim.LongFlowWorkload(hostsim.PatternSingle, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunTelemetryOn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := benchRunCfg()
+		cfg.Telemetry = &hostsim.Telemetry{}
+		if _, err := hostsim.Run(cfg, hostsim.LongFlowWorkload(hostsim.PatternSingle, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

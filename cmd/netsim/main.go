@@ -19,6 +19,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"hostsim"
@@ -57,6 +58,10 @@ func main() {
 		seeds  = flag.Int("seeds", 1, "run this many seeds and report mean +/- stddev")
 		traceN = flag.Int("trace", 0, "dump the last N data-path events after the run")
 		traceF = flag.Int("trace-flow", 0, "restrict the trace to one flow id (0 = all)")
+
+		telemetryOut = flag.String("telemetry-out", "", "write the sampled metric timeline to this file (CSV, or JSONL with a .jsonl suffix)")
+		sampleEvery  = flag.Duration("sample-interval", 100*time.Microsecond, "simulated time between telemetry samples")
+		traceOut     = flag.String("trace-out", "", "write a Chrome trace-event JSON file (open in Perfetto); implies -trace")
 	)
 	flag.Parse()
 
@@ -70,6 +75,15 @@ func main() {
 		Stack: stack, LossRate: *loss, ECNMarkKB: *ecn,
 		Warmup: *warmup, Duration: *dur, Seed: *seed,
 		TraceEvents: *traceN, TraceFlow: int32(*traceF),
+	}
+	if *telemetryOut != "" {
+		cfg.Telemetry = &hostsim.Telemetry{SampleInterval: *sampleEvery}
+	}
+	if *traceOut != "" {
+		if cfg.TraceEvents == 0 {
+			cfg.TraceEvents = 1 << 16
+		}
+		cfg.TraceSpans = true
 	}
 
 	var wl hostsim.Workload
@@ -97,6 +111,30 @@ func main() {
 		os.Exit(1)
 	}
 	printResult(res)
+	if *telemetryOut != "" {
+		if err := writeTimeline(res.Timeline, *telemetryOut); err != nil {
+			fmt.Fprintln(os.Stderr, "netsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntelemetry: %d samples x %d metrics -> %s\n",
+			res.Timeline.Len(), len(res.Timeline.Names), *telemetryOut)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = res.WriteChromeTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("chrome trace: %d events -> %s (open in https://ui.perfetto.dev)\n",
+			len(res.Trace), *traceOut)
+		return // -trace-out implies -trace; skip the text dump
+	}
 	if len(res.Trace) > 0 {
 		fmt.Printf("\n--- trace (last %d events) ---\n", len(res.Trace))
 		for _, e := range res.Trace {
@@ -104,6 +142,24 @@ func main() {
 				e.At, e.Host, e.Core, e.Flow, e.Kind, e.A, e.B)
 		}
 	}
+}
+
+// writeTimeline dumps the sampled timeline: JSON lines when the path ends
+// in .jsonl, CSV otherwise.
+func writeTimeline(tl *hostsim.Timeline, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = tl.WriteJSONL(f)
+	} else {
+		err = tl.WriteCSV(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // runSeeds reports mean +/- stddev of the headline metrics over n seeds.

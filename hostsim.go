@@ -22,12 +22,14 @@ package hostsim
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"hostsim/internal/core"
 	"hostsim/internal/cpumodel"
 	"hostsim/internal/sim"
 	"hostsim/internal/skb"
+	"hostsim/internal/telemetry"
 	"hostsim/internal/topology"
 	"hostsim/internal/trace"
 	"hostsim/internal/units"
@@ -147,12 +149,43 @@ type Config struct {
 	Seed      int64         // RNG seed; runs are deterministic per seed
 
 	// TraceEvents, when positive, records the most recent N data-path
-	// events (writes, segments, deliveries, acks, retransmissions) into
-	// Result.Trace. TraceFlow restricts recording to one flow id (flows
-	// are numbered from 1 in connection-creation order; 0 = all).
+	// events (writes, segments, deliveries, acks, retransmissions, NIC
+	// drops and GRO flushes) into Result.Trace. TraceFlow restricts
+	// recording to one flow id (flows are numbered from 1 in
+	// connection-creation order; 0 = all).
 	TraceEvents int
 	TraceFlow   int32
+
+	// TraceSpans additionally records per-core execution spans (softirq
+	// and thread work items with their dominant Table-1 category) into
+	// the trace; Result.WriteChromeTrace renders them for Perfetto.
+	// Requires TraceEvents > 0; span events carry flow id 0, so combine
+	// with TraceFlow 0.
+	TraceSpans bool
+
+	// Telemetry, when non-nil, enables the time-resolved metrics layer:
+	// hosts, NICs, cores, the cache and every TCP flow register named
+	// counters and gauges that are sampled on a fixed simulated-time
+	// interval into Result.Timeline. A nil Telemetry allocates no
+	// telemetry state and costs nothing, like a nil tracer.
+	Telemetry *Telemetry
 }
+
+// Telemetry configures the sampling layer (see Config.Telemetry).
+type Telemetry struct {
+	// SampleInterval is the simulated time between registry snapshots
+	// (0 = 100µs).
+	SampleInterval time.Duration
+	// MaxSamples bounds the timeline ring; the oldest samples are
+	// evicted beyond it (0 = 4096).
+	MaxSamples int
+}
+
+// Timeline is the sampled multi-metric timeseries produced when
+// Config.Telemetry is set: one column per metric, one row per sample.
+// It dumps as CSV (WriteCSV) or JSON lines (WriteJSONL), and Column
+// extracts one metric's series.
+type Timeline = telemetry.Timeline
 
 // TraceEvent is one recorded data-path occurrence (see Config.TraceEvents).
 // A and B are kind-specific: sequence/length for data events, cumulative
@@ -252,6 +285,21 @@ type Result struct {
 	// Trace holds the recorded data-path events when Config.TraceEvents
 	// was set, oldest first, across both hosts.
 	Trace []TraceEvent
+
+	// Timeline holds the sampled metric timeseries when Config.Telemetry
+	// was set (nil otherwise).
+	Timeline *Timeline
+
+	traceEvents []trace.Event // raw events for WriteChromeTrace
+}
+
+// WriteChromeTrace renders the recorded trace as a Chrome trace-event
+// JSON array, loadable in Perfetto or chrome://tracing: hosts become
+// processes, cores become threads, execution spans (Config.TraceSpans)
+// become duration events and data-path events become instants. Writing
+// an empty trace produces a valid empty JSON array.
+func (r *Result) WriteChromeTrace(w io.Writer) error {
+	return telemetry.WriteChromeTrace(w, r.traceEvents)
 }
 
 // Run executes one simulation and reports the measured window.
@@ -307,6 +355,34 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 		tracer.FilterFlow(skb.FlowID(cfg.TraceFlow))
 		sender.SetTracer(tracer)
 		receiver.SetTracer(tracer)
+		if cfg.TraceSpans {
+			sender.EnableSpanTrace()
+			receiver.EnableSpanTrace()
+		}
+	} else if cfg.TraceSpans {
+		return nil, fmt.Errorf("hostsim: TraceSpans requires TraceEvents > 0")
+	}
+
+	var sampler *telemetry.Sampler
+	if cfg.Telemetry != nil {
+		interval := cfg.Telemetry.SampleInterval
+		if interval == 0 {
+			interval = 100 * time.Microsecond
+		}
+		if interval < 0 {
+			return nil, fmt.Errorf("hostsim: negative Telemetry.SampleInterval")
+		}
+		maxSamples := cfg.Telemetry.MaxSamples
+		if maxSamples == 0 {
+			maxSamples = 4096
+		}
+		if maxSamples < 0 {
+			return nil, fmt.Errorf("hostsim: negative Telemetry.MaxSamples")
+		}
+		reg := telemetry.NewRegistry()
+		sender.EnableTelemetry(reg)
+		receiver.EnableTelemetry(reg)
+		sampler = telemetry.NewSampler(eng, reg, interval, maxSamples)
 	}
 
 	run, err := buildWorkload(sender, receiver, wl)
@@ -318,11 +394,20 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 	sender.ResetMetrics()
 	receiver.ResetMetrics()
 	run.snapshot()
+	if sampler != nil {
+		// First sample at the start of the measurement window, right
+		// after the warm-up reset.
+		sampler.Start(sim.Time(cfg.Warmup))
+	}
 	eng.Run(sim.Time(cfg.Warmup + cfg.Duration))
 
 	res := assemble(cfg, sender, receiver, ab, ba, run)
+	if sampler != nil {
+		res.Timeline = sampler.Timeline()
+	}
 	if tracer != nil {
-		for _, e := range tracer.Events() {
+		res.traceEvents = tracer.Events()
+		for _, e := range res.traceEvents {
 			res.Trace = append(res.Trace, TraceEvent{
 				At:   e.At.Duration(),
 				Host: e.Host, Core: e.Core, Flow: int32(e.Flow),

@@ -13,6 +13,7 @@ import (
 	"hostsim/internal/sim"
 	"hostsim/internal/skb"
 	"hostsim/internal/tcp"
+	"hostsim/internal/telemetry"
 	"hostsim/internal/topology"
 	"hostsim/internal/trace"
 	"hostsim/internal/units"
@@ -65,14 +66,23 @@ type Host struct {
 	unsteered int64
 	tracer    *trace.Tracer // nil = tracing off
 
+	telemetry    *telemetry.Registry // nil = telemetry off
+	ctrSteerMiss *telemetry.Counter  // Rx processed off the app core
+
 	// Receiver-driven scheduler state (Options.RcvSchedulerK).
 	schedGroups  map[int][]*Endpoint // receiving endpoints by app core
 	schedIdx     map[int]int
 	schedStarted bool
 }
 
-// SetTracer installs an event tracer (nil disables tracing).
-func (h *Host) SetTracer(tr *trace.Tracer) { h.tracer = tr }
+// SetTracer installs an event tracer (nil disables tracing). The NIC, if
+// already connected, shares it for drop and GRO-flush events.
+func (h *Host) SetTracer(tr *trace.Tracer) {
+	h.tracer = tr
+	if h.NIC != nil {
+		h.NIC.SetTrace(tr, h.name)
+	}
+}
 
 // Tracer returns the installed tracer (possibly nil).
 func (h *Host) Tracer() *trace.Tracer { return h.tracer }
@@ -274,6 +284,7 @@ func (h *Host) process(ctx *exec.Ctx, ep *Endpoint, s *skb.SKB) {
 		ctx.Charge(cpumodel.Lock, h.costs.SockLockFast)
 	} else {
 		ctx.Charge(cpumodel.Lock, h.costs.SockLockContended)
+		h.ctrSteerMiss.Inc()
 	}
 	if s.Ack == nil && s.Len > 0 {
 		h.skbSizes.Record(float64(s.Len))
@@ -281,6 +292,78 @@ func (h *Host) process(ctx *exec.Ctx, ep *Endpoint, s *skb.SKB) {
 			Flow: s.Flow, Kind: trace.DeliverSKB, A: s.Seq, B: int64(s.Len)})
 	}
 	ep.conn.OnSegment(ctx, s)
+}
+
+// EnableTelemetry registers this host's metrics into reg, prefixed with
+// the host name (e.g. "sender/copied_bytes"). Call after Connect (the
+// NIC's gauges ride along) and before opening connections (endpoints
+// register per-flow gauges as they appear). No-op on a nil registry.
+func (h *Host) EnableTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	h.telemetry = reg
+	p := h.name + "/"
+	reg.Gauge(p+"copied_bytes", func() float64 { return float64(h.copied) })
+	reg.Gauge(p+"written_bytes", func() float64 { return float64(h.written) })
+	reg.Gauge(p+"copy_miss_rate", func() float64 { return h.CopyMissRate() })
+	reg.Gauge(p+"skb_avg_bytes", func() float64 { return h.skbSizes.Mean() })
+	reg.Gauge(p+"latency_p99_us", func() float64 { return h.latency.Quantile(0.99) / 1e3 })
+	reg.Gauge(p+"unsteered", func() float64 { return float64(h.unsteered) })
+	h.ctrSteerMiss = reg.Counter(p + "steer_miss")
+	if h.NIC != nil {
+		h.NIC.RegisterTelemetry(reg, p+"nic/")
+	}
+	if h.DCA != nil {
+		reg.Gauge(p+"ddio/hit_rate", func() float64 { return 1 - h.DCA.Stats().MissRate() })
+		reg.Gauge(p+"ddio/resident_pages", func() float64 { return float64(h.DCA.Resident()) })
+	}
+	for i := 0; i < h.spec.NumCores(); i++ {
+		c := h.Sys.Core(i)
+		cp := fmt.Sprintf("%score%02d/", p, i)
+		reg.Gauge(cp+"softirq_us", func() float64 { return c.SoftirqTime().Seconds() * 1e6 })
+		reg.Gauge(cp+"thread_us", func() float64 { return c.ThreadTime().Seconds() * 1e6 })
+		reg.Gauge(cp+"runq", func() float64 { return float64(c.RunqLen()) })
+		reg.Gauge(cp+"runq_wait_us", func() float64 { return c.RunqWait().Seconds() * 1e6 })
+	}
+}
+
+// registerFlowTelemetry adds per-flow TCP gauges for a newly opened
+// endpoint (sender-side state: cwnd, srtt, retransmits, receive buffer).
+func (h *Host) registerFlowTelemetry(ep *Endpoint) {
+	p := fmt.Sprintf("%s/flow%03d/", h.name, ep.txFlow)
+	conn := ep.conn
+	h.telemetry.Gauge(p+"cwnd_bytes", func() float64 { return float64(conn.CC().Cwnd()) })
+	h.telemetry.Gauge(p+"srtt_us", func() float64 { return conn.SRTT().Seconds() * 1e6 })
+	h.telemetry.Gauge(p+"retransmits", func() float64 { return float64(conn.Stats().Retransmits) })
+	h.telemetry.Gauge(p+"rcvbuf_bytes", func() float64 { return float64(conn.RcvBuf()) })
+}
+
+// EnableSpanTrace streams per-core execution spans (work-item start/end
+// with dominant Table-1 category and cycles charged) into the host's
+// tracer; pair with a flow-unfiltered tracer and the Chrome-trace
+// exporter for a Perfetto view of the run.
+func (h *Host) EnableSpanTrace() {
+	h.Sys.SetSpanObserver(func(core int, softirq bool, thread string,
+		start, end sim.Time, acct *cpumodel.Breakdown, cycles units.Cycles) {
+		if h.tracer == nil {
+			return
+		}
+		startKind, endKind := trace.ThreadStart, trace.ThreadEnd
+		if softirq {
+			startKind, endKind = trace.SoftirqStart, trace.SoftirqEnd
+		}
+		dom := 0
+		for i := 1; i < len(acct); i++ {
+			if acct[i] > acct[dom] {
+				dom = i
+			}
+		}
+		h.tracer.Emit(trace.Event{At: start, Host: h.name, Core: core,
+			Kind: startKind, A: int64(dom), B: int64(cycles)})
+		h.tracer.Emit(trace.Event{At: end, Host: h.name, Core: core,
+			Kind: endKind, A: int64(dom), B: int64(cycles)})
+	})
 }
 
 // ResetMetrics starts a measurement window: clears CPU accounting, cache
@@ -392,6 +475,9 @@ func (h *Host) register(ep *Endpoint) {
 	h.steerTable[ep.rxFlow] = irqCore
 	h.steerTable[ep.txFlow] = irqCore
 	h.installSteering()
+	if h.telemetry != nil {
+		h.registerFlowTelemetry(ep)
+	}
 	if h.opts.RcvSchedulerK > 0 {
 		h.schedGroups[ep.appCore] = append(h.schedGroups[ep.appCore], ep)
 		h.startRcvScheduler()

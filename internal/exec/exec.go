@@ -54,7 +54,20 @@ type System struct {
 	cores       []*Core
 	granularity units.Cycles
 	sleepCredit units.Cycles
+	spanObs     SpanObserver
 }
+
+// SpanObserver receives one callback per completed work item: the core it
+// ran on, whether it was softirq or thread context (thread = the thread's
+// name, empty for softirq), its start/end times, the per-category cycle
+// accounting, and total cycles charged. Observers must not mutate acct.
+// Used by the telemetry layer to export per-core execution spans.
+type SpanObserver func(core int, softirq bool, thread string,
+	start, end sim.Time, acct *cpumodel.Breakdown, cycles units.Cycles)
+
+// SetSpanObserver installs obs (nil disables span observation). Zero-cost
+// work items (pure blocking quanta) are not reported.
+func (s *System) SetSpanObserver(obs SpanObserver) { s.spanObs = obs }
 
 // SetGranularity overrides the scheduling granularity (tests, ablations).
 func (s *System) SetGranularity(d time.Duration) {
@@ -108,6 +121,9 @@ func (s *System) ResetAccounting() {
 	for _, c := range s.cores {
 		c.acct = cpumodel.Breakdown{}
 		c.busy = 0
+		c.softirqBusy = 0
+		c.threadBusy = 0
+		c.runqWait = 0
 	}
 }
 
@@ -147,6 +163,7 @@ type Thread struct {
 	willBlock   bool
 	pendingWake bool
 	vruntime    units.Cycles // fair-share accounting (CFS-style)
+	queuedAt    sim.Time     // when the thread last entered the runqueue
 }
 
 // Name returns the thread's diagnostic name.
@@ -172,6 +189,13 @@ type Core struct {
 	acct     cpumodel.Breakdown
 	busy     time.Duration
 	inflight *Ctx
+
+	// Context-split busy time and cumulative run-queue wait, for the
+	// telemetry layer's per-core softirq-vs-thread and scheduler-delay
+	// metrics.
+	softirqBusy time.Duration
+	threadBusy  time.Duration
+	runqWait    time.Duration
 }
 
 // enqueueWoken admits a freshly woken thread with bounded sleeper credit:
@@ -183,6 +207,7 @@ func (c *Core) enqueueWoken(t *Thread) {
 	if t.vruntime < floor {
 		t.vruntime = floor
 	}
+	t.queuedAt = c.sys.eng.Now()
 	c.runq = append(c.runq, t)
 }
 
@@ -194,6 +219,21 @@ func (c *Core) Node() int { return c.node }
 
 // BusyTime returns accumulated busy time since the last reset.
 func (c *Core) BusyTime() time.Duration { return c.busy }
+
+// SoftirqTime returns busy time spent in softirq context since the last
+// reset.
+func (c *Core) SoftirqTime() time.Duration { return c.softirqBusy }
+
+// ThreadTime returns busy time spent in thread (application/syscall)
+// context since the last reset.
+func (c *Core) ThreadTime() time.Duration { return c.threadBusy }
+
+// RunqWait returns the cumulative time runnable threads spent queued on
+// this core before being granted the CPU, since the last reset.
+func (c *Core) RunqWait() time.Duration { return c.runqWait }
+
+// RunqLen returns the number of currently runnable (queued) threads.
+func (c *Core) RunqLen() int { return len(c.runq) }
 
 // Accounting returns a copy of the per-category cycle tally.
 func (c *Core) Accounting() cpumodel.Breakdown { return c.acct }
@@ -326,6 +366,9 @@ func (c *Core) pickThread() *Thread {
 	if t.vruntime > c.minVR {
 		c.minVR = t.vruntime
 	}
+	if now := c.sys.eng.Now(); now > t.queuedAt {
+		c.runqWait += time.Duration(now - t.queuedAt)
+	}
 	return t
 }
 
@@ -333,13 +376,27 @@ func (c *Core) pickThread() *Thread {
 // thread's next state, and dispatches further work.
 func (c *Core) complete(ctx *Ctx) {
 	c.acct.Merge(&ctx.acct)
-	c.busy += ctx.cycles.Duration(c.sys.spec.Frequency)
+	d := ctx.cycles.Duration(c.sys.spec.Frequency)
+	c.busy += d
+	if ctx.thread == nil {
+		c.softirqBusy += d
+	} else {
+		c.threadBusy += d
+	}
+	if obs := c.sys.spanObs; obs != nil && ctx.cycles > 0 {
+		name := ""
+		if ctx.thread != nil {
+			name = ctx.thread.name
+		}
+		obs(c.id, ctx.thread == nil, name, ctx.start, ctx.start.Add(d), &ctx.acct, ctx.cycles)
+	}
 	if t := ctx.thread; t != nil {
 		t.vruntime += ctx.cycles
 		if ctx.blocked && !t.pendingWake {
 			t.state = stateBlocked
 		} else {
 			t.state = stateRunnable
+			t.queuedAt = c.sys.eng.Now()
 			c.runq = append(c.runq, t)
 		}
 		t.pendingWake = false

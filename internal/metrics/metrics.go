@@ -145,14 +145,20 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.max
 }
 
-// Fraction returns the share of samples with value <= v.
+// Fraction returns the share of samples with value <= v. Overflow-bucket
+// samples (beyond the last edge) count once v reaches the observed max,
+// so Fraction(+Inf) is always 1 for a non-empty histogram.
 func (h *Histogram) Fraction(v float64) float64 {
 	if h.total == 0 {
 		return 0
 	}
 	var cum int64
 	for i, c := range h.counts {
-		if i < len(h.edges) && h.edges[i] <= v {
+		if i < len(h.edges) {
+			if h.edges[i] <= v {
+				cum += c
+			}
+		} else if v >= h.max {
 			cum += c
 		}
 	}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -70,6 +71,27 @@ func TestFraction(t *testing.T) {
 	}
 	if got := h.Fraction(65536); got != 1 {
 		t.Errorf("Fraction(64KB) = %v, want 1", got)
+	}
+}
+
+// Regression: overflow-bucket samples were never counted by Fraction, so
+// Fraction(+Inf) reported < 1 whenever any sample exceeded the last edge.
+func TestFractionCountsOverflowBucket(t *testing.T) {
+	h := NewSize()
+	h.RecordN(2048, 3)
+	h.RecordN(100_000, 1) // beyond the 64KB last edge -> overflow bucket
+	if got := h.Fraction(math.Inf(1)); got != 1 {
+		t.Errorf("Fraction(+Inf) = %v, want 1", got)
+	}
+	if got := h.Fraction(100_000); got != 1 {
+		t.Errorf("Fraction(max) = %v, want 1", got)
+	}
+	// Below the observed max, overflow samples must not count.
+	if got := h.Fraction(65536); got != 0.75 {
+		t.Errorf("Fraction(64KB) = %v, want 0.75", got)
+	}
+	if got := h.Fraction(99_999); got != 0.75 {
+		t.Errorf("Fraction(just below max) = %v, want 0.75", got)
 	}
 }
 

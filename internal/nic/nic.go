@@ -16,6 +16,8 @@ import (
 	"hostsim/internal/mem"
 	"hostsim/internal/sim"
 	"hostsim/internal/skb"
+	"hostsim/internal/telemetry"
+	"hostsim/internal/trace"
 	"hostsim/internal/units"
 	"hostsim/internal/wire"
 )
@@ -167,6 +169,9 @@ type NIC struct {
 	txNext     int
 	txBusy     bool
 	txComplete TxCompleteFunc
+
+	tracer    *trace.Tracer // nil = no tracing
+	traceHost string
 }
 
 type rxQueue struct {
@@ -254,6 +259,44 @@ func (n *NIC) queue(core int) *rxQueue {
 // SetTxComplete installs the Tx completion callback.
 func (n *NIC) SetTxComplete(fn TxCompleteFunc) { n.txComplete = fn }
 
+// SetTrace installs a tracer (nil = none) for NIC-level events — descriptor
+// drops and GRO flushes — tagged with the owning host's name.
+func (n *NIC) SetTrace(tr *trace.Tracer, host string) {
+	n.tracer = tr
+	n.traceHost = host
+}
+
+// RingOccupancy returns the number of Rx descriptors currently holding
+// DMA-ed frames across all queues (posted descriptors consumed but not yet
+// replenished by NAPI).
+func (n *NIC) RingOccupancy() int {
+	occ := 0
+	for _, q := range n.queues {
+		occ += n.cfg.RxRing - q.posted
+	}
+	return occ
+}
+
+// RegisterTelemetry registers the NIC's gauges under prefix (e.g.
+// "rx/"). Probes are pure reads; no-op on a nil registry.
+func (n *NIC) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge(prefix+"ring_occupancy", func() float64 { return float64(n.RingOccupancy()) })
+	reg.Gauge(prefix+"rx_frames", func() float64 { return float64(n.stats.RxFrames) })
+	reg.Gauge(prefix+"rx_dropped", func() float64 { return float64(n.stats.RxDropped) })
+	reg.Gauge(prefix+"tx_frames", func() float64 { return float64(n.stats.TxFrames) })
+	reg.Gauge(prefix+"irqs", func() float64 { return float64(n.stats.IRQs) })
+	reg.Gauge(prefix+"napi_polls", func() float64 { return float64(n.stats.NAPIPolls) })
+	reg.Gauge(prefix+"gro_avg_frames", func() float64 {
+		if n.stats.NAPIPolls == 0 {
+			return 0
+		}
+		return float64(n.stats.RxFrames) / float64(n.stats.NAPIPolls)
+	})
+}
+
 // SendFrames enqueues Tx frames on the calling core's Tx queue at the
 // context's logical time, charging the per-skb doorbell cost. The egress
 // scheduler drains queues round-robin at line rate.
@@ -328,6 +371,10 @@ func (n *NIC) ReceiveFromWire(f *skb.Frame) {
 	q := n.queue(core)
 	if q.posted <= 0 {
 		n.stats.RxDropped++
+		n.tracer.Emit(trace.Event{
+			At: n.eng.Now(), Host: n.traceHost, Core: core, Flow: f.Flow,
+			Kind: trace.Drop, A: f.Seq, B: int64(f.Len),
+		})
 		return
 	}
 	q.posted--
@@ -457,6 +504,16 @@ func (q *rxQueue) poll(ctx *exec.Ctx) {
 	}
 	if useGRO {
 		out = append(out, gro.Flush()...)
+	}
+	if n.tracer != nil && len(out) > 0 {
+		var bytes int64
+		for _, s := range out {
+			bytes += int64(s.Len)
+		}
+		n.tracer.Emit(trace.Event{
+			At: ctx.Now(), Host: n.traceHost, Core: q.core,
+			Kind: trace.GROFlush, A: int64(len(out)), B: bytes,
+		})
 	}
 	for _, s := range out {
 		n.deliver(ctx, s)

@@ -1,0 +1,40 @@
+package telemetry
+
+import "testing"
+
+// The hot-path contract: bumping a nil counter (telemetry disabled) is a
+// branch and nothing else — no allocation, no write.
+func BenchmarkNilCounterInc(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkRegistryRead(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 64; i++ {
+		v := float64(i)
+		r.Gauge(string(rune('a'+i%26))+string(rune('0'+i/26)), func() float64 { return v })
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Read()
+	}
+}
+
+func TestNilCounterIncAllocatesNothing(t *testing.T) {
+	var c *Counter
+	if n := testing.AllocsPerRun(100, func() { c.Inc(); c.Add(3) }); n != 0 {
+		t.Errorf("nil counter allocated %v per op", n)
+	}
+}

@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+
+	"hostsim/internal/cpumodel"
+	"hostsim/internal/trace"
+)
+
+// traceObj is one entry of the Chrome trace-event JSON array
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+// Timestamps and durations are in microseconds, as the format requires.
+type traceObj struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// usOf converts simulated nanoseconds to trace-event microseconds.
+func usOf(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WriteChromeTrace renders traced events as a Chrome trace-event JSON
+// array, loadable directly in Perfetto or chrome://tracing. Hosts become
+// processes (pid per host, named via metadata events), cores become
+// threads (tid = core id). Span start/end pairs (SoftirqStart/End,
+// ThreadStart/End) become complete "X" events named by their dominant
+// Table-1 category; all other kinds become thread-scoped instant events.
+//
+// Writing an empty event list produces a valid empty trace.
+func WriteChromeTrace(w io.Writer, events []trace.Event) error {
+	pids := make(map[string]int)
+	var objs []traceObj
+	pidOf := func(host string) int {
+		if p, ok := pids[host]; ok {
+			return p
+		}
+		p := len(pids) + 1
+		pids[host] = p
+		objs = append(objs, traceObj{
+			Name: "process_name", Ph: "M", Pid: p,
+			Args: map[string]any{"name": host},
+		})
+		return p
+	}
+
+	// One pending span start per (host, core): cores execute work items
+	// serially, so starts and ends of a core strictly alternate.
+	type spanKey struct {
+		host string
+		core int
+	}
+	pending := make(map[spanKey]trace.Event)
+
+	for _, e := range events {
+		pid := pidOf(e.Host)
+		switch e.Kind {
+		case trace.SoftirqStart, trace.ThreadStart:
+			pending[spanKey{e.Host, e.Core}] = e
+		case trace.SoftirqEnd, trace.ThreadEnd:
+			key := spanKey{e.Host, e.Core}
+			start, ok := pending[key]
+			if !ok {
+				continue // start evicted from the ring; skip the orphan
+			}
+			delete(pending, key)
+			ctxName := "softirq"
+			if e.Kind == trace.ThreadEnd {
+				ctxName = "thread"
+			}
+			objs = append(objs, traceObj{
+				Name: cpumodel.Category(e.A).String(),
+				Cat:  ctxName,
+				Ph:   "X",
+				Ts:   usOf(int64(start.At)),
+				Dur:  usOf(int64(e.At - start.At)),
+				Pid:  pid,
+				Tid:  e.Core,
+				Args: map[string]any{"cycles": e.B},
+			})
+		default:
+			objs = append(objs, traceObj{
+				Name: e.Kind.String(),
+				Cat:  "flow",
+				Ph:   "i",
+				Ts:   usOf(int64(e.At)),
+				Pid:  pid,
+				Tid:  e.Core,
+				S:    "t",
+				Args: map[string]any{"flow": int64(e.Flow), "a": e.A, "b": e.B},
+			})
+		}
+	}
+	if objs == nil {
+		objs = []traceObj{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(objs)
+}

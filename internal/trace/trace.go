@@ -19,19 +19,30 @@ import (
 // Kind classifies a traced event.
 type Kind uint8
 
-// Event kinds along the Fig. 1 data path.
+// Event kinds along the Fig. 1 data path. The span kinds (SoftirqStart
+// through ThreadEnd) delimit per-core execution of one work item; for
+// those, A carries the dominant Table-1 category index and B the cycles
+// charged. Drop marks a NIC descriptor drop; GROFlush marks the end of a
+// NAPI poll's aggregation (A = skbs delivered up, B = payload bytes).
 const (
-	AppWrite   Kind = iota // application write syscall accepted bytes
-	AppRead                // application read syscall copied bytes
-	TxSegment              // TCP handed a segment to the NIC
-	Retransmit             // TCP retransmitted a range
-	DeliverSKB             // an skb reached TCP/IP Rx processing
-	AckSent                // receiver emitted an ACK
+	AppWrite     Kind = iota // application write syscall accepted bytes
+	AppRead                  // application read syscall copied bytes
+	TxSegment                // TCP handed a segment to the NIC
+	Retransmit               // TCP retransmitted a range
+	DeliverSKB               // an skb reached TCP/IP Rx processing
+	AckSent                  // receiver emitted an ACK
+	Drop                     // NIC dropped a frame (no Rx descriptor)
+	GROFlush                 // NAPI poll flushed its GRO aggregates
+	SoftirqStart             // a softirq work item began executing
+	SoftirqEnd               // a softirq work item finished
+	ThreadStart              // a thread quantum began executing
+	ThreadEnd                // a thread quantum finished
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"app-write", "app-read", "tx-segment", "retransmit", "deliver-skb", "ack-sent",
+	"drop", "gro-flush", "softirq-start", "softirq-end", "thread-start", "thread-end",
 }
 
 func (k Kind) String() string {
@@ -56,6 +67,12 @@ func (e Event) String() string {
 	switch e.Kind {
 	case AckSent:
 		return fmt.Sprintf("%-12v %-8s core%-3d flow%-4d %-11s cum=%d wnd=%d",
+			e.At, e.Host, e.Core, e.Flow, e.Kind, e.A, e.B)
+	case SoftirqStart, SoftirqEnd, ThreadStart, ThreadEnd:
+		return fmt.Sprintf("%-12v %-8s core%-3d flow%-4d %-11s cat=%d cyc=%d",
+			e.At, e.Host, e.Core, e.Flow, e.Kind, e.A, e.B)
+	case GROFlush:
+		return fmt.Sprintf("%-12v %-8s core%-3d flow%-4d %-11s skbs=%d bytes=%d",
 			e.At, e.Host, e.Core, e.Flow, e.Kind, e.A, e.B)
 	default:
 		return fmt.Sprintf("%-12v %-8s core%-3d flow%-4d %-11s seq=%d len=%d",

@@ -75,11 +75,55 @@ func TestKindStrings(t *testing.T) {
 	want := map[Kind]string{
 		AppWrite: "app-write", AppRead: "app-read", TxSegment: "tx-segment",
 		Retransmit: "retransmit", DeliverSKB: "deliver-skb", AckSent: "ack-sent",
+		Drop: "drop", GROFlush: "gro-flush",
+		SoftirqStart: "softirq-start", SoftirqEnd: "softirq-end",
+		ThreadStart: "thread-start", ThreadEnd: "thread-end",
 		Kind(99): "invalid",
 	}
 	for k, s := range want {
 		if k.String() != s {
 			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+// Every declared kind must have a distinct, non-empty name: the names are
+// the public identifiers in Result.Trace and the Chrome-trace export.
+func TestKindNamesCompleteAndUnique(t *testing.T) {
+	seen := make(map[string]Kind)
+	for k := Kind(0); k < numKinds; k++ {
+		s := k.String()
+		if s == "" || s == "invalid" {
+			t.Errorf("kind %d has no name", k)
+			continue
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("kinds %d and %d share the name %q", prev, k, s)
+		}
+		seen[s] = k
+	}
+}
+
+func TestSpanAndNICEventFormats(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want []string
+	}{
+		{Event{Host: "snd", Core: 1, Kind: SoftirqStart, A: 3, B: 12345},
+			[]string{"softirq-start", "cat=3", "cyc=12345"}},
+		{Event{Host: "snd", Core: 1, Kind: ThreadEnd, A: 0, B: 99},
+			[]string{"thread-end", "cat=0", "cyc=99"}},
+		{Event{Host: "rcv", Core: 0, Kind: GROFlush, A: 4, B: 180000},
+			[]string{"gro-flush", "skbs=4", "bytes=180000"}},
+		{Event{Host: "rcv", Core: 0, Flow: 2, Kind: Drop, A: 4096, B: 1500},
+			[]string{"drop", "seq=4096", "len=1500"}},
+	}
+	for _, c := range cases {
+		out := c.e.String()
+		for _, want := range c.want {
+			if !strings.Contains(out, want) {
+				t.Errorf("%v.String() = %q, missing %q", c.e.Kind, out, want)
+			}
 		}
 	}
 }
@@ -97,6 +141,54 @@ func TestDumpFormats(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("dump missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// Wrap-around must preserve global emission order, not just membership.
+func TestWrapAroundOrdering(t *testing.T) {
+	tr := New(4)
+	for i := int64(1); i <= 11; i++ {
+		tr.Emit(ev(i, 1, DeliverSKB))
+	}
+	got := tr.Events()
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want 4", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].At <= got[i-1].At {
+			t.Fatalf("events out of order after wrap: %v", got)
+		}
+	}
+	if got[0].A != 8 || got[3].A != 11 {
+		t.Errorf("expected events 8..11, got %v", got)
+	}
+	if tr.Dropped() != 7 {
+		t.Errorf("Dropped = %d, want 7", tr.Dropped())
+	}
+}
+
+func TestDumpReportsEvicted(t *testing.T) {
+	tr := New(2)
+	for i := int64(1); i <= 5; i++ {
+		tr.Emit(ev(i, 1, AppWrite))
+	}
+	var sb strings.Builder
+	if err := tr.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "3 earlier events evicted") {
+		t.Errorf("dump should note evictions:\n%s", sb.String())
+	}
+}
+
+func TestFilterFlowZeroRecordsAll(t *testing.T) {
+	tr := New(10)
+	tr.FilterFlow(7)
+	tr.FilterFlow(0) // reset to all flows
+	tr.Emit(ev(1, 7, AppWrite))
+	tr.Emit(ev(2, 8, AppWrite))
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d, want 2 after clearing the filter", tr.Len())
 	}
 }
 

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench figures
+.PHONY: all build test check fmt vet race bench bench-runner figures
 
 all: build
 
@@ -26,8 +26,15 @@ race:
 # suite under the race detector.
 check: fmt vet race
 
-bench:
+bench: bench-runner
 	$(GO) test -bench . -benchmem ./...
+
+# bench-runner captures the parallel-runner and pooled hot-path benchmarks
+# (BenchmarkRunMany*, timer reset, pooled schedule/GRO) as JSON for
+# regression tracking.
+bench-runner:
+	$(GO) test -run '^$$' -bench 'RunMany|TimerReset|ScheduleFirePooled|GROPooled' \
+		-benchmem -json . ./internal/sim ./internal/skb > BENCH_runner.json
 
 figures:
 	$(GO) run ./cmd/figures

@@ -8,12 +8,18 @@
 //	figures -fig fig3a      # one figure
 //	figures -list           # list available experiments
 //	figures -dur 50ms       # longer measurement window
+//	figures -jobs 1         # serial regeneration (default: all CPUs)
+//
+// Output on stdout is byte-identical at any -jobs value: experiments fan
+// out across workers but tables are printed in paper order, and each
+// simulation is an isolated, seeded run. Timing goes to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"hostsim/internal/figures"
@@ -27,6 +33,7 @@ func main() {
 		warmup = flag.Duration("warmup", 15*time.Millisecond, "warm-up (simulated, excluded)")
 		seed   = flag.Int64("seed", 7, "simulation seed")
 		format = flag.String("format", "text", "output format: text, csv, markdown")
+		jobs   = flag.Int("jobs", runtime.NumCPU(), "simulations run concurrently (1 = serial)")
 	)
 	flag.Parse()
 
@@ -37,7 +44,14 @@ func main() {
 		return
 	}
 
-	rc := figures.RunConfig{Seed: *seed, Warmup: *warmup, Duration: *dur}
+	switch *format {
+	case "text", "csv", "markdown", "md":
+	default:
+		fmt.Fprintf(os.Stderr, "figures: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	rc := figures.RunConfig{Seed: *seed, Warmup: *warmup, Duration: *dur, Jobs: *jobs}
 	exps := figures.All()
 	if *fig != "" {
 		e, ok := figures.ByID(*fig)
@@ -47,24 +61,23 @@ func main() {
 		}
 		exps = []figures.Experiment{e}
 	}
-	for _, e := range exps {
-		start := time.Now()
-		tbl, err := e.Run(rc)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", e.ID, err)
-			os.Exit(1)
-		}
+	start := time.Now()
+	tables, err := figures.RunAll(rc, exps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
+	}
+	for i, tbl := range tables {
 		switch *format {
 		case "text":
 			fmt.Print(tbl.String())
-			fmt.Printf("paper: %s\n(generated in %v)\n\n", e.Paper, time.Since(start).Round(time.Millisecond))
+			fmt.Printf("paper: %s\n\n", exps[i].Paper)
 		case "csv":
 			fmt.Printf("# %s: %s\n%s\n", tbl.ID, tbl.Title, tbl.CSV())
 		case "markdown", "md":
 			fmt.Println(tbl.Markdown())
-		default:
-			fmt.Fprintf(os.Stderr, "figures: unknown format %q\n", *format)
-			os.Exit(2)
 		}
 	}
+	fmt.Fprintf(os.Stderr, "figures: %d experiment(s) in %v (-jobs %d)\n",
+		len(exps), time.Since(start).Round(time.Millisecond), *jobs)
 }

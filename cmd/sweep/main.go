@@ -8,17 +8,20 @@
 //	sweep -kind rxbuf                # rx buffer latency curve (Fig. 3f)
 //	sweep -kind flows -pattern incast
 //	sweep -kind loss
+//	sweep -kind ring -jobs 1         # serial (default: all CPUs)
+//
+// The CSV on stdout is byte-identical at any -jobs value: grid points fan
+// out across workers but rows are emitted in grid order.
 package main
 
 import (
-	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
+	"runtime"
 	"time"
 
-	"hostsim"
+	"hostsim/internal/sweeps"
 )
 
 func main() {
@@ -28,90 +31,20 @@ func main() {
 		dur     = flag.Duration("dur", 25*time.Millisecond, "measurement window")
 		warmup  = flag.Duration("warmup", 15*time.Millisecond, "warm-up")
 		seed    = flag.Int64("seed", 7, "seed")
+		jobs    = flag.Int("jobs", runtime.NumCPU(), "simulations run concurrently (1 = serial)")
 	)
 	flag.Parse()
 
-	w := csv.NewWriter(os.Stdout)
-	defer w.Flush()
-
-	cfg := func(s hostsim.Stack) hostsim.Config {
-		return hostsim.Config{Stack: s, Warmup: *warmup, Duration: *dur, Seed: *seed}
-	}
-	fail := func(err error) {
+	err := sweeps.Run(os.Stdout, sweeps.Params{
+		Kind:     *kind,
+		Pattern:  *pattern,
+		Seed:     *seed,
+		Warmup:   *warmup,
+		Duration: *dur,
+		Jobs:     *jobs,
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
-
-	switch *kind {
-	case "ring":
-		w.Write([]string{"rxbuf_kb", "ring", "thpt_gbps", "tpc_gbps", "miss_rate"})
-		for _, bufKB := range []int64{0, 3200, 6400} {
-			for _, ring := range []int{128, 256, 512, 1024, 2048, 4096, 8192} {
-				s := hostsim.AllOptimizations()
-				s.RcvBufBytes = bufKB << 10
-				s.RxDescriptors = ring
-				res, err := hostsim.Run(cfg(s), hostsim.LongFlowWorkload(hostsim.PatternSingle, 1))
-				if err != nil {
-					fail(err)
-				}
-				w.Write([]string{
-					strconv.FormatInt(bufKB, 10), strconv.Itoa(ring),
-					f(res.ThroughputGbps), f(res.ThroughputPerCoreGbps),
-					f(res.Receiver.CacheMissRate),
-				})
-			}
-		}
-	case "rxbuf":
-		w.Write([]string{"rxbuf_kb", "thpt_gbps", "lat_avg_us", "lat_p99_us", "miss_rate"})
-		for _, kb := range []int64{100, 200, 400, 800, 1600, 3200, 6400, 12800} {
-			s := hostsim.AllOptimizations()
-			s.RcvBufBytes = kb << 10
-			res, err := hostsim.Run(cfg(s), hostsim.LongFlowWorkload(hostsim.PatternSingle, 1))
-			if err != nil {
-				fail(err)
-			}
-			w.Write([]string{
-				strconv.FormatInt(kb, 10), f(res.ThroughputGbps),
-				f(float64(res.Receiver.LatencyAvg) / 1e3),
-				f(float64(res.Receiver.LatencyP99) / 1e3),
-				f(res.Receiver.CacheMissRate),
-			})
-		}
-	case "flows":
-		w.Write([]string{"flows", "thpt_gbps", "tpc_gbps", "miss_rate", "skb_avg_kb"})
-		for _, n := range []int{1, 2, 4, 8, 12, 16, 20, 24} {
-			wl := hostsim.LongFlowWorkload(hostsim.Pattern(*pattern), n)
-			if n == 1 {
-				wl = hostsim.LongFlowWorkload(hostsim.PatternSingle, 1)
-			}
-			res, err := hostsim.Run(cfg(hostsim.AllOptimizations()), wl)
-			if err != nil {
-				fail(err)
-			}
-			w.Write([]string{
-				strconv.Itoa(n), f(res.ThroughputGbps), f(res.ThroughputPerCoreGbps),
-				f(res.Receiver.CacheMissRate), f(res.Receiver.SKBAvgBytes / 1024),
-			})
-		}
-	case "loss":
-		w.Write([]string{"loss", "thpt_gbps", "tpc_gbps", "retransmits", "miss_rate"})
-		for _, p := range []float64{0, 1e-5, 1e-4, 1.5e-4, 1e-3, 1.5e-3, 5e-3, 1.5e-2} {
-			c := cfg(hostsim.AllOptimizations())
-			c.LossRate = p
-			res, err := hostsim.Run(c, hostsim.LongFlowWorkload(hostsim.PatternSingle, 1))
-			if err != nil {
-				fail(err)
-			}
-			w.Write([]string{
-				strconv.FormatFloat(p, 'g', -1, 64), f(res.ThroughputGbps),
-				f(res.ThroughputPerCoreGbps), strconv.FormatInt(res.Sender.Retransmits, 10),
-				f(res.Receiver.CacheMissRate),
-			})
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "sweep: unknown kind %q\n", *kind)
-		os.Exit(2)
-	}
 }
-
-func f(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }

@@ -339,7 +339,6 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 	if cfg.LinkGbps > 0 {
 		spec.LinkRate = units.BitRate(cfg.LinkGbps) * units.Gbps
 	}
-	core.ResetFlowIDs()
 	sender := core.NewHost("sender", eng, spec, costs, opts)
 	receiver := core.NewHost("receiver", eng, spec, costs, opts)
 	ab, ba := core.Connect(sender, receiver)

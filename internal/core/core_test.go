@@ -19,7 +19,6 @@ type rig struct {
 
 func newRig(t *testing.T, opts Options) *rig {
 	t.Helper()
-	ResetFlowIDs()
 	eng := sim.NewEngine(1)
 	costs := cpumodel.Default()
 	spec := topology.Default()
@@ -123,7 +122,6 @@ func TestConnectTwicePanics(t *testing.T) {
 }
 
 func TestOpenConnBeforeConnectPanics(t *testing.T) {
-	ResetFlowIDs()
 	eng := sim.NewEngine(1)
 	a := NewHost("a", eng, topology.Default(), cpumodel.Default(), AllOpts())
 	b := NewHost("b", eng, topology.Default(), cpumodel.Default(), AllOpts())

@@ -63,6 +63,7 @@ func newEndpoint(h *Host, appCore int, txFlow, rxFlow skb.FlowID) *Endpoint {
 		OnReadable:   ep.onReadable,
 		OnWritable:   ep.onWritable,
 		OnAckedPages: ep.onAckedPages,
+		Recycle:      ep.recycleSKB,
 	})
 	return ep
 }
@@ -156,10 +157,13 @@ func (ep *Endpoint) sendSegment(ctx *exec.Ctx, c *tcp.Conn, seq int64, length un
 	pages := h.spec.PagesFor(length)
 	h.Alloc.DMAMap(ctx, pages)
 	h.Alloc.DMAUnmap(ctx, pages)
+	fp := h.NIC.FramePool()
 	frames := make([]*skb.Frame, 0, len(sizes))
 	s := seq
 	for _, l := range sizes {
-		frames = append(frames, &skb.Frame{Flow: c.Flow(), Seq: s, Len: l})
+		f := fp.Get()
+		f.Flow, f.Seq, f.Len = c.Flow(), s, l
+		frames = append(frames, f)
 		s += int64(l)
 	}
 	h.NIC.SendFrames(ctx, frames)
@@ -171,11 +175,21 @@ func (ep *Endpoint) sendAck(ctx *exec.Ctx, c *tcp.Conn, info *skb.AckInfo) {
 	ctx.Charge(cpumodel.Netdev, ep.host.costs.QdiscEnqueue/2)
 	// The ACK acknowledges the incoming flow: it carries rxFlow so the
 	// peer's NIC steers it to the data sender's queue and socket.
-	ep.host.NIC.SendFrames(ctx, []*skb.Frame{{Flow: ep.rxFlow, Ack: info}})
+	f := ep.host.NIC.FramePool().Get()
+	f.Flow, f.Ack = ep.rxFlow, info
+	ep.host.NIC.SendFrames(ctx, []*skb.Frame{f})
 }
 
 func (ep *Endpoint) sendProbe(ctx *exec.Ctx, c *tcp.Conn) {
-	ep.host.NIC.SendFrames(ctx, []*skb.Frame{{Flow: c.Flow()}})
+	f := ep.host.NIC.FramePool().Get()
+	f.Flow = c.Flow()
+	ep.host.NIC.SendFrames(ctx, []*skb.Frame{f})
+}
+
+// recycleSKB returns a fully consumed skb to the host pair's pool (nil
+// pool = no-op, the GC takes it).
+func (ep *Endpoint) recycleSKB(s *skb.SKB) {
+	ep.host.NIC.SKBPool().Put(s)
 }
 
 // softirq runs fn on the endpoint's TCP-processing core (timer handlers).
@@ -253,6 +267,7 @@ func (ep *Endpoint) Read(ctx *exec.Ctx, max units.Bytes) units.Bytes {
 			if len(s.Pages) > 0 {
 				h.Alloc.Free(ctx, ep.appCore, s.Pages)
 			}
+			ep.recycleSKB(s)
 			continue
 		}
 		// Copy cost page by page: DDIO hit, local DRAM, or remote DRAM.
@@ -293,6 +308,7 @@ func (ep *Endpoint) Read(ctx *exec.Ctx, max units.Bytes) units.Bytes {
 		if len(s.Pages) > 0 {
 			h.Alloc.Free(ctx, ep.appCore, s.Pages)
 		}
+		ep.recycleSKB(s)
 	}
 	h.copied += total
 	h.tracer.Emit(trace.Event{At: ctx.Now(), Host: h.name, Core: ep.appCore,

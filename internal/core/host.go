@@ -49,6 +49,7 @@ type Host struct {
 	DCA   *cache.DCA
 	NIC   *nic.NIC
 
+	flows      *flowIDs // shared with the peer host after Connect
 	steerTable map[skb.FlowID]int
 	byTx       map[skb.FlowID]*Endpoint // local sender endpoints by tx flow
 	byRx       map[skb.FlowID]*Endpoint // local receiver endpoints by rx flow
@@ -104,6 +105,7 @@ func NewHost(name string, eng *sim.Engine, spec topology.MachineSpec,
 		opts:        opts,
 		Sys:         exec.NewSystem(eng, spec, costs),
 		Alloc:       mem.NewAllocator(spec, costs),
+		flows:       &flowIDs{},
 		steerTable:  make(map[skb.FlowID]int),
 		byTx:        make(map[skb.FlowID]*Endpoint),
 		byRx:        make(map[skb.FlowID]*Endpoint),
@@ -159,6 +161,14 @@ func Connect(a, b *Host) (ab, ba *wire.Link) {
 	b.NIC = nic.New(b.eng, b.Sys, b.Alloc, b.DCA, b.opts.nicConfig(), ba, b.deliver)
 	a.NIC.SetTxComplete(a.txComplete)
 	b.NIC.SetTxComplete(b.txComplete)
+	// Share the fast-path pools and the flow-ID counter across the pair:
+	// frames and skbs are born on one host and die on the other, so only a
+	// pair-wide pool stays balanced, and per-pair flow numbering keeps
+	// concurrent simulations independent (no global state).
+	skbs, frames := &skb.Pool{}, &skb.FramePool{}
+	a.NIC.SetPools(skbs, frames)
+	b.NIC.SetPools(skbs, frames)
+	b.flows = a.flows
 	a.installSteering()
 	b.installSteering()
 	return ab, ba
@@ -435,16 +445,16 @@ func (h *Host) senderMissRate() float64 {
 	return m
 }
 
-// flowIDs hands out unique flow identifiers per engine run.
-var nextFlowID skb.FlowID
+// flowIDs hands out unique flow identifiers for one connected host pair.
+// Scoping the counter to the pair (instead of a package global) keeps
+// concurrent simulations deterministic and data-race free.
+type flowIDs struct {
+	next skb.FlowID
+}
 
-// ResetFlowIDs restarts flow numbering (call between independent runs to
-// keep experiments deterministic).
-func ResetFlowIDs() { nextFlowID = 0 }
-
-func allocFlowID() skb.FlowID {
-	nextFlowID++
-	return nextFlowID
+func (f *flowIDs) alloc() skb.FlowID {
+	f.next++
+	return f.next
 }
 
 // OpenConn opens a connection between aCore on host a and bCore on host
@@ -454,8 +464,8 @@ func OpenConn(a *Host, aCore int, b *Host, bCore int) (*Endpoint, *Endpoint) {
 	if a.NIC == nil || b.NIC == nil {
 		panic("core: Connect the hosts before opening connections")
 	}
-	flowAB := allocFlowID()
-	flowBA := allocFlowID()
+	flowAB := a.flows.alloc()
+	flowBA := a.flows.alloc()
 	epA := newEndpoint(a, aCore, flowAB, flowBA)
 	epB := newEndpoint(b, bCore, flowBA, flowAB)
 	a.register(epA)

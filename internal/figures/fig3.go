@@ -47,15 +47,20 @@ func init() {
 }
 
 func singleFlowLadder(rc RunConfig) (map[string]*hostsim.Result, []string, error) {
+	steps := ladder()
+	specs := make([]runSpec, len(steps))
+	order := make([]string, len(steps))
+	for i, step := range steps {
+		specs[i] = runSpec{rc.config(step.Stack), hostsim.LongFlowWorkload(hostsim.PatternSingle, 1)}
+		order[i] = step.Name
+	}
+	results, err := runBatch(rc, specs)
+	if err != nil {
+		return nil, nil, err
+	}
 	out := map[string]*hostsim.Result{}
-	var order []string
-	for _, step := range ladder() {
-		res, err := run(rc.config(step.Stack), hostsim.LongFlowWorkload(hostsim.PatternSingle, 1))
-		if err != nil {
-			return nil, nil, err
-		}
-		out[step.Name] = res
-		order = append(order, step.Name)
+	for i, r := range results {
+		out[order[i]] = r
 	}
 	return out, order, nil
 }
@@ -74,11 +79,17 @@ func fig3a(rc RunConfig) (*Table, error) {
 		r := results[name]
 		t.Rows = append(t.Rows, []string{name, gb(r.ThroughputPerCoreGbps), gb(r.ThroughputGbps)})
 	}
-	for _, ab := range ablations() {
-		r, err := run(rc.config(ab.Stack), hostsim.LongFlowWorkload(hostsim.PatternSingle, 1))
-		if err != nil {
-			return nil, err
-		}
+	abs := ablations()
+	specs := make([]runSpec, len(abs))
+	for i, ab := range abs {
+		specs[i] = runSpec{rc.config(ab.Stack), hostsim.LongFlowWorkload(hostsim.PatternSingle, 1)}
+	}
+	abRes, err := runBatch(rc, specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, ab := range abs {
+		r := abRes[i]
 		t.Rows = append(t.Rows, []string{ab.Name, gb(r.ThroughputPerCoreGbps), gb(r.ThroughputGbps)})
 	}
 	t.Notes = append(t.Notes, "paper: ~42Gbps/core with all optimizations")
@@ -147,20 +158,26 @@ func fig3e(rc RunConfig) (*Table, error) {
 		{"default", 0}, // autotuned
 	}
 	rings := []int{128, 256, 512, 1024, 2048, 4096, 8192}
+	var specs []runSpec
+	var labels [][2]string
 	for _, buf := range buffers {
 		for _, ring := range rings {
 			s := hostsim.AllOptimizations()
 			s.RcvBufBytes = buf.bytes
 			s.RxDescriptors = ring
-			r, err := run(rc.config(s), hostsim.LongFlowWorkload(hostsim.PatternSingle, 1))
-			if err != nil {
-				return nil, err
-			}
-			t.Rows = append(t.Rows, []string{
-				buf.name, fmt.Sprintf("%d", ring),
-				gb(r.ThroughputGbps), pct(r.Receiver.CacheMissRate),
-			})
+			specs = append(specs, runSpec{rc.config(s), hostsim.LongFlowWorkload(hostsim.PatternSingle, 1)})
+			labels = append(labels, [2]string{buf.name, fmt.Sprintf("%d", ring)})
 		}
+	}
+	results, err := runBatch(rc, specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		t.Rows = append(t.Rows, []string{
+			labels[i][0], labels[i][1],
+			gb(r.ThroughputGbps), pct(r.Receiver.CacheMissRate),
+		})
 	}
 	t.Notes = append(t.Notes,
 		"paper: miss rate rises with ring size and with buffer size; 3200KB + <=512 descriptors is optimal")
@@ -173,15 +190,20 @@ func fig3f(rc RunConfig) (*Table, error) {
 		Title:   "Latency from NAPI to start of data copy vs Rx buffer size",
 		Columns: []string{"rx-buffer-KB", "avg-latency", "p99-latency", "thpt-gbps"},
 	}
-	for _, kb := range []int64{100, 200, 400, 800, 1600, 3200, 6400, 12800} {
+	kbs := []int64{100, 200, 400, 800, 1600, 3200, 6400, 12800}
+	specs := make([]runSpec, len(kbs))
+	for i, kb := range kbs {
 		s := hostsim.AllOptimizations()
 		s.RcvBufBytes = kb << 10
-		r, err := run(rc.config(s), hostsim.LongFlowWorkload(hostsim.PatternSingle, 1))
-		if err != nil {
-			return nil, err
-		}
+		specs[i] = runSpec{rc.config(s), hostsim.LongFlowWorkload(hostsim.PatternSingle, 1)}
+	}
+	results, err := runBatch(rc, specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", kb),
+			fmt.Sprintf("%d", kbs[i]),
 			r.Receiver.LatencyAvg.Round(time.Microsecond).String(),
 			r.Receiver.LatencyP99.Round(time.Microsecond).String(),
 			gb(r.ThroughputGbps),

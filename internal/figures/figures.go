@@ -9,9 +9,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"hostsim"
+	"hostsim/internal/runner"
 )
 
 // RunConfig controls simulation length and seeding for all experiments.
@@ -19,6 +21,20 @@ type RunConfig struct {
 	Seed     int64
 	Warmup   time.Duration
 	Duration time.Duration
+	// Jobs is the number of simulations run concurrently (within an
+	// experiment's batched sweeps and across experiments in RunAll).
+	// <= 1 means serial. Output is byte-identical at any value: results
+	// are always assembled in submission order and each run is an
+	// isolated, seeded simulation.
+	Jobs int
+}
+
+// jobs returns the effective parallelism degree.
+func (rc RunConfig) jobs() int {
+	if rc.Jobs <= 1 {
+		return 1
+	}
+	return rc.Jobs
 }
 
 // Default returns the standard measurement window.
@@ -183,25 +199,90 @@ func ByID(id string) (Experiment, bool) {
 
 // ---------------------------------------------------------------------------
 // Shared run helpers. Runs are memoized per (config, workload) so that
-// sub-figures sharing scenarios (3a-3d, 9a-9d, ...) pay once.
+// sub-figures sharing scenarios (3a-3d, 9a-9d, ...) pay once. The memo is
+// a singleflight: when experiments run concurrently (RunAll with Jobs > 1)
+// the first caller of a key executes the simulation and everyone else
+// blocks on its completion, so no scenario ever runs twice.
 
-var runCache = map[string]*hostsim.Result{}
+type memoEntry struct {
+	once sync.Once
+	res  *hostsim.Result
+	err  error
+}
+
+var (
+	cacheMu  sync.Mutex
+	runCache = map[string]*memoEntry{}
+)
 
 func run(cfg hostsim.Config, wl hostsim.Workload) (*hostsim.Result, error) {
 	key := fmt.Sprintf("%+v|%+v", cfg, wl)
-	if r, ok := runCache[key]; ok {
-		return r, nil
+	cacheMu.Lock()
+	e, ok := runCache[key]
+	if !ok {
+		e = &memoEntry{}
+		runCache[key] = e
 	}
-	r, err := hostsim.Run(cfg, wl)
-	if err != nil {
-		return nil, err
-	}
-	runCache[key] = r
-	return r, nil
+	cacheMu.Unlock()
+	e.once.Do(func() { e.res, e.err = hostsim.Run(cfg, wl) })
+	return e.res, e.err
+}
+
+// CacheSize returns the number of memoized runs (tests).
+func CacheSize() int {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	return len(runCache)
 }
 
 // ClearCache drops memoized runs (benchmarks use it to avoid reuse).
-func ClearCache() { runCache = map[string]*hostsim.Result{} }
+func ClearCache() {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	runCache = map[string]*memoEntry{}
+}
+
+// runSpec names one simulation of a batched sweep.
+type runSpec struct {
+	cfg hostsim.Config
+	wl  hostsim.Workload
+}
+
+// runBatch evaluates every spec — rc.Jobs at a time — and returns the
+// results in spec order. Shared scenarios still run once (the memo
+// dedupes). The first error in spec order is returned, matching what a
+// serial loop would have reported.
+func runBatch(rc RunConfig, specs []runSpec) ([]*hostsim.Result, error) {
+	res := runner.Map(specs, func(s runSpec) (*hostsim.Result, error) {
+		return run(s.cfg, s.wl)
+	}, runner.Options{Workers: rc.jobs()})
+	out := make([]*hostsim.Result, len(res))
+	for i, r := range res {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		out[i] = r.Value
+	}
+	return out, nil
+}
+
+// RunAll regenerates the given experiments — rc.Jobs at a time — and
+// returns their tables in the experiments' order. Tables and errors land
+// exactly as a serial loop would produce them; the memo ensures scenarios
+// shared between concurrently-running experiments execute once.
+func RunAll(rc RunConfig, exps []Experiment) ([]*Table, error) {
+	res := runner.Map(exps, func(e Experiment) (*Table, error) {
+		return e.Run(rc)
+	}, runner.Options{Workers: rc.jobs()})
+	out := make([]*Table, len(res))
+	for i, r := range res {
+		if r.Err != nil {
+			return nil, fmt.Errorf("%s: %w", exps[i].ID, r.Err)
+		}
+		out[i] = r.Value
+	}
+	return out, nil
+}
 
 // ladder returns the paper's incremental optimization steps of Fig. 3a.
 func ladder() []struct {

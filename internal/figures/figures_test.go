@@ -93,7 +93,7 @@ func TestRunCache(t *testing.T) {
 	if _, err := fig3a(rc); err != nil {
 		t.Fatal(err)
 	}
-	n := len(runCache)
+	n := CacheSize()
 	if n == 0 {
 		t.Fatal("cache empty after a run")
 	}
@@ -101,18 +101,18 @@ func TestRunCache(t *testing.T) {
 	if _, err := fig3a(rc); err != nil {
 		t.Fatal(err)
 	}
-	if len(runCache) != n {
-		t.Errorf("cache grew on identical rerun: %d -> %d", n, len(runCache))
+	if CacheSize() != n {
+		t.Errorf("cache grew on identical rerun: %d -> %d", n, CacheSize())
 	}
 	// fig3b shares fig3a's ladder runs.
 	if _, err := fig3b(rc); err != nil {
 		t.Fatal(err)
 	}
-	if len(runCache) != n {
-		t.Errorf("fig3b should fully reuse fig3a's runs (%d -> %d)", n, len(runCache))
+	if CacheSize() != n {
+		t.Errorf("fig3b should fully reuse fig3a's runs (%d -> %d)", n, CacheSize())
 	}
 	ClearCache()
-	if len(runCache) != 0 {
+	if CacheSize() != 0 {
 		t.Error("ClearCache left entries")
 	}
 }

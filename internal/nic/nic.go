@@ -172,6 +172,12 @@ type NIC struct {
 
 	tracer    *trace.Tracer // nil = no tracing
 	traceHost string
+
+	// Fast-path pools (nil = plain allocation). Shared with the peer NIC:
+	// data frames are born at the sender and die at the receiver, so only a
+	// pool spanning both ends stays balanced.
+	skbPool   *skb.Pool
+	framePool *skb.FramePool
 }
 
 type rxQueue struct {
@@ -183,8 +189,9 @@ type rxQueue struct {
 	descDeficit  int // descriptors consumed since the last replenish
 	backlog      []*skb.Frame
 	napi         bool // NAPI scheduled or running
-	modTimer     *sim.Timer
-	irqPending   bool // charge IRQEntry on next poll
+	modTimer     sim.Timer
+	irqPending   bool     // charge IRQEntry on next poll
+	gro          *skb.GRO // persistent across polls (always drained at poll end)
 }
 
 // New builds a NIC. dca may be nil (DCA disabled). link is the egress
@@ -258,6 +265,20 @@ func (n *NIC) queue(core int) *rxQueue {
 
 // SetTxComplete installs the Tx completion callback.
 func (n *NIC) SetTxComplete(fn TxCompleteFunc) { n.txComplete = fn }
+
+// SetPools installs the SKB/frame recycling pools for the receive fast
+// path. Both may be nil (plain allocation). Call before traffic starts;
+// the pools are typically shared with the peer NIC on the same link.
+func (n *NIC) SetPools(skbs *skb.Pool, frames *skb.FramePool) {
+	n.skbPool = skbs
+	n.framePool = frames
+}
+
+// SKBPool returns the installed SKB pool (possibly nil).
+func (n *NIC) SKBPool() *skb.Pool { return n.skbPool }
+
+// FramePool returns the installed frame pool (possibly nil).
+func (n *NIC) FramePool() *skb.FramePool { return n.framePool }
 
 // SetTrace installs a tracer (nil = none) for NIC-level events — descriptor
 // drops and GRO flushes — tagged with the owning host's name.
@@ -375,6 +396,7 @@ func (n *NIC) ReceiveFromWire(f *skb.Frame) {
 			At: n.eng.Now(), Host: n.traceHost, Core: core, Flow: f.Flow,
 			Kind: trace.Drop, A: f.Seq, B: int64(f.Len),
 		})
+		n.framePool.Put(f)
 		return
 	}
 	q.posted--
@@ -388,7 +410,11 @@ func (n *NIC) ReceiveFromWire(f *skb.Frame) {
 		// cost attribution (the DMA engine stalls, not the CPU).
 		q.stash = append(q.stash, n.alloc.Alloc(cpumodel.Discard{}, q.core, need-len(q.stash))...)
 	}
-	f.Pages = make([]mem.Page, need)
+	if cap(f.Pages) >= need {
+		f.Pages = f.Pages[:need]
+	} else {
+		f.Pages = make([]mem.Page, need)
+	}
 	copy(f.Pages, q.stash[len(q.stash)-need:])
 	q.stash = q.stash[:len(q.stash)-need]
 	q.stashDeficit += need
@@ -425,6 +451,8 @@ func (q *rxQueue) tryLRO(f *skb.Frame) bool {
 	last.Len += f.Len
 	last.Pages = append(last.Pages, f.Pages...)
 	last.CE = last.CE || f.CE
+	// The page refs were copied into last; f is dead and can be reused.
+	q.nic.framePool.Put(f)
 	return true
 }
 
@@ -434,16 +462,12 @@ func (q *rxQueue) maybeInterrupt() {
 		return // NAPI already scheduled/running; it will see the backlog
 	}
 	if len(q.backlog) >= q.nic.cfg.ModerationFrames {
-		if q.modTimer != nil {
-			q.modTimer.Stop()
-			q.modTimer = nil
-		}
+		q.modTimer.Stop()
 		q.fireIRQ()
 		return
 	}
-	if q.modTimer == nil || !q.modTimer.Pending() {
+	if !q.modTimer.Pending() {
 		q.modTimer = q.nic.eng.After(q.nic.cfg.ModerationDelay, func() {
-			q.modTimer = nil
 			if !q.napi && len(q.backlog) > 0 {
 				q.fireIRQ()
 			}
@@ -483,9 +507,8 @@ func (q *rxQueue) poll(ctx *exec.Ctx) {
 	q.backlog = q.backlog[budget:]
 
 	useGRO := n.cfg.GRO && !n.cfg.LRO
-	var gro *skb.GRO
-	if useGRO {
-		gro = skb.NewGRO(costs)
+	if useGRO && q.gro == nil {
+		q.gro = skb.NewGROPooled(costs, n.skbPool, n.framePool)
 	}
 	consumed := 0
 	var out []*skb.SKB
@@ -497,13 +520,18 @@ func (q *rxQueue) poll(ctx *exec.Ctx) {
 		ctx.Charge(cpumodel.Memory, costs.SKBAlloc)
 		n.alloc.DMAUnmap(ctx, len(f.Pages))
 		if useGRO {
-			out = append(out, gro.Receive(ctx, f)...)
+			out = append(out, q.gro.Receive(ctx, f)...)
 		} else {
-			out = append(out, skb.FromFrame(f))
+			s := n.skbPool.Get(f)
+			if n.skbPool != nil {
+				// Pooled Gets copy the page refs out, so the frame is dead.
+				n.framePool.Put(f)
+			}
+			out = append(out, s)
 		}
 	}
 	if useGRO {
-		out = append(out, gro.Flush()...)
+		out = append(out, q.gro.Flush()...)
 	}
 	if n.tracer != nil && len(out) > 0 {
 		var bytes int64

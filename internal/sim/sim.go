@@ -7,6 +7,11 @@
 // is strictly single-threaded and deterministic: events at the same
 // timestamp fire in scheduling order, and all randomness flows from the
 // engine's seed.
+//
+// The scheduling fast path is allocation-free in steady state: fired and
+// stopped events return to a per-engine free list, and Timer.Reset
+// reschedules a pending timer in place via heap.Fix instead of a
+// remove-allocate-push cycle.
 package sim
 
 import (
@@ -29,7 +34,9 @@ func (t Time) Add(d time.Duration) Time { return t + Time(d) }
 func (t Time) String() string { return time.Duration(t).String() }
 
 // An event is a callback scheduled at a time. seq breaks timestamp ties in
-// FIFO order so the simulation is deterministic.
+// FIFO order so the simulation is deterministic; it also doubles as the
+// generation guard that keeps stale Timer handles from touching a pooled
+// event after it has been recycled for a new schedule.
 type event struct {
 	at    Time
 	seq   uint64
@@ -38,30 +45,72 @@ type event struct {
 }
 
 // Timer is a handle to a scheduled event that may be cancelled or
-// rescheduled before it fires.
+// rescheduled before it fires. Timers are small values: store and copy
+// them freely. The zero Timer is valid and never pending.
 type Timer struct {
 	e   *event
 	eng *Engine
+	seq uint64 // must match e.seq, else e was recycled for another schedule
+}
+
+// valid reports whether the handle still refers to its own live event
+// (pending in the queue, not fired, not recycled).
+func (t *Timer) valid() bool {
+	return t != nil && t.e != nil && t.e.seq == t.seq && t.e.index >= 0
 }
 
 // Stop cancels the timer. It reports whether the timer was pending (false
-// if it already fired or was stopped).
+// if it already fired, was stopped, or is the zero Timer). The handle
+// drops its event reference either way, so a stopped-then-pooled event can
+// never be resurrected through a stale handle.
 func (t *Timer) Stop() bool {
-	if t == nil || t.e == nil || t.e.index < 0 {
+	if t == nil {
+		return false
+	}
+	if !t.valid() {
+		t.e = nil
 		return false
 	}
 	heap.Remove(&t.eng.q, t.e.index)
-	t.e.index = -1
-	t.e.fn = nil
+	t.eng.release(t.e)
+	t.e = nil
 	return true
 }
 
 // Pending reports whether the timer is still scheduled.
-func (t *Timer) Pending() bool { return t != nil && t.e != nil && t.e.index >= 0 }
+func (t *Timer) Pending() bool { return t.valid() }
 
-// When returns the time the timer is scheduled to fire. Only meaningful
-// while Pending.
-func (t *Timer) When() Time { return t.e.at }
+// When returns the time the timer is scheduled to fire, or 0 if it is not
+// pending.
+func (t *Timer) When() Time {
+	if !t.valid() {
+		return 0
+	}
+	return t.e.at
+}
+
+// Reset reschedules a pending timer to fire at absolute time at, keeping
+// its callback. The event is moved in place with heap.Fix — no allocation,
+// no queue churn. Like a fresh schedule, the reset timer moves to the back
+// of the FIFO tie-break order at its new timestamp. Reset reports whether
+// the timer was pending; a fired or stopped timer cannot be revived —
+// schedule a new one instead.
+func (t *Timer) Reset(at Time) bool {
+	if !t.valid() {
+		return false
+	}
+	eng := t.eng
+	if at < eng.now {
+		panic(fmt.Sprintf("sim: resetting timer to %v before now %v", at, eng.now))
+	}
+	ev := t.e
+	ev.at = at
+	ev.seq = eng.seq
+	eng.seq++
+	t.seq = ev.seq
+	heap.Fix(&eng.q, ev.index)
+	return true
+}
 
 type eventQueue []*event
 
@@ -100,6 +149,7 @@ type Engine struct {
 	rng    *rand.Rand
 	fired  uint64
 	halted bool
+	free   []*event // recycled event structs (steady-state scheduling is allocation-free)
 }
 
 // NewEngine returns an engine whose random source is seeded with seed.
@@ -119,23 +169,45 @@ func (e *Engine) Pending() int { return len(e.q) }
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
+// alloc takes an event from the free list, or heap-allocates one.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// release returns a fired or cancelled event to the free list. The seq it
+// carries stays in place until the struct is reused, so stale Timer
+// handles see index == -1 (not pending) now and a mismatched seq later.
+func (e *Engine) release(ev *event) {
+	ev.fn = nil
+	ev.index = -1
+	e.free = append(e.free, ev)
+}
+
 // At schedules fn at absolute time t and returns a cancellable Timer.
 // Scheduling in the past panics: it always indicates a logic error.
-func (e *Engine) At(t Time, fn func()) *Timer {
+func (e *Engine) At(t Time, fn func()) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	if fn == nil {
 		panic("sim: scheduling nil event")
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
 	heap.Push(&e.q, ev)
-	return &Timer{e: ev, eng: e}
+	return Timer{e: ev, eng: e, seq: ev.seq}
 }
 
 // After schedules fn after delay d.
-func (e *Engine) After(d time.Duration, fn func()) *Timer {
+func (e *Engine) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -163,7 +235,7 @@ func (e *Engine) Run(horizon Time) Time {
 		e.now = next.at
 		e.fired++
 		fn := next.fn
-		next.fn = nil
+		e.release(next)
 		fn()
 	}
 	if e.now < horizon && len(e.q) == 0 {
@@ -183,7 +255,7 @@ func (e *Engine) Step() bool {
 	e.now = next.at
 	e.fired++
 	fn := next.fn
-	next.fn = nil
+	e.release(next)
 	fn()
 	return true
 }

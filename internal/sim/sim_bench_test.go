@@ -42,8 +42,42 @@ func BenchmarkEngineFanOut(b *testing.B) {
 // BenchmarkTimerStop measures cancel cost (RTO timers churn constantly).
 func BenchmarkTimerStop(b *testing.B) {
 	e := NewEngine(1)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := e.At(Time(i+1)<<20, func() {})
 		t.Stop()
+	}
+}
+
+// BenchmarkTimerReset measures the in-place heap.Fix reschedule — the RTO
+// re-arm fast path. Zero allocations expected.
+func BenchmarkTimerReset(b *testing.B) {
+	e := NewEngine(1)
+	// A little background population so heap.Fix does real sift work.
+	for i := 0; i < 63; i++ {
+		e.At(Time(i+1)<<30, func() {})
+	}
+	t := e.At(1<<29, func() {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Reset(Time(1<<29 + i%1024))
+	}
+}
+
+// BenchmarkScheduleFirePooled measures the steady-state schedule+dispatch
+// cycle with the event free list warm. Zero allocations expected.
+func BenchmarkScheduleFirePooled(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.After(time.Nanosecond, fn)
+	}
+	e.Run(e.Now() + 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(time.Nanosecond, fn)
+		e.Run(e.Now() + 100)
 	}
 }

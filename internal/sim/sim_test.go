@@ -255,7 +255,7 @@ func TestPropertyTimerCancellation(t *testing.T) {
 	f := func(times []uint16, cancelMask []bool) bool {
 		e := NewEngine(1)
 		firedSet := make(map[int]bool)
-		timers := make([]*Timer, len(times))
+		timers := make([]Timer, len(times))
 		for i, tt := range times {
 			i := i
 			timers[i] = e.At(Time(tt), func() { firedSet[i] = true })
@@ -278,6 +278,147 @@ func TestPropertyTimerCancellation(t *testing.T) {
 	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(11))}
 	if err := quick.Check(f, cfg); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestTimerReset(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	a := e.At(100, func() { order = append(order, "a") })
+	e.At(200, func() { order = append(order, "b") })
+	if !a.Reset(300) {
+		t.Fatal("Reset of a pending timer should report true")
+	}
+	if !a.Pending() {
+		t.Error("reset timer should stay pending")
+	}
+	if a.When() != 300 {
+		t.Errorf("When after Reset = %v, want 300", a.When())
+	}
+	e.Run(1000)
+	if len(order) != 2 || order[0] != "b" || order[1] != "a" {
+		t.Errorf("fire order after reset = %v, want [b a]", order)
+	}
+}
+
+// A reset timer moves to the back of the FIFO tie-break order at its new
+// timestamp, exactly as if it had been freshly scheduled.
+func TestTimerResetTieBreak(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	x := e.At(100, func() { order = append(order, "x") })
+	e.At(100, func() { order = append(order, "y") })
+	if !x.Reset(100) {
+		t.Fatal("Reset to the same time should still succeed")
+	}
+	e.Run(1000)
+	if len(order) != 2 || order[0] != "y" || order[1] != "x" {
+		t.Errorf("fire order = %v, want [y x] (reset re-sequences the tie-break)", order)
+	}
+}
+
+func TestTimerResetStoppedOrFired(t *testing.T) {
+	e := NewEngine(1)
+	tm := e.At(10, func() {})
+	tm.Stop()
+	if tm.Reset(50) {
+		t.Error("Reset of a stopped timer should report false")
+	}
+	tm2 := e.At(20, func() {})
+	e.Run(100)
+	if tm2.Reset(500) {
+		t.Error("Reset of a fired timer should report false")
+	}
+}
+
+func TestTimerResetInPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	tm := e.At(100, func() {})
+	e.At(50, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Reset before now should panic")
+			}
+		}()
+		tm.Reset(10)
+	})
+	e.Run(1000)
+}
+
+// A handle whose event fired and was recycled for a new schedule must not
+// be able to stop, reset, or observe the new event.
+func TestStaleHandleCannotTouchRecycledEvent(t *testing.T) {
+	e := NewEngine(1)
+	stale := e.At(10, func() {})
+	e.Run(20) // fires; event returns to the free list
+	fresh := e.At(30, func() {})
+	if stale.Pending() {
+		t.Error("stale handle reports pending after its event was recycled")
+	}
+	if stale.Stop() {
+		t.Error("stale handle stopped someone else's event")
+	}
+	if stale.Reset(40) {
+		t.Error("stale handle reset someone else's event")
+	}
+	if !fresh.Pending() {
+		t.Error("fresh timer lost its schedule to a stale handle")
+	}
+	ran := false
+	fresh2 := e.At(35, func() { ran = true })
+	_ = fresh2
+	e.Run(100)
+	if !ran {
+		t.Error("recycled event did not fire")
+	}
+}
+
+func TestStopClearsEventReference(t *testing.T) {
+	e := NewEngine(1)
+	tm := e.At(10, func() {})
+	tm.Stop()
+	if tm.e != nil {
+		t.Error("Stop should nil the handle's event reference")
+	}
+	// A failed Stop on a stale handle also drops the reference.
+	tm2 := e.At(20, func() {})
+	e.Run(50)
+	tm2.Stop()
+	if tm2.e != nil {
+		t.Error("failed Stop should still nil the stale event reference")
+	}
+}
+
+// Steady-state scheduling and firing reuses pooled events: zero
+// allocations per schedule/fire cycle once the free list is primed.
+func TestScheduleFireAllocationFree(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	// Prime the heap slice and free list.
+	for i := 0; i < 64; i++ {
+		e.After(time.Nanosecond, fn)
+	}
+	e.Run(e.Now() + 100)
+	allocs := testing.AllocsPerRun(100, func() {
+		e.After(time.Nanosecond, fn)
+		e.Run(e.Now() + 100)
+	})
+	if allocs != 0 {
+		t.Errorf("schedule+fire allocates %v per op, want 0", allocs)
+	}
+}
+
+// Timer.Reset must not allocate.
+func TestResetAllocationFree(t *testing.T) {
+	e := NewEngine(1)
+	tm := e.At(1000, func() {})
+	at := Time(1000)
+	allocs := testing.AllocsPerRun(100, func() {
+		at++
+		tm.Reset(at)
+	})
+	if allocs != 0 {
+		t.Errorf("Reset allocates %v per op, want 0", allocs)
 	}
 }
 

@@ -99,6 +99,118 @@ func FromFrame(f *Frame) *SKB {
 	}
 }
 
+// Pool recycles SKB structs — and the page-slice capacity they carry —
+// across the receive fast path. At 100Gbps with GRO the stack builds and
+// destroys tens of thousands of SKBs per simulated millisecond; recycling
+// them makes steady-state Rx processing allocation-free. A nil *Pool is
+// valid and falls back to plain allocation, so tests and callers that do
+// not care about allocation churn need no changes.
+//
+// Unlike FromFrame, Get on a non-nil Pool copies the frame's page refs
+// into the SKB's own slice instead of aliasing the frame's; the frame can
+// therefore be recycled (via FramePool) the moment Get returns.
+type Pool struct {
+	free []*SKB
+	// Recycled/Fresh count Gets served from the pool vs heap-allocated.
+	Recycled int64
+	Fresh    int64
+}
+
+// Get builds a driver-level SKB from one received frame, reusing a pooled
+// struct when available.
+func (p *Pool) Get(f *Frame) *SKB {
+	if p == nil {
+		return FromFrame(f)
+	}
+	var s *SKB
+	if n := len(p.free); n > 0 {
+		s = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.Recycled++
+	} else {
+		s = &SKB{}
+		p.Fresh++
+	}
+	s.Flow = f.Flow
+	s.Seq = f.Seq
+	s.Len = f.Len
+	s.Frames = 1
+	s.Pages = append(s.Pages[:0], f.Pages...)
+	s.Ack = f.Ack
+	s.CE = f.CE
+	s.Born = f.Born
+	return s
+}
+
+// Put returns a dead SKB to the pool. The caller must not touch s (or its
+// Pages slice) afterwards. Put on a nil pool is a no-op.
+func (p *Pool) Put(s *SKB) {
+	if p == nil || s == nil {
+		return
+	}
+	s.Pages = s.Pages[:0]
+	s.Ack = nil
+	s.CE = false
+	s.Frames = 0
+	p.free = append(p.free, s)
+}
+
+// Held returns the number of pooled SKBs (tests).
+func (p *Pool) Held() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.free)
+}
+
+// FramePool recycles wire Frame structs for the transmit fast path (one
+// Frame per MTU under TSO adds up quickly). Frames are Put back by the
+// receiving NIC once GRO has absorbed them, so with bidirectional traffic
+// a single pool shared by both hosts of a link stays balanced. A nil
+// *FramePool allocates plainly.
+type FramePool struct {
+	free []*Frame
+}
+
+// Get returns a zeroed frame (possibly retaining page-slice capacity from
+// a previous life). The caller fills in the fields it needs.
+func (p *FramePool) Get() *Frame {
+	if p == nil {
+		return &Frame{}
+	}
+	if n := len(p.free); n > 0 {
+		f := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return f
+	}
+	return &Frame{}
+}
+
+// Put recycles a dead frame. The caller must not touch f afterwards.
+func (p *FramePool) Put(f *Frame) {
+	if p == nil || f == nil {
+		return
+	}
+	f.Flow = 0
+	f.Seq = 0
+	f.Len = 0
+	f.Ack = nil
+	f.CE = false
+	f.Pages = f.Pages[:0]
+	f.Born = 0
+	p.free = append(p.free, f)
+}
+
+// Held returns the number of pooled frames (tests).
+func (p *FramePool) Held() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.free)
+}
+
 // SegmentSizes returns the wire-frame payload sizes produced by cutting
 // total bytes into mss-sized chunks (the GSO/TSO split).
 func SegmentSizes(total, mss units.Bytes) []units.Bytes {
@@ -125,6 +237,8 @@ func SegmentSizes(total, mss units.Bytes) []units.Bytes {
 // merges adjacent in-order frames of the same flow into large SKBs.
 type GRO struct {
 	costs *cpumodel.Costs
+	skbs  *Pool      // nil = plain allocation
+	fp    *FramePool // nil = frames are left for the GC
 	// entries in arrival order (index 0 = oldest); at most MaxGROFlows.
 	entries []*SKB
 	// Merged/Flushed count SKBs for diagnostics.
@@ -140,13 +254,29 @@ func NewGRO(costs *cpumodel.Costs) *GRO {
 	return &GRO{costs: costs}
 }
 
+// NewGROPooled is NewGRO drawing SKBs from skbs and recycling consumed
+// frames into fp. Either pool may be nil. Frames are only recycled when
+// skbs is non-nil: pooled Gets copy page refs out of the frame, whereas
+// the FromFrame fallback aliases them, which would make frame reuse
+// corrupt a live SKB.
+func NewGROPooled(costs *cpumodel.Costs, skbs *Pool, fp *FramePool) *GRO {
+	g := NewGRO(costs)
+	g.skbs = skbs
+	if skbs != nil {
+		g.fp = fp
+	}
+	return g
+}
+
 // Receive offers one frame to GRO, charging CPU work to ch. It returns
 // any SKBs flushed as a side effect (a completed 64KB aggregate, a
 // non-mergeable predecessor, or an evicted flow). Pure ACKs bypass
 // aggregation and are returned immediately.
 func (g *GRO) Receive(ch cpumodel.Charger, f *Frame) []*SKB {
 	if f.IsAck() {
-		return []*SKB{FromFrame(f)}
+		s := g.skbs.Get(f)
+		g.fp.Put(f)
+		return []*SKB{s}
 	}
 	var out []*SKB
 	idx := -1
@@ -159,13 +289,15 @@ func (g *GRO) Receive(ch cpumodel.Charger, f *Frame) []*SKB {
 	if idx >= 0 {
 		e := g.entries[idx]
 		if e.End() == f.Seq && e.Len+f.Len <= MaxGROSize {
-			// Contiguous and within bound: merge.
+			// Contiguous and within bound: merge. The page refs are copied
+			// out, so the frame is dead and can be recycled.
 			e.Len += f.Len
 			e.Frames++
 			e.Pages = append(e.Pages, f.Pages...)
 			e.CE = e.CE || f.CE
 			g.Merged++
 			ch.Charge(cpumodel.Netdev, g.costs.GROMergeFrame)
+			g.fp.Put(f)
 			if e.Len == MaxGROSize {
 				out = append(out, g.remove(idx))
 			}
@@ -180,7 +312,8 @@ func (g *GRO) Receive(ch cpumodel.Charger, f *Frame) []*SKB {
 		out = append(out, g.remove(0))
 	}
 	ch.Charge(cpumodel.Netdev, g.costs.GRONewFlow)
-	g.entries = append(g.entries, FromFrame(f))
+	g.entries = append(g.entries, g.skbs.Get(f))
+	g.fp.Put(f)
 	return out
 }
 

@@ -47,3 +47,27 @@ func BenchmarkSegmentSizes(b *testing.B) {
 		SegmentSizes(64*units.KB, 8934)
 	}
 }
+
+// BenchmarkGROPooledSingleFlow is the merge fast path with SKB and frame
+// pooling — the configuration the NIC actually runs. Steady state should
+// be allocation-free apart from occasional pages-slice growth.
+func BenchmarkGROPooledSingleFlow(b *testing.B) {
+	skbs, frames := &Pool{}, &FramePool{}
+	g := NewGROPooled(cpumodel.Default(), skbs, frames)
+	ch := cpumodel.Discard{}
+	b.ReportAllocs()
+	var seq int64
+	for i := 0; i < b.N; i++ {
+		f := frames.Get()
+		f.Flow, f.Seq, f.Len = 1, seq, 8934
+		seq += 8934
+		for _, s := range g.Receive(ch, f) {
+			skbs.Put(s)
+		}
+		if i%64 == 63 {
+			for _, s := range g.Flush() {
+				skbs.Put(s)
+			}
+		}
+	}
+}

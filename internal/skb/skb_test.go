@@ -305,3 +305,176 @@ func TestInterleavingShrinksAggregates(t *testing.T) {
 type tally struct{ got cpumodel.Breakdown }
 
 func (t *tally) Charge(cat cpumodel.Category, c units.Cycles) { t.got.Add(cat, c) }
+
+func TestPoolRecyclesSKBs(t *testing.T) {
+	p := &Pool{}
+	f := &Frame{Flow: 3, Seq: 100, Len: 500, CE: true,
+		Pages: []mem.Page{{ID: 1}, {ID: 2}}, Born: 7}
+	s := p.Get(f)
+	if s.Flow != 3 || s.Seq != 100 || s.Len != 500 || !s.CE || s.Frames != 1 || s.Born != 7 {
+		t.Fatalf("Get produced wrong skb: %+v", s)
+	}
+	if len(s.Pages) != 2 || s.Pages[0].ID != 1 {
+		t.Fatalf("Get did not carry pages: %+v", s.Pages)
+	}
+	// Pool Gets copy the page refs; mutating the frame's slice must not
+	// corrupt the SKB.
+	f.Pages[0] = mem.Page{ID: 99}
+	if s.Pages[0].ID != 1 {
+		t.Error("Get aliased the frame's page slice")
+	}
+	p.Put(s)
+	if p.Held() != 1 {
+		t.Fatalf("Held = %d, want 1", p.Held())
+	}
+	s2 := p.Get(&Frame{Flow: 4, Seq: 0, Len: 10})
+	if s2 != s {
+		t.Error("Get did not reuse the pooled struct")
+	}
+	if s2.Ack != nil || s2.CE || len(s2.Pages) != 0 || s2.Flow != 4 {
+		t.Errorf("recycled skb carries stale state: %+v", s2)
+	}
+	if p.Recycled != 1 || p.Fresh != 1 {
+		t.Errorf("counters = recycled %d fresh %d, want 1/1", p.Recycled, p.Fresh)
+	}
+}
+
+func TestPoolGetCopiesPages(t *testing.T) {
+	p := &Pool{}
+	p.Put(&SKB{}) // ensure the recycled path
+	f := &Frame{Flow: 1, Len: 100, Pages: []mem.Page{{ID: 5}}}
+	s := p.Get(f)
+	f.Pages[0] = mem.Page{ID: 42}
+	if s.Pages[0].ID != 5 {
+		t.Error("pooled Get aliased the frame's page slice")
+	}
+}
+
+func TestNilPoolsFallBack(t *testing.T) {
+	var p *Pool
+	var fp *FramePool
+	f := &Frame{Flow: 1, Seq: 10, Len: 20}
+	s := p.Get(f)
+	if s == nil || s.Flow != 1 {
+		t.Fatal("nil Pool Get should fall back to FromFrame")
+	}
+	p.Put(s)  // no-op
+	fp.Put(f) // no-op
+	g := fp.Get()
+	if g == nil {
+		t.Fatal("nil FramePool Get should allocate")
+	}
+	if p.Held() != 0 || fp.Held() != 0 {
+		t.Error("nil pools should report zero held")
+	}
+}
+
+func TestFramePoolClearsState(t *testing.T) {
+	fp := &FramePool{}
+	f := &Frame{Flow: 9, Seq: 5, Len: 3, CE: true, Born: 11,
+		Ack: &AckInfo{Cum: 1}, Pages: []mem.Page{{ID: 1}}}
+	fp.Put(f)
+	g := fp.Get()
+	if g != f {
+		t.Fatal("FramePool did not recycle the struct")
+	}
+	if g.Flow != 0 || g.Seq != 0 || g.Len != 0 || g.CE || g.Born != 0 || g.Ack != nil || len(g.Pages) != 0 {
+		t.Errorf("recycled frame carries stale state: %+v", g)
+	}
+	if cap(g.Pages) == 0 {
+		t.Error("recycled frame should keep its page-slice capacity")
+	}
+}
+
+// GRO with pools: frames are recycled as they are absorbed and steady
+// state allocates nothing once the pools are primed.
+func TestGROPooledRecyclesFrames(t *testing.T) {
+	skbs, frames := &Pool{}, &FramePool{}
+	g := NewGROPooled(cpumodel.Default(), skbs, frames)
+	ch := cpumodel.Discard{}
+	var seq int64
+	for i := 0; i < 10; i++ {
+		f := frames.Get()
+		f.Flow, f.Seq, f.Len = 1, seq, 8934
+		seq += 8934
+		for _, s := range g.Receive(ch, f) {
+			skbs.Put(s)
+		}
+	}
+	for _, s := range g.Flush() {
+		skbs.Put(s)
+	}
+	// Each Receive recycles the frame and the next Get reuses it, so a
+	// single Frame struct serves the whole stream.
+	if frames.Held() != 1 {
+		t.Errorf("frames held = %d, want 1 (one struct circulating)", frames.Held())
+	}
+	// Steady state: no allocations per frame.
+	allocs := testing.AllocsPerRun(200, func() {
+		f := frames.Get()
+		f.Flow, f.Seq, f.Len = 1, seq, 8934
+		seq += 8934
+		for _, s := range g.Receive(ch, f) {
+			skbs.Put(s)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("pooled GRO fast path allocates %v per frame, want 0", allocs)
+	}
+}
+
+// GRO merge output must be identical with and without pooling.
+func TestGROPooledMatchesUnpooled(t *testing.T) {
+	type rec struct {
+		flow   FlowID
+		seq    int64
+		length units.Bytes
+		frames int
+	}
+	run := func(pooled bool) []rec {
+		var g *GRO
+		skbs, fp := &Pool{}, &FramePool{}
+		if pooled {
+			g = NewGROPooled(cpumodel.Default(), skbs, fp)
+		} else {
+			g = NewGRO(cpumodel.Default())
+		}
+		ch := cpumodel.Discard{}
+		var out []rec
+		emit := func(ss []*SKB) {
+			for _, s := range ss {
+				out = append(out, rec{s.Flow, s.Seq, s.Len, s.Frames})
+				if pooled {
+					skbs.Put(s)
+				}
+			}
+		}
+		seqs := map[FlowID]int64{}
+		for i := 0; i < 300; i++ {
+			fl := FlowID(i % 11) // > MaxGROFlows: exercises eviction
+			f := &Frame{Flow: fl, Seq: seqs[fl], Len: 4000}
+			if !pooled {
+				emit(g.Receive(ch, f))
+			} else {
+				pf := fp.Get()
+				pf.Flow, pf.Seq, pf.Len = f.Flow, f.Seq, f.Len
+				emit(g.Receive(ch, pf))
+			}
+			seqs[fl] += 4000
+			if i%40 == 39 {
+				emit(g.Flush())
+			}
+		}
+		emit(g.Flush())
+		return out
+	}
+	a, b := run(false), run(true)
+	if len(a) != len(b) {
+		t.Fatalf("pooled GRO emitted %d skbs, unpooled %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("skb %d differs: unpooled %+v pooled %+v", i, a[i], b[i])
+		}
+	}
+}

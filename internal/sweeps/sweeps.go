@@ -1,0 +1,154 @@
+// Package sweeps runs parameter sweeps over the simulator and emits CSV
+// rows, for plotting the paper's sensitivity curves (Fig. 3e/3f style) or
+// custom exploration. It is the engine behind cmd/sweep, factored out so
+// sweeps are testable and can fan out across CPU cores: rows are always
+// emitted in grid order, so the CSV is byte-identical at any parallelism.
+package sweeps
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"hostsim"
+)
+
+// Params configures a sweep.
+type Params struct {
+	Kind     string // "ring", "rxbuf", "flows", "loss"
+	Pattern  string // flows sweep only (e.g. "one-to-one", "incast")
+	Seed     int64
+	Warmup   time.Duration
+	Duration time.Duration
+	// Jobs is the number of simulations run concurrently (<= 1 = serial).
+	// The emitted CSV is identical at any value.
+	Jobs int
+}
+
+// Kinds lists the supported sweep kinds.
+func Kinds() []string { return []string{"ring", "rxbuf", "flows", "loss"} }
+
+func (p Params) config(s hostsim.Stack) hostsim.Config {
+	return hostsim.Config{Stack: s, Warmup: p.Warmup, Duration: p.Duration, Seed: p.Seed}
+}
+
+// Run executes the sweep and writes header + rows as CSV to w.
+func Run(w io.Writer, p Params) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+
+	var (
+		header []string
+		jobs   []hostsim.Job
+		render func(i int, r *hostsim.Result) []string
+	)
+	switch p.Kind {
+	case "ring":
+		header = []string{"rxbuf_kb", "ring", "thpt_gbps", "tpc_gbps", "miss_rate"}
+		type pt struct {
+			bufKB int64
+			ring  int
+		}
+		var grid []pt
+		for _, bufKB := range []int64{0, 3200, 6400} {
+			for _, ring := range []int{128, 256, 512, 1024, 2048, 4096, 8192} {
+				grid = append(grid, pt{bufKB, ring})
+				s := hostsim.AllOptimizations()
+				s.RcvBufBytes = bufKB << 10
+				s.RxDescriptors = ring
+				jobs = append(jobs, hostsim.Job{
+					Config:   p.config(s),
+					Workload: hostsim.LongFlowWorkload(hostsim.PatternSingle, 1),
+				})
+			}
+		}
+		render = func(i int, r *hostsim.Result) []string {
+			return []string{
+				strconv.FormatInt(grid[i].bufKB, 10), strconv.Itoa(grid[i].ring),
+				f(r.ThroughputGbps), f(r.ThroughputPerCoreGbps),
+				f(r.Receiver.CacheMissRate),
+			}
+		}
+	case "rxbuf":
+		header = []string{"rxbuf_kb", "thpt_gbps", "lat_avg_us", "lat_p99_us", "miss_rate"}
+		kbs := []int64{100, 200, 400, 800, 1600, 3200, 6400, 12800}
+		for _, kb := range kbs {
+			s := hostsim.AllOptimizations()
+			s.RcvBufBytes = kb << 10
+			jobs = append(jobs, hostsim.Job{
+				Config:   p.config(s),
+				Workload: hostsim.LongFlowWorkload(hostsim.PatternSingle, 1),
+			})
+		}
+		render = func(i int, r *hostsim.Result) []string {
+			return []string{
+				strconv.FormatInt(kbs[i], 10), f(r.ThroughputGbps),
+				f(float64(r.Receiver.LatencyAvg) / 1e3),
+				f(float64(r.Receiver.LatencyP99) / 1e3),
+				f(r.Receiver.CacheMissRate),
+			}
+		}
+	case "flows":
+		header = []string{"flows", "thpt_gbps", "tpc_gbps", "miss_rate", "skb_avg_kb"}
+		counts := []int{1, 2, 4, 8, 12, 16, 20, 24}
+		for _, n := range counts {
+			wl := hostsim.LongFlowWorkload(hostsim.Pattern(p.Pattern), n)
+			if n == 1 {
+				wl = hostsim.LongFlowWorkload(hostsim.PatternSingle, 1)
+			}
+			jobs = append(jobs, hostsim.Job{
+				Config:   p.config(hostsim.AllOptimizations()),
+				Workload: wl,
+			})
+		}
+		render = func(i int, r *hostsim.Result) []string {
+			return []string{
+				strconv.Itoa(counts[i]), f(r.ThroughputGbps), f(r.ThroughputPerCoreGbps),
+				f(r.Receiver.CacheMissRate), f(r.Receiver.SKBAvgBytes / 1024),
+			}
+		}
+	case "loss":
+		header = []string{"loss", "thpt_gbps", "tpc_gbps", "retransmits", "miss_rate"}
+		rates := []float64{0, 1e-5, 1e-4, 1.5e-4, 1e-3, 1.5e-3, 5e-3, 1.5e-2}
+		for _, lr := range rates {
+			c := p.config(hostsim.AllOptimizations())
+			c.LossRate = lr
+			jobs = append(jobs, hostsim.Job{
+				Config:   c,
+				Workload: hostsim.LongFlowWorkload(hostsim.PatternSingle, 1),
+			})
+		}
+		render = func(i int, r *hostsim.Result) []string {
+			return []string{
+				strconv.FormatFloat(rates[i], 'g', -1, 64), f(r.ThroughputGbps),
+				f(r.ThroughputPerCoreGbps), strconv.FormatInt(r.Sender.Retransmits, 10),
+				f(r.Receiver.CacheMissRate),
+			}
+		}
+	default:
+		return fmt.Errorf("sweeps: unknown kind %q (want one of %v)", p.Kind, Kinds())
+	}
+
+	workers := p.Jobs
+	if workers <= 0 {
+		workers = 1
+	}
+	results, err := hostsim.RunMany(jobs, hostsim.WithParallelism(workers))
+	if err != nil {
+		return err
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, r := range results {
+		if err := cw.Write(render(i, r)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }

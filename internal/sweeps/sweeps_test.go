@@ -1,0 +1,80 @@
+package sweeps
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func quick(kind string, jobs int) Params {
+	return Params{
+		Kind:     kind,
+		Pattern:  "one-to-one",
+		Seed:     7,
+		Warmup:   3 * time.Millisecond,
+		Duration: 5 * time.Millisecond,
+		Jobs:     jobs,
+	}
+}
+
+func TestUnknownKind(t *testing.T) {
+	var b strings.Builder
+	if err := Run(&b, quick("bogus", 1)); err == nil {
+		t.Fatal("expected an error for an unknown kind")
+	}
+}
+
+// TestSweepDeterminismAcrossJobs: the emitted CSV must be byte-identical
+// whatever the parallelism.
+func TestSweepDeterminismAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs sweeps twice")
+	}
+	for _, kind := range []string{"rxbuf", "loss"} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			t.Parallel()
+			var serial, parallel strings.Builder
+			if err := Run(&serial, quick(kind, 1)); err != nil {
+				t.Fatal(err)
+			}
+			if err := Run(&parallel, quick(kind, 8)); err != nil {
+				t.Fatal(err)
+			}
+			if serial.String() != parallel.String() {
+				t.Errorf("CSV differs between -jobs 1 and -jobs 8:\n--- jobs=1 ---\n%s--- jobs=8 ---\n%s",
+					serial.String(), parallel.String())
+			}
+			lines := strings.Split(strings.TrimSpace(serial.String()), "\n")
+			if len(lines) < 2 {
+				t.Fatalf("sweep produced no data rows:\n%s", serial.String())
+			}
+		})
+	}
+}
+
+func TestAllKindsEmitRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every sweep kind")
+	}
+	for _, kind := range Kinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			t.Parallel()
+			var b strings.Builder
+			if err := Run(&b, quick(kind, 4)); err != nil {
+				t.Fatal(err)
+			}
+			lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+			if len(lines) < 2 {
+				t.Fatalf("no data rows:\n%s", b.String())
+			}
+			cols := strings.Count(lines[0], ",")
+			for i, l := range lines[1:] {
+				if strings.Count(l, ",") != cols {
+					t.Errorf("row %d has wrong arity: %q", i+1, l)
+				}
+			}
+		})
+	}
+}

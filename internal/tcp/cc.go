@@ -354,7 +354,7 @@ func (b *BBR) PacingRate() units.BitRate {
 // in Fig. 13b.
 
 type pacerState struct {
-	timer       *sim.Timer
+	timer       sim.Timer
 	nextRelease sim.Time
 }
 
@@ -367,7 +367,7 @@ func (p *pacerState) pump(ctx *exec.Ctx, c *Conn) {
 }
 
 func (p *pacerState) schedule(c *Conn) {
-	if p.timer != nil && p.timer.Pending() {
+	if p.timer.Pending() {
 		return
 	}
 	if !c.canSendNext() {

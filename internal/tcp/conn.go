@@ -93,6 +93,10 @@ type Hooks struct {
 	OnWritable func(ctx *exec.Ctx, c *Conn)
 	// OnAckedPages releases the sender-side pages backing acked bytes.
 	OnAckedPages func(ctx *exec.Ctx, c *Conn, pages []mem.Page)
+	// Recycle, if non-nil, receives skbs the connection has fully consumed
+	// (pure ACKs, probes, duplicates) so the host can return them to its
+	// receive-path pool. Optional.
+	Recycle func(s *skb.SKB)
 }
 
 // Stats tracks a connection's protocol activity.
@@ -138,8 +142,8 @@ type Conn struct {
 	inRecovery    bool
 	recoveryEnd   int64
 	recoveryStall int // acks in recovery without cumulative progress
-	rtoTimer      *sim.Timer
-	persistTimer  *sim.Timer
+	rtoTimer      sim.Timer
+	persistTimer  sim.Timer
 	srtt, rttvar  time.Duration
 	rttSeq        int64 // segment end whose ack yields the next RTT sample
 	rttSentAt     sim.Time
@@ -156,7 +160,7 @@ type Conn struct {
 	unacked     units.Bytes // delivered bytes since last ack
 	lastAdvWnd  units.Bytes
 	ecnPending  bool // CE seen since last ack (DCTCP echo)
-	delAckTimer *sim.Timer
+	delAckTimer sim.Timer
 	peerWnd     units.Bytes // last window seen from the peer (dup-ack test)
 	tuneAcc     units.Bytes // delivered bytes since the last DRS mark
 	quickAcks   int         // remaining immediate acks (quickack mode)
@@ -322,12 +326,21 @@ func (c *Conn) OnSegment(ctx *exec.Ctx, s *skb.SKB) {
 	switch {
 	case s.Ack != nil:
 		c.onAck(ctx, s.Ack)
+		c.recycle(s)
 	case s.Len == 0:
 		c.stats.Probes++
 		ctx.Charge(cpumodel.TCPIP, c.costs.TCPRxPerSKB/2)
 		c.sendAck(ctx, false)
+		c.recycle(s)
 	default:
 		c.onData(ctx, s)
+	}
+}
+
+// recycle hands a fully consumed skb back to the host's pool, if any.
+func (c *Conn) recycle(s *skb.SKB) {
+	if c.hooks.Recycle != nil {
+		c.hooks.Recycle(s)
 	}
 }
 
@@ -437,12 +450,15 @@ func (c *Conn) RTO() time.Duration {
 }
 
 func (c *Conn) armRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Stop()
-		c.rtoTimer = nil
-	}
 	if c.sndNxt == c.sndUna {
+		c.rtoTimer.Stop()
 		return // nothing outstanding
+	}
+	// Fast path: reschedule the pending timer in place (heap.Fix, no
+	// allocation). Every delivered ACK re-arms the RTO, so this is one of
+	// the hottest timer operations in the whole stack.
+	if c.rtoTimer.Reset(c.eng.Now().Add(c.RTO())) {
+		return
 	}
 	c.rtoTimer = c.eng.After(c.RTO(), func() {
 		c.hooks.Softirq(func(ctx *exec.Ctx) { c.onRTO(ctx) })
@@ -584,13 +600,10 @@ func (c *Conn) retransmitRange(ctx *exec.Ctx, seq int64, length units.Bytes) {
 func (c *Conn) maybePersist() {
 	stalled := c.sndNxt < c.appLimit && c.sndNxt >= c.rightEdge
 	if !stalled {
-		if c.persistTimer != nil {
-			c.persistTimer.Stop()
-			c.persistTimer = nil
-		}
+		c.persistTimer.Stop()
 		return
 	}
-	if c.persistTimer != nil && c.persistTimer.Pending() {
+	if c.persistTimer.Pending() {
 		return
 	}
 	c.persistTimer = c.eng.After(c.cfg.PersistTime, func() {
@@ -599,7 +612,6 @@ func (c *Conn) maybePersist() {
 				c.stats.Probes++
 				ctx.Charge(cpumodel.Etc, c.costs.TimerFire)
 				c.hooks.SendProbe(ctx, c)
-				c.persistTimer = nil
 				c.maybePersist()
 			}
 		})
@@ -637,6 +649,7 @@ func (c *Conn) onData(ctx *exec.Ctx, s *skb.SKB) {
 			return
 		}
 		c.sendAck(ctx, false)
+		c.recycle(s)
 	}
 }
 
@@ -648,6 +661,7 @@ func (c *Conn) acceptInOrder(ctx *exec.Ctx, s *skb.SKB) {
 		c.ooo = c.ooo[1:]
 		c.oooBytes -= q.Len
 		if q.End() <= c.rcvNxt {
+			c.recycle(q)
 			continue // fully duplicate
 		}
 		if q.Seq < c.rcvNxt {
@@ -664,7 +678,7 @@ func (c *Conn) acceptInOrder(ctx *exec.Ctx, s *skb.SKB) {
 		c.sendAck(ctx, false)
 	} else if c.unacked >= c.cfg.DelAckBytes || len(c.ooo) > 0 {
 		c.sendAck(ctx, false)
-	} else if c.delAckTimer == nil || !c.delAckTimer.Pending() {
+	} else if !c.delAckTimer.Pending() {
 		// Trailing-edge delayed ACK so the final sub-threshold bytes of a
 		// burst are still acknowledged.
 		c.delAckTimer = c.eng.After(c.cfg.DelAckTime, func() {
@@ -692,6 +706,7 @@ func (c *Conn) enqueueRecv(s *skb.SKB) {
 func (c *Conn) insertOOO(s *skb.SKB) {
 	i := sort.Search(len(c.ooo), func(i int) bool { return c.ooo[i].Seq >= s.Seq })
 	if i < len(c.ooo) && c.ooo[i].Seq == s.Seq {
+		c.recycle(s)
 		return // exact duplicate
 	}
 	c.ooo = append(c.ooo, nil)
@@ -729,10 +744,7 @@ func (c *Conn) SetWindowClamp(ctx *exec.Ctx, clamp units.Bytes) {
 
 // sendAck emits an acknowledgment; dup marks an out-of-order trigger.
 func (c *Conn) sendAck(ctx *exec.Ctx, dup bool) {
-	if c.delAckTimer != nil {
-		c.delAckTimer.Stop()
-		c.delAckTimer = nil
-	}
+	c.delAckTimer.Stop()
 	ctx.Charge(cpumodel.TCPIP, c.costs.ACKGenerate)
 	info := &skb.AckInfo{
 		Cum:     c.rcvNxt,

@@ -13,7 +13,6 @@ import (
 
 func newPair(t *testing.T) (*sim.Engine, *core.Host, *core.Host) {
 	t.Helper()
-	core.ResetFlowIDs()
 	eng := sim.NewEngine(1)
 	costs := cpumodel.Default()
 	spec := topology.Default()

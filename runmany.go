@@ -1,0 +1,69 @@
+package hostsim
+
+import (
+	"context"
+	"runtime"
+	"time"
+
+	"hostsim/internal/runner"
+)
+
+// Job is one simulation in a RunMany batch.
+type Job struct {
+	Config   Config
+	Workload Workload
+}
+
+// RunOption tunes a RunMany call.
+type RunOption func(*runner.Options)
+
+// WithParallelism sets the number of simulations run concurrently.
+// n <= 0 means runtime.NumCPU(); 1 runs the batch serially.
+func WithParallelism(n int) RunOption {
+	return func(o *runner.Options) { o.Workers = n }
+}
+
+// WithContext makes the batch cancellable: jobs not yet started when ctx
+// is cancelled report ctx.Err() instead of running.
+func WithContext(ctx context.Context) RunOption {
+	return func(o *runner.Options) { o.Context = ctx }
+}
+
+// WithJobTimeout bounds each job's wall-clock time. A timed-out job
+// reports a runner.TimeoutError; its goroutine is abandoned (a CPU-bound
+// simulation cannot be interrupted), so use this as a last-resort guard
+// against runaway configurations, not as control flow.
+func WithJobTimeout(d time.Duration) RunOption {
+	return func(o *runner.Options) { o.JobTimeout = d }
+}
+
+// RunMany executes a batch of independent simulations across CPU cores,
+// up to runtime.NumCPU() at a time by default. Results are returned in
+// job order, so code that formats them produces byte-identical output
+// whatever the parallelism — each run owns its engine, hosts and seeded
+// RNG, making runs fully independent.
+//
+// The returned error is the first job error in submission order (the
+// same one a serial loop would have hit first); the result slice always
+// has one entry per job, nil where that job failed.
+func RunMany(jobs []Job, opts ...RunOption) ([]*Result, error) {
+	ro := runner.Options{Workers: runtime.NumCPU()}
+	for _, o := range opts {
+		o(&ro)
+	}
+	res := runner.Map(jobs, func(j Job) (*Result, error) {
+		return Run(j.Config, j.Workload)
+	}, ro)
+	out := make([]*Result, len(res))
+	var firstErr error
+	for i, r := range res {
+		if r.Err != nil {
+			if firstErr == nil {
+				firstErr = r.Err
+			}
+			continue
+		}
+		out[i] = r.Value
+	}
+	return out, firstErr
+}

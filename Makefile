@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench bench-runner figures
+.PHONY: all build test check fmt vet race bench bench-runner bench-profile profile-smoke figures
 
 all: build
 
@@ -35,6 +35,20 @@ bench: bench-runner
 bench-runner:
 	$(GO) test -run '^$$' -bench 'RunMany|TimerReset|ScheduleFirePooled|GROPooled' \
 		-benchmem -json . ./internal/sim ./internal/skb > BENCH_runner.json
+
+# bench-profile records the profiler's end-to-end overhead (profiler off
+# vs on for the same run) plus the exec-layer charge-path microbenchmarks
+# as JSON for regression tracking.
+bench-profile:
+	$(GO) test -run '^$$' -bench 'ProfileOff|ProfileOn|SoftirqNilChargeLog|SoftirqWithChargeLog' \
+		-benchmem -json . ./internal/exec > BENCH_profile.json
+
+# profile-smoke is the CI profile-golden check: run netsim with profiling
+# enabled and validate the emitted profile.proto with the in-repo parser.
+profile-smoke:
+	$(GO) run ./cmd/netsim -dur 3ms -warmup 3ms -profile-out /tmp/hostsim-smoke.pb.gz \
+		-folded-out /tmp/hostsim-smoke.folded -latency-breakdown > /dev/null
+	$(GO) run ./cmd/profcheck /tmp/hostsim-smoke.pb.gz
 
 figures:
 	$(GO) run ./cmd/figures

@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"sort"
@@ -57,7 +58,11 @@ func main() {
 		seed   = flag.Int64("seed", 1, "simulation seed")
 		seeds  = flag.Int("seeds", 1, "run this many seeds and report mean +/- stddev")
 		traceN = flag.Int("trace", 0, "dump the last N data-path events after the run")
-		traceF = flag.Int("trace-flow", 0, "restrict the trace to one flow id (0 = all)")
+		traceF = flag.Int("trace-flow", 0, "restrict the trace to one flow id (0 = all); usable alone: implies -trace 256")
+
+		profileOut = flag.String("profile-out", "", "write a gzipped pprof profile of simulated cycles (view with `go tool pprof -top <file>`)")
+		foldedOut  = flag.String("folded-out", "", "write folded cycle stacks for flamegraph.pl")
+		latBreak   = flag.Bool("latency-breakdown", false, "print the per-packet latency breakdown table (paper Fig. 9)")
 
 		telemetryOut = flag.String("telemetry-out", "", "write the sampled metric timeline to this file (CSV, or JSONL with a .jsonl suffix)")
 		sampleEvery  = flag.Duration("sample-interval", 100*time.Microsecond, "simulated time between telemetry samples")
@@ -76,8 +81,14 @@ func main() {
 		Warmup: *warmup, Duration: *dur, Seed: *seed,
 		TraceEvents: *traceN, TraceFlow: int32(*traceF),
 	}
+	if *traceF != 0 && cfg.TraceEvents == 0 {
+		cfg.TraceEvents = 256
+	}
 	if *telemetryOut != "" {
 		cfg.Telemetry = &hostsim.Telemetry{SampleInterval: *sampleEvery}
+	}
+	if *profileOut != "" || *foldedOut != "" || *latBreak {
+		cfg.Profile = &hostsim.ProfileOptions{}
 	}
 	if *traceOut != "" {
 		if cfg.TraceEvents == 0 {
@@ -111,6 +122,25 @@ func main() {
 		os.Exit(1)
 	}
 	printResult(res)
+	if *latBreak {
+		fmt.Printf("\n--- per-packet latency breakdown ---\n%s", res.LatencyBreakdown.Format())
+	}
+	if *profileOut != "" {
+		if err := writeTo(*profileOut, res.WritePprof); err != nil {
+			fmt.Fprintln(os.Stderr, "netsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ncycle profile: %d stacks -> %s (go tool pprof -top %s)\n",
+			len(res.CycleProfile), *profileOut, *profileOut)
+	}
+	if *foldedOut != "" {
+		if err := writeTo(*foldedOut, res.WriteFolded); err != nil {
+			fmt.Fprintln(os.Stderr, "netsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("folded stacks: %d -> %s (flamegraph.pl %s > flame.svg)\n",
+			len(res.CycleProfile), *foldedOut, *foldedOut)
+	}
 	if *telemetryOut != "" {
 		if err := writeTimeline(res.Timeline, *telemetryOut); err != nil {
 			fmt.Fprintln(os.Stderr, "netsim:", err)
@@ -142,6 +172,19 @@ func main() {
 				e.At, e.Host, e.Core, e.Flow, e.Kind, e.A, e.B)
 		}
 	}
+}
+
+// writeTo creates path and streams write into it.
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // writeTimeline dumps the sampled timeline: JSON lines when the path ends

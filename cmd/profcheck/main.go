@@ -1,0 +1,70 @@
+// Command profcheck validates a hostsim cycle profile written by
+// `netsim -profile-out`: it decodes the gzipped profile.proto with the
+// in-repo parser (profile.ParseData), checks the structural invariants
+// the exporter guarantees, and prints a per-category cycle summary.
+// Exit status is non-zero on any violation — CI uses it as the
+// profile-golden smoke check.
+//
+// Usage: profcheck <profile.pb.gz>
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"hostsim/internal/profile"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: profcheck <profile.pb.gz>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail("%v", err)
+	}
+	p, err := profile.ParseData(data)
+	if err != nil {
+		fail("parse: %v", err)
+	}
+	if len(p.SampleTypes) != 2 ||
+		p.SampleTypes[0] != (profile.ParsedValueType{Type: "cycles", Unit: "count"}) ||
+		p.SampleTypes[1] != (profile.ParsedValueType{Type: "time", Unit: "nanoseconds"}) {
+		fail("unexpected sample types %v", p.SampleTypes)
+	}
+	if p.DefaultSampleType != "cycles" {
+		fail("default sample type %q, want cycles", p.DefaultSampleType)
+	}
+	if len(p.Samples) == 0 {
+		fail("profile has no samples")
+	}
+	byCat := map[string]int64{}
+	var total int64
+	for i, s := range p.Samples {
+		// Stacks are host;ctx;category or host;ctx;category;class.
+		if len(s.Stack) != 3 && len(s.Stack) != 4 {
+			fail("sample %d has %d frames, want 3 or 4", i, len(s.Stack))
+		}
+		if s.Values[0] <= 0 {
+			fail("sample %d has non-positive cycles %d", i, s.Values[0])
+		}
+		byCat[s.Stack[2]] += s.Values[0]
+		total += s.Values[0]
+	}
+	fmt.Printf("%s: %d samples, %d cycles total\n", os.Args[1], len(p.Samples), total)
+	cats := make([]string, 0, len(byCat))
+	for c := range byCat {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool { return byCat[cats[i]] > byCat[cats[j]] })
+	for _, c := range cats {
+		fmt.Printf("  %-10s %14d cycles (%5.1f%%)\n", c, byCat[c], 100*float64(byCat[c])/float64(total))
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "profcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -27,6 +27,7 @@ import (
 
 	"hostsim/internal/core"
 	"hostsim/internal/cpumodel"
+	"hostsim/internal/profile"
 	"hostsim/internal/sim"
 	"hostsim/internal/skb"
 	"hostsim/internal/telemetry"
@@ -163,6 +164,15 @@ type Config struct {
 	// with TraceFlow 0.
 	TraceSpans bool
 
+	// Profile, when non-nil, attaches the simulated-cycle profiler: every
+	// charged cycle is attributed to a host;softirq|thread;category;class
+	// stack and every delivered packet's lifecycle latency is tracked
+	// (Result.CycleProfile, Result.LatencyBreakdown, Result.WritePprof,
+	// Result.WriteFolded). Profiling starts at the measurement window,
+	// like all other accounting. A nil Profile allocates no profiler
+	// state and costs nothing on the hot path, like a nil tracer.
+	Profile *ProfileOptions
+
 	// Telemetry, when non-nil, enables the time-resolved metrics layer:
 	// hosts, NICs, cores, the cache and every TCP flow register named
 	// counters and gauges that are sampled on a fixed simulated-time
@@ -170,6 +180,43 @@ type Config struct {
 	// telemetry state and costs nothing, like a nil tracer.
 	Telemetry *Telemetry
 }
+
+// ProfileOptions configures the cycle profiler (see Config.Profile). The
+// zero value classifies flows by workload kind ("long"/"rpc"); set
+// FlowClasses to override the flow-id → class labeling.
+type ProfileOptions = profile.Options
+
+// CycleStack is one aggregated profiler attribution stack, root first
+// (host, softirq|thread, Table-1 category, then flow class when the
+// charge was flow-attributed).
+type CycleStack struct {
+	Frames []string
+	Cycles int64
+}
+
+// LatencyStage is one row of the per-packet latency breakdown.
+type LatencyStage struct {
+	Stage string        // sndbuf, nic_tx, wire, rx_ring, gro, tcp_rx, sock_queue, total
+	Count int64         // delivered SKBs sampled
+	Mean  time.Duration // per-stage means sum exactly to the total mean
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+}
+
+// LatencyBreakdown is the run's Fig. 9 equivalent: time spent by each
+// delivered packet in every stage of the host data path.
+type LatencyBreakdown struct {
+	Stages  []LatencyStage
+	Dropped int64 // SKBs with incomplete stamps (pre-warmup writes)
+
+	text string
+}
+
+// Format renders the breakdown as an aligned text table with each
+// quantile in both wall time and simulated cycles. Byte-deterministic
+// for a given run.
+func (b *LatencyBreakdown) Format() string { return b.text }
 
 // Telemetry configures the sampling layer (see Config.Telemetry).
 type Telemetry struct {
@@ -251,18 +298,19 @@ func MixedWorkload(nShort int, size int64) Workload {
 
 // HostStats reports one host's measurements over the window.
 type HostStats struct {
-	BusyCores     float64            // total CPU busy time / window
-	MaxCoreUtil   float64            // utilization of the busiest core
-	Breakdown     map[string]float64 // Table-1 category -> fraction of busy cycles
-	CacheMissRate float64            // receive-copy cache miss rate
-	LatencyAvg    time.Duration      // NAPI -> start of copy, mean
-	LatencyP99    time.Duration      // NAPI -> start of copy, p99
-	SKBAvgBytes   float64            // mean post-GRO data skb size
-	SKB64KBShare  float64            // fraction of data skbs at >= 60KB
-	CopiedGB      float64            // bytes delivered to applications
-	Retransmits   int64
-	AcksSent      int64
-	NICDrops      int64
+	BusyCores       float64            // total CPU busy time / window
+	MaxCoreUtil     float64            // utilization of the busiest core
+	Breakdown       map[string]float64 // Table-1 category -> fraction of busy cycles
+	BreakdownCycles map[string]int64   // Table-1 category -> raw simulated cycles
+	CacheMissRate   float64            // receive-copy cache miss rate
+	LatencyAvg      time.Duration      // NAPI -> start of copy, mean
+	LatencyP99      time.Duration      // NAPI -> start of copy, p99
+	SKBAvgBytes     float64            // mean post-GRO data skb size
+	SKB64KBShare    float64            // fraction of data skbs at >= 60KB
+	CopiedGB        float64            // bytes delivered to applications
+	Retransmits     int64
+	AcksSent        int64
+	NICDrops        int64
 }
 
 // Result is the outcome of one Run.
@@ -290,7 +338,36 @@ type Result struct {
 	// was set (nil otherwise).
 	Timeline *Timeline
 
-	traceEvents []trace.Event // raw events for WriteChromeTrace
+	// CycleProfile holds the aggregated attribution stacks when
+	// Config.Profile was set (nil otherwise), sorted by stack. Summing
+	// Cycles per category reproduces each host's BreakdownCycles exactly.
+	CycleProfile []CycleStack
+
+	// LatencyBreakdown holds the per-packet stage latency table when
+	// Config.Profile was set (nil otherwise).
+	LatencyBreakdown *LatencyBreakdown
+
+	traceEvents []trace.Event     // raw events for WriteChromeTrace
+	prof        *profile.Profiler // backs WritePprof/WriteFolded
+}
+
+// WritePprof writes the cycle profile as a gzipped pprof profile.proto
+// viewable with `go tool pprof` (sample types: cycles, time). Errors
+// unless the run had Config.Profile set.
+func (r *Result) WritePprof(w io.Writer) error {
+	if r.prof == nil {
+		return fmt.Errorf("hostsim: run had no Config.Profile")
+	}
+	return r.prof.WritePprof(w)
+}
+
+// WriteFolded writes the cycle profile as folded stacks for
+// flamegraph.pl. Errors unless the run had Config.Profile set.
+func (r *Result) WriteFolded(w io.Writer) error {
+	if r.prof == nil {
+		return fmt.Errorf("hostsim: run had no Config.Profile")
+	}
+	return r.prof.WriteFolded(w)
 }
 
 // WriteChromeTrace renders the recorded trace as a Chrome trace-event
@@ -389,9 +466,25 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 		return nil, err
 	}
 
+	var prof *profile.Profiler
+	if cfg.Profile != nil {
+		popts := *cfg.Profile
+		if popts.FlowClasses == nil {
+			popts.FlowClasses = flowClasses(run)
+		}
+		prof = profile.New(popts, spec.Frequency)
+		sender.EnableProfiler(prof)
+		receiver.EnableProfiler(prof)
+	}
+
 	eng.Run(sim.Time(cfg.Warmup))
 	sender.ResetMetrics()
 	receiver.ResetMetrics()
+	// The profiler observes charges at the same point core accounting
+	// merges them (work-item completion), so resetting it here — next to
+	// ResetMetrics — makes its totals reconcile exactly with the window's
+	// category accounting.
+	prof.Reset()
 	run.snapshot()
 	if sampler != nil {
 		// First sample at the start of the measurement window, right
@@ -403,6 +496,22 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 	res := assemble(cfg, sender, receiver, ab, ba, run)
 	if sampler != nil {
 		res.Timeline = sampler.Timeline()
+	}
+	if prof != nil {
+		res.prof = prof
+		for _, s := range prof.Stacks() {
+			res.CycleProfile = append(res.CycleProfile, CycleStack{Frames: s.Frames, Cycles: int64(s.Cycles)})
+		}
+		pb := prof.Lifecycle().Breakdown(prof.Freq())
+		lb := &LatencyBreakdown{Dropped: pb.Dropped, text: pb.Format()}
+		for _, s := range pb.Stages {
+			lb.Stages = append(lb.Stages, LatencyStage{
+				Stage: s.Stage, Count: s.Count,
+				Mean: time.Duration(s.MeanNS), P50: time.Duration(s.P50NS),
+				P90: time.Duration(s.P90NS), P99: time.Duration(s.P99NS),
+			})
+		}
+		res.LatencyBreakdown = lb
 	}
 	if tracer != nil {
 		res.traceEvents = tracer.Events()
@@ -449,8 +558,10 @@ func hostStats(h *core.Host, window time.Duration) HostStats {
 	bd := sys.TotalBreakdown()
 	fr := bd.Fractions()
 	breakdown := make(map[string]float64, cpumodel.NumCategories)
+	cycles := make(map[string]int64, cpumodel.NumCategories)
 	for _, cat := range cpumodel.Categories() {
 		breakdown[cat.String()] = fr[cat]
+		cycles[cat.String()] = int64(bd[cat])
 	}
 	var maxUtil float64
 	for i := 0; i < sys.NumCores(); i++ {
@@ -465,17 +576,18 @@ func hostStats(h *core.Host, window time.Duration) HostStats {
 		skb64 = 1 - sizes.Fraction(60*1024)
 	}
 	return HostStats{
-		BusyCores:     float64(busy) / float64(window),
-		MaxCoreUtil:   maxUtil,
-		Breakdown:     breakdown,
-		CacheMissRate: h.CopyMissRate(),
-		LatencyAvg:    time.Duration(lat.Mean()),
-		LatencyP99:    time.Duration(lat.Quantile(0.99)),
-		SKBAvgBytes:   sizes.Mean(),
-		SKB64KBShare:  skb64,
-		CopiedGB:      float64(h.Copied()) / 1e9,
-		NICDrops:      h.NIC.Stats().RxDropped,
-		Retransmits:   hostRetransmits(h),
-		AcksSent:      hostAcksSent(h),
+		BusyCores:       float64(busy) / float64(window),
+		MaxCoreUtil:     maxUtil,
+		Breakdown:       breakdown,
+		BreakdownCycles: cycles,
+		CacheMissRate:   h.CopyMissRate(),
+		LatencyAvg:      time.Duration(lat.Mean()),
+		LatencyP99:      time.Duration(lat.Quantile(0.99)),
+		SKBAvgBytes:     sizes.Mean(),
+		SKB64KBShare:    skb64,
+		CopiedGB:        float64(h.Copied()) / 1e9,
+		NICDrops:        h.NIC.Stats().RxDropped,
+		Retransmits:     hostRetransmits(h),
+		AcksSent:        hostAcksSent(h),
 	}
 }

@@ -71,6 +71,12 @@ func newEndpoint(h *Host, appCore int, txFlow, rxFlow skb.FlowID) *Endpoint {
 // AppCore returns the application core this socket is bound to.
 func (ep *Endpoint) AppCore() int { return ep.appCore }
 
+// TxFlow returns the flow id of this endpoint's outgoing direction.
+func (ep *Endpoint) TxFlow() skb.FlowID { return ep.txFlow }
+
+// RxFlow returns the flow id of this endpoint's incoming direction.
+func (ep *Endpoint) RxFlow() skb.FlowID { return ep.rxFlow }
+
 // Host returns the owning host.
 func (ep *Endpoint) Host() *Host { return ep.host }
 
@@ -90,6 +96,9 @@ func (ep *Endpoint) SetNotify(n Notify) { ep.notify = n }
 func (ep *Endpoint) Write(ctx *exec.Ctx, n units.Bytes) units.Bytes {
 	h := ep.host
 	costs := h.costs
+	prevTag := ctx.FlowTag()
+	ctx.SetFlowTag(int32(ep.txFlow))
+	defer ctx.SetFlowTag(prevTag)
 	ctx.Charge(cpumodel.Etc, costs.SyscallBase)
 	free := ep.conn.SndBufFree()
 	if free <= 0 {
@@ -163,6 +172,10 @@ func (ep *Endpoint) sendSegment(ctx *exec.Ctx, c *tcp.Conn, seq int64, length un
 	for _, l := range sizes {
 		f := fp.Get()
 		f.Flow, f.Seq, f.Len = c.Flow(), s, l
+		if h.prof != nil {
+			f.WriteAt = c.WriteTimeOf(s)
+			f.TCPTxAt = ctx.Now()
+		}
 		frames = append(frames, f)
 		s += int64(l)
 	}
@@ -193,8 +206,19 @@ func (ep *Endpoint) recycleSKB(s *skb.SKB) {
 }
 
 // softirq runs fn on the endpoint's TCP-processing core (timer handlers).
+// With a profiler attached the handler's charges are tagged with the
+// endpoint's tx flow; without one, no wrapper closure is allocated.
 func (ep *Endpoint) softirq(fn func(*exec.Ctx)) {
-	ep.host.Sys.Core(ep.host.processingCoreFor(ep)).RaiseSoftirq(fn)
+	c := ep.host.Sys.Core(ep.host.processingCoreFor(ep))
+	if ep.host.prof != nil {
+		flow := int32(ep.txFlow)
+		c.RaiseSoftirq(func(ctx *exec.Ctx) {
+			ctx.SetFlowTag(flow)
+			fn(ctx)
+		})
+		return
+	}
+	c.RaiseSoftirq(fn)
 }
 
 func (ep *Endpoint) onReadable(ctx *exec.Ctx, c *tcp.Conn) {
@@ -235,6 +259,9 @@ func (ep *Endpoint) Readable() units.Bytes { return ep.conn.Readable() }
 func (ep *Endpoint) Read(ctx *exec.Ctx, max units.Bytes) units.Bytes {
 	h := ep.host
 	costs := h.costs
+	prevTag := ctx.FlowTag()
+	ctx.SetFlowTag(int32(ep.rxFlow))
+	defer ctx.SetFlowTag(prevTag)
 	ctx.Charge(cpumodel.Etc, costs.SyscallBase)
 	skbs := ep.conn.Read(ctx, max)
 	if len(skbs) == 0 {
@@ -266,6 +293,9 @@ func (ep *Endpoint) Read(ctx *exec.Ctx, max units.Bytes) units.Bytes {
 			ctx.Charge(cpumodel.Memory, costs.SKBFree)
 			if len(s.Pages) > 0 {
 				h.Alloc.Free(ctx, ep.appCore, s.Pages)
+			}
+			if h.prof != nil {
+				h.prof.Lifecycle().Record(s, ctx.Now())
 			}
 			ep.recycleSKB(s)
 			continue
@@ -307,6 +337,9 @@ func (ep *Endpoint) Read(ctx *exec.Ctx, max units.Bytes) units.Bytes {
 		ctx.Charge(cpumodel.Memory, costs.SKBFree)
 		if len(s.Pages) > 0 {
 			h.Alloc.Free(ctx, ep.appCore, s.Pages)
+		}
+		if h.prof != nil {
+			h.prof.Lifecycle().Record(s, ctx.Now())
 		}
 		ep.recycleSKB(s)
 	}

@@ -10,6 +10,7 @@ import (
 	"hostsim/internal/mem"
 	"hostsim/internal/metrics"
 	"hostsim/internal/nic"
+	"hostsim/internal/profile"
 	"hostsim/internal/sim"
 	"hostsim/internal/skb"
 	"hostsim/internal/tcp"
@@ -65,7 +66,8 @@ type Host struct {
 	latency   *metrics.Histogram // NAPI -> start of data copy, ns
 	skbSizes  *metrics.Histogram // post-GRO data skb sizes, bytes
 	unsteered int64
-	tracer    *trace.Tracer // nil = tracing off
+	tracer    *trace.Tracer     // nil = tracing off
+	prof      *profile.Profiler // nil = profiling off
 
 	telemetry    *telemetry.Registry // nil = telemetry off
 	ctrSteerMiss *telemetry.Counter  // Rx processed off the app core
@@ -87,6 +89,27 @@ func (h *Host) SetTracer(tr *trace.Tracer) {
 
 // Tracer returns the installed tracer (possibly nil).
 func (h *Host) Tracer() *trace.Tracer { return h.tracer }
+
+// EnableProfiler attaches a cycle profiler (nil detaches): every work
+// item's charge log is forwarded to p tagged with this host's name, and
+// the data path starts stamping skb lifecycle points and tagging charge
+// contexts with flow ids. With no profiler attached all of those hooks
+// reduce to pointer tests and plain field writes — the hot path stays
+// allocation-free.
+func (h *Host) EnableProfiler(p *profile.Profiler) {
+	h.prof = p
+	if p == nil {
+		h.Sys.SetChargeLog(nil)
+		return
+	}
+	name := h.name
+	h.Sys.SetChargeLog(func(core int, softirq bool, thread string, log []exec.FlowCharge) {
+		p.Record(name, softirq, thread, log)
+	})
+}
+
+// Profiler returns the attached profiler (possibly nil).
+func (h *Host) Profiler() *profile.Profiler { return h.prof }
 
 // NewHost builds a host. The NIC's egress is connected later via Connect.
 func NewHost(name string, eng *sim.Engine, spec topology.MachineSpec,
@@ -288,6 +311,13 @@ func (h *Host) deliver(ctx *exec.Ctx, s *skb.SKB) {
 
 // process runs socket-level Rx handling in the current softirq context.
 func (h *Host) process(ctx *exec.Ctx, ep *Endpoint, s *skb.SKB) {
+	// Attribute everything from here (socket lock, TCP Rx, ACK-triggered
+	// pump and retransmissions) to the skb's flow; for pure ACKs s.Flow is
+	// the data flow being acknowledged, which is the right bucket.
+	ctx.SetFlowTag(int32(s.Flow))
+	if h.prof != nil && s.Ack == nil {
+		s.TCPRxAt = ctx.Now()
+	}
 	// Socket lock: cheap when the application shares this core,
 	// contended otherwise.
 	if ctx.Core().ID() == ep.appCore {

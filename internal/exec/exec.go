@@ -55,6 +55,8 @@ type System struct {
 	granularity units.Cycles
 	sleepCredit units.Cycles
 	spanObs     SpanObserver
+	chargeLog   ChargeLogFunc
+	logPool     [][]FlowCharge
 }
 
 // SpanObserver receives one callback per completed work item: the core it
@@ -68,6 +70,49 @@ type SpanObserver func(core int, softirq bool, thread string,
 // SetSpanObserver installs obs (nil disables span observation). Zero-cost
 // work items (pure blocking quanta) are not reported.
 func (s *System) SetSpanObserver(obs SpanObserver) { s.spanObs = obs }
+
+// SpanObserver returns the installed span observer (nil when none), so
+// additional layers can chain rather than silently replace it.
+func (s *System) SpanObserver() SpanObserver { return s.spanObs }
+
+// FlowCharge is one line of a work item's charge log: cycles charged to
+// one Table-1 category while the context carried one flow tag (0 = work
+// not attributable to a single flow: NAPI poll overhead, IRQ entry,
+// scheduler work).
+type FlowCharge struct {
+	Flow   int32
+	Cat    cpumodel.Category
+	Cycles units.Cycles
+}
+
+// ChargeLogFunc receives the merged per-flow, per-category charge log of
+// one completed work item. It fires at the same instant the item's cycles
+// merge into the core's Breakdown accounting, so a consumer that sums the
+// log reconciles exactly with System.TotalBreakdown over any window. The
+// log slice is owned by the system and recycled after the call returns —
+// consumers must not retain it. Zero-charge items are not reported.
+type ChargeLogFunc func(core int, softirq bool, thread string, log []FlowCharge)
+
+// SetChargeLog installs fn (nil disables charge logging). While installed,
+// every work item accumulates its Charge/ChargeBytes calls into a per-item
+// log keyed by (flow tag, category); the log is flushed to fn when the
+// item completes. The log buffers come from a free list, so steady-state
+// profiling does not allocate; with fn nil the Charge fast path is a
+// single pointer test.
+func (s *System) SetChargeLog(fn ChargeLogFunc) { s.chargeLog = fn }
+
+// getLog hands out a charge-log buffer from the free list.
+func (s *System) getLog() []FlowCharge {
+	if n := len(s.logPool); n > 0 {
+		l := s.logPool[n-1]
+		s.logPool = s.logPool[:n-1]
+		return l[:0]
+	}
+	return make([]FlowCharge, 0, 16)
+}
+
+// putLog recycles a flushed charge-log buffer.
+func (s *System) putLog(l []FlowCharge) { s.logPool = append(s.logPool, l) }
 
 // SetGranularity overrides the scheduling granularity (tests, ablations).
 func (s *System) SetGranularity(d time.Duration) {
@@ -318,6 +363,10 @@ func (c *Core) dispatch() {
 	}
 	c.running = true
 	ctx := &Ctx{core: c, start: c.sys.eng.Now(), thread: thread}
+	if c.sys.chargeLog != nil {
+		ctx.charges = c.sys.getLog()
+		ctx.logging = true
+	}
 	c.inflight = ctx
 	if thread != nil && switchTo {
 		ctx.Charge(cpumodel.Sched, c.sys.costs.ContextSwitch)
@@ -390,6 +439,18 @@ func (c *Core) complete(ctx *Ctx) {
 		}
 		obs(c.id, ctx.thread == nil, name, ctx.start, ctx.start.Add(d), &ctx.acct, ctx.cycles)
 	}
+	if ctx.logging {
+		if fn := c.sys.chargeLog; fn != nil && len(ctx.charges) > 0 {
+			name := ""
+			if ctx.thread != nil {
+				name = ctx.thread.name
+			}
+			fn(c.id, ctx.thread == nil, name, ctx.charges)
+		}
+		c.sys.putLog(ctx.charges)
+		ctx.charges = nil
+		ctx.logging = false
+	}
 	if t := ctx.thread; t != nil {
 		t.vruntime += ctx.cycles
 		if ctx.blocked && !t.pendingWake {
@@ -416,7 +477,22 @@ type Ctx struct {
 	acct    cpumodel.Breakdown
 	blocked bool
 	done    bool
+
+	// Charge-log state (profiling). flowTag labels subsequent charges
+	// with the flow being processed; charges holds the item's merged
+	// (flow, category) tallies while a ChargeLogFunc is installed.
+	flowTag int32
+	logging bool
+	charges []FlowCharge
 }
+
+// SetFlowTag labels subsequent charges of this work item with a flow id
+// (0 = unattributed). Data-path code sets it when it starts processing a
+// specific flow's data; a plain field write, free when profiling is off.
+func (x *Ctx) SetFlowTag(f int32) { x.flowTag = f }
+
+// FlowTag returns the current flow label.
+func (x *Ctx) FlowTag() int32 { return x.flowTag }
 
 // Charge adds cycles in category cat to the running item.
 func (x *Ctx) Charge(cat cpumodel.Category, c units.Cycles) {
@@ -428,6 +504,23 @@ func (x *Ctx) Charge(cat cpumodel.Category, c units.Cycles) {
 	}
 	x.cycles += c
 	x.acct.Add(cat, c)
+	if x.logging {
+		x.logCharge(cat, c)
+	}
+}
+
+// logCharge merges one charge into the item's charge log, newest entries
+// first (repeat charges to the same (flow, category) pair are adjacent in
+// practice, so the scan terminates almost immediately).
+func (x *Ctx) logCharge(cat cpumodel.Category, c units.Cycles) {
+	for i := len(x.charges) - 1; i >= 0; i-- {
+		e := &x.charges[i]
+		if e.Flow == x.flowTag && e.Cat == cat {
+			e.Cycles += c
+			return
+		}
+	}
+	x.charges = append(x.charges, FlowCharge{Flow: x.flowTag, Cat: cat, Cycles: c})
 }
 
 // ChargeBytes charges a per-byte cost over n bytes.

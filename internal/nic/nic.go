@@ -360,6 +360,7 @@ func (n *NIC) pumpTx() {
 		return
 	}
 	n.txBusy = true
+	f.NICTxAt = n.eng.Now()
 	n.link.Send(f)
 	if n.txComplete != nil && !f.IsAck() && f.Len > 0 {
 		n.txComplete(f.Flow, f.Len)
@@ -388,6 +389,7 @@ func (n *NIC) nextTxFrame() *skb.Frame {
 // ReceiveFromWire is the link delivery callback: DMA the frame into host
 // memory and schedule NAPI per the moderation policy.
 func (n *NIC) ReceiveFromWire(f *skb.Frame) {
+	f.WireAt = n.eng.Now()
 	core := n.steer.QueueFor(f.Flow)
 	q := n.queue(core)
 	if q.posted <= 0 {
@@ -514,6 +516,7 @@ func (q *rxQueue) poll(ctx *exec.Ctx) {
 	var out []*skb.SKB
 	for _, f := range batch {
 		f.Born = ctx.Now()
+		ctx.SetFlowTag(int32(f.Flow))
 		consumed++
 		ctx.Charge(cpumodel.Netdev, costs.NAPIPerFrame)
 		ctx.Charge(cpumodel.SKBMgmt, costs.SKBBuild)
@@ -544,8 +547,11 @@ func (q *rxQueue) poll(ctx *exec.Ctx) {
 		})
 	}
 	for _, s := range out {
+		s.GROAt = ctx.Now()
+		ctx.SetFlowTag(int32(s.Flow))
 		n.deliver(ctx, s)
 	}
+	ctx.SetFlowTag(0)
 
 	// Replenish: re-post the descriptors consumed since the last poll and
 	// restock exactly the pages DMA took from the stash.

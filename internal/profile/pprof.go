@@ -1,0 +1,212 @@
+package profile
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// WritePprof writes the cycle profile as a gzipped pprof profile.proto,
+// the format `go tool pprof` and speedscope read. The protobuf is
+// hand-encoded (the repo takes no external dependencies); samples carry
+// two values per stack — simulated cycles and the equivalent wall time
+// in nanoseconds at the profiler's frequency — with cycles as the
+// default sample type. time_nanos is left zero and stacks are emitted in
+// sorted order, so output is byte-deterministic for a given profile.
+func (p *Profiler) WritePprof(w io.Writer) error {
+	if p == nil {
+		return fmt.Errorf("profile: WritePprof on nil profiler")
+	}
+	zw := gzip.NewWriter(w) // zero ModTime: deterministic bytes
+	if _, err := zw.Write(p.encodePprof()); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+// pprof profile.proto field numbers (github.com/google/pprof/proto/profile.proto).
+const (
+	profSampleType        = 1
+	profSample            = 2
+	profMapping           = 3
+	profLocation          = 4
+	profFunction          = 5
+	profStringTable       = 6
+	profPeriodType        = 11
+	profPeriod            = 12
+	profDefaultSampleType = 14
+
+	vtType = 1
+	vtUnit = 2
+
+	sampleLocationID = 1
+	sampleValue      = 2
+
+	mappingID       = 1
+	mappingFilename = 5
+	mappingHasFuncs = 7
+
+	locationID        = 1
+	locationMappingID = 2
+	locationLine      = 4
+
+	lineFunctionID = 1
+
+	functionID         = 1
+	functionName       = 2
+	functionSystemName = 3
+	functionFilename   = 4
+)
+
+func (p *Profiler) encodePprof() []byte {
+	stacks := p.Stacks()
+
+	// String table: index 0 must be "".
+	strTab := []string{""}
+	strIdx := map[string]int64{"": 0}
+	str := func(s string) int64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := int64(len(strTab))
+		strTab = append(strTab, s)
+		strIdx[s] = i
+		return i
+	}
+
+	// One Location+Function per unique frame name, ids assigned in first-
+	// appearance order over the sorted stacks (deterministic).
+	locIDs := map[string]uint64{}
+	var frameNames []string
+	locOf := func(frame string) uint64 {
+		if id, ok := locIDs[frame]; ok {
+			return id
+		}
+		id := uint64(len(frameNames) + 1)
+		locIDs[frame] = id
+		frameNames = append(frameNames, frame)
+		return id
+	}
+
+	cyclesT, countT := str("cycles"), str("count")
+	timeT, nanosT := str("time"), str("nanoseconds")
+	mapFile := str("hostsim")
+
+	var prof buffer
+	vt := func(typ, unit int64) []byte {
+		var b buffer
+		b.int64Field(vtType, typ)
+		b.int64Field(vtUnit, unit)
+		return b.b
+	}
+	prof.bytesField(profSampleType, vt(cyclesT, countT))
+	prof.bytesField(profSampleType, vt(timeT, nanosT))
+
+	for _, s := range stacks {
+		var sb buffer
+		ids := make([]uint64, len(s.Frames))
+		for i, f := range s.Frames {
+			// pprof wants leaf first; Frames is root first.
+			ids[len(s.Frames)-1-i] = locOf(f)
+		}
+		sb.packedUint64(sampleLocationID, ids)
+		ns := s.Cycles.Duration(p.freq).Nanoseconds()
+		sb.packedInt64(sampleValue, []int64{int64(s.Cycles), ns})
+		prof.bytesField(profSample, sb.b)
+	}
+
+	var mb buffer
+	mb.uint64Field(mappingID, 1)
+	mb.int64Field(mappingFilename, mapFile)
+	mb.uint64Field(mappingHasFuncs, 1) // all frames resolved: no symbolization pass
+	prof.bytesField(profMapping, mb.b)
+
+	for i, name := range frameNames {
+		id := uint64(i + 1)
+		var lb buffer
+		lb.uint64Field(lineFunctionID, id)
+		var loc buffer
+		loc.uint64Field(locationID, id)
+		loc.uint64Field(locationMappingID, 1)
+		loc.bytesField(locationLine, lb.b)
+		prof.bytesField(profLocation, loc.b)
+
+		var fn buffer
+		fn.uint64Field(functionID, id)
+		fn.int64Field(functionName, str(name))
+		fn.int64Field(functionSystemName, str(name))
+		fn.int64Field(functionFilename, mapFile)
+		prof.bytesField(profFunction, fn.b)
+	}
+
+	for _, s := range strTab {
+		prof.stringField(profStringTable, s)
+	}
+	prof.bytesField(profPeriodType, vt(cyclesT, countT))
+	prof.int64Field(profPeriod, 1)
+	prof.int64Field(profDefaultSampleType, cyclesT)
+	return prof.b
+}
+
+// buffer is a minimal protobuf wire-format writer (varint + len-delimited).
+type buffer struct{ b []byte }
+
+func (w *buffer) varint(v uint64) {
+	for v >= 0x80 {
+		w.b = append(w.b, byte(v)|0x80)
+		v >>= 7
+	}
+	w.b = append(w.b, byte(v))
+}
+
+func (w *buffer) key(field, wire int) { w.varint(uint64(field)<<3 | uint64(wire)) }
+
+func (w *buffer) int64Field(field int, v int64) {
+	if v == 0 {
+		return
+	}
+	w.key(field, 0)
+	w.varint(uint64(v))
+}
+
+func (w *buffer) uint64Field(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	w.key(field, 0)
+	w.varint(v)
+}
+
+func (w *buffer) bytesField(field int, b []byte) {
+	w.key(field, 2)
+	w.varint(uint64(len(b)))
+	w.b = append(w.b, b...)
+}
+
+func (w *buffer) stringField(field int, s string) {
+	w.key(field, 2)
+	w.varint(uint64(len(s)))
+	w.b = append(w.b, s...)
+}
+
+func (w *buffer) packedUint64(field int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	var pb buffer
+	for _, v := range vs {
+		pb.varint(v)
+	}
+	w.bytesField(field, pb.b)
+}
+
+func (w *buffer) packedInt64(field int, vs []int64) {
+	if len(vs) == 0 {
+		return
+	}
+	var pb buffer
+	for _, v := range vs {
+		pb.varint(uint64(v))
+	}
+	w.bytesField(field, pb.b)
+}

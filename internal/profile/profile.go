@@ -1,0 +1,182 @@
+// Package profile is hostsim's simulated-cycle profiler: it attributes
+// every cycle charged through exec.Ctx.Charge to a hierarchical stack
+//
+//	host ; softirq|thread ; Table-1 category ; flow-class
+//
+// and tracks per-packet lifecycle latency (app write → TCP tx → NIC tx →
+// wire → NIC rx → GRO flush → TCP rx → app read), the simulator-native
+// equivalent of the instrumentation behind the paper's Table 1/Fig. 3
+// taxonomy and Fig. 9 latency breakdown. Results export as a gzipped
+// pprof profile.proto (go tool pprof, speedscope), folded-stack text
+// (FlameGraph), and a per-stage latency table.
+//
+// A nil *Profiler is a valid no-op everywhere, and when no profiler is
+// attached the hooks it relies on (exec charge logs, skb lifecycle
+// stamps) are plain pointer tests and field writes — the event-loop hot
+// path stays allocation-free, the same contract as trace.Tracer.
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"hostsim/internal/exec"
+	"hostsim/internal/units"
+)
+
+// Options configures a profiler attached via hostsim.Config.Profile.
+type Options struct {
+	// FlowClasses maps a flow id to its class label (the innermost stack
+	// frame), e.g. "long" or "rpc". Flows absent from the map are labeled
+	// "other"; a nil map labels every flow "flow". Flow-anonymous charges
+	// (timers, replenish work) get no class frame at all.
+	FlowClasses map[int32]string
+}
+
+// stackKey is one unique cycle-attribution stack. class is "" for
+// flow-anonymous charges (the stack then has three frames, category leaf).
+type stackKey struct {
+	host  string
+	ctx   string // "softirq" or the thread name
+	cat   string // Table-1 category
+	class string // flow class, "" when flow-anonymous
+}
+
+// Profiler accumulates simulated cycles into stacks and per-packet
+// lifecycle latency into stage histograms. One Profiler serves all hosts
+// of a single run; it is engine-thread-confined (no locks), like every
+// other per-run structure.
+type Profiler struct {
+	opts    Options
+	freq    units.Frequency
+	samples map[stackKey]units.Cycles
+	life    Lifecycle
+}
+
+// New builds a profiler converting cycles to wall time at freq.
+func New(opts Options, freq units.Frequency) *Profiler {
+	if freq <= 0 {
+		panic("profile: non-positive frequency")
+	}
+	return &Profiler{
+		opts:    opts,
+		freq:    freq,
+		samples: make(map[stackKey]units.Cycles),
+		life:    newLifecycle(),
+	}
+}
+
+// Freq returns the cycle→time conversion frequency.
+func (p *Profiler) Freq() units.Frequency { return p.freq }
+
+// Lifecycle returns the per-packet latency tracker (nil-safe).
+func (p *Profiler) Lifecycle() *Lifecycle {
+	if p == nil {
+		return nil
+	}
+	return &p.life
+}
+
+// Record ingests one completed work item's charge log for the named
+// host. It is the exec.ChargeLogFunc target: core.Host wires it via
+// exec.System.SetChargeLog.
+func (p *Profiler) Record(host string, softirq bool, thread string, log []exec.FlowCharge) {
+	ctx := thread
+	if softirq {
+		ctx = "softirq"
+	}
+	for i := range log {
+		e := &log[i]
+		if e.Cycles == 0 {
+			continue
+		}
+		k := stackKey{host: host, ctx: ctx, cat: e.Cat.String(), class: p.classOf(e.Flow)}
+		p.samples[k] += e.Cycles
+	}
+}
+
+func (p *Profiler) classOf(flow int32) string {
+	if flow == 0 {
+		return ""
+	}
+	if p.opts.FlowClasses == nil {
+		return "flow"
+	}
+	if c, ok := p.opts.FlowClasses[flow]; ok {
+		return c
+	}
+	return "other"
+}
+
+// Reset discards everything accumulated so far. hostsim calls it at the
+// warmup boundary, next to the engines' accounting reset, so profiler
+// totals reconcile exactly with post-warmup category accounting.
+func (p *Profiler) Reset() {
+	if p == nil {
+		return
+	}
+	for k := range p.samples {
+		delete(p.samples, k)
+	}
+	p.life.Reset()
+}
+
+// TotalCycles returns the sum over all stacks.
+func (p *Profiler) TotalCycles() units.Cycles {
+	var t units.Cycles
+	for _, c := range p.samples {
+		t += c
+	}
+	return t
+}
+
+// CategoryTotals sums cycles per Table-1 category name across all hosts,
+// contexts and flow classes — the numbers that must equal the runs'
+// exec accounting for the same window.
+func (p *Profiler) CategoryTotals() map[string]units.Cycles {
+	out := make(map[string]units.Cycles)
+	for k, c := range p.samples {
+		out[k.cat] += c
+	}
+	return out
+}
+
+// Stacks returns every (folded stack, cycles) pair sorted by stack
+// string — the canonical deterministic ordering used by both exporters.
+func (p *Profiler) Stacks() []Stack {
+	out := make([]Stack, 0, len(p.samples))
+	for k, c := range p.samples {
+		frames := []string{k.host, k.ctx, k.cat}
+		if k.class != "" {
+			frames = append(frames, k.class)
+		}
+		out = append(out, Stack{Frames: frames, Cycles: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].Frames, ";") < strings.Join(out[j].Frames, ";")
+	})
+	return out
+}
+
+// Stack is one aggregated attribution stack, root-first.
+type Stack struct {
+	Frames []string
+	Cycles units.Cycles
+}
+
+// WriteFolded writes the profile in Brendan Gregg's folded-stack format
+// ("frame;frame;frame count\n", root first), directly consumable by
+// flamegraph.pl. Output is byte-deterministic for a given profile.
+func (p *Profiler) WriteFolded(w io.Writer) error {
+	if p == nil {
+		return fmt.Errorf("profile: WriteFolded on nil profiler")
+	}
+	for _, s := range p.Stacks() {
+		if _, err := fmt.Fprintf(w, "%s %d\n", strings.Join(s.Frames, ";"), int64(s.Cycles)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

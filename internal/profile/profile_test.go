@@ -1,0 +1,200 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hostsim/internal/cpumodel"
+	"hostsim/internal/exec"
+	"hostsim/internal/skb"
+	"hostsim/internal/units"
+)
+
+const testFreq units.Frequency = 3_400_000_000
+
+func testProfiler() *Profiler {
+	p := New(Options{FlowClasses: map[int32]string{1: "long", 2: "rpc"}}, testFreq)
+	p.Record("daisy", true, "", []exec.FlowCharge{
+		{Flow: 1, Cat: cpumodel.Netdev, Cycles: 100},
+		{Flow: 1, Cat: cpumodel.TCPIP, Cycles: 50},
+		{Flow: 0, Cat: cpumodel.Memory, Cycles: 7},
+	})
+	p.Record("daisy", false, "iperf-recv", []exec.FlowCharge{
+		{Flow: 1, Cat: cpumodel.DataCopy, Cycles: 900},
+		{Flow: 3, Cat: cpumodel.Sched, Cycles: 11},
+	})
+	p.Record("poppy", true, "", []exec.FlowCharge{
+		{Flow: 2, Cat: cpumodel.TCPIP, Cycles: 60},
+	})
+	// Same stack again: must aggregate, not duplicate.
+	p.Record("daisy", true, "", []exec.FlowCharge{
+		{Flow: 1, Cat: cpumodel.Netdev, Cycles: 23},
+	})
+	return p
+}
+
+func TestFoldedOutput(t *testing.T) {
+	p := testProfiler()
+	var buf bytes.Buffer
+	if err := p.WriteFolded(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `daisy;iperf-recv;data_copy;long 900
+daisy;iperf-recv;sched;other 11
+daisy;softirq;memory 7
+daisy;softirq;netdev;long 123
+daisy;softirq;tcp/ip;long 50
+poppy;softirq;tcp/ip;rpc 60
+`
+	if got := buf.String(); got != want {
+		t.Errorf("folded output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCategoryTotals(t *testing.T) {
+	p := testProfiler()
+	tot := p.CategoryTotals()
+	if got := tot[cpumodel.TCPIP.String()]; got != 110 {
+		t.Errorf("tcp/ip total = %d, want 110", got)
+	}
+	if got := tot[cpumodel.Netdev.String()]; got != 123 {
+		t.Errorf("netdev total = %d, want 123", got)
+	}
+	if got, want := p.TotalCycles(), units.Cycles(900+11+7+123+50+60); got != want {
+		t.Errorf("TotalCycles = %d, want %d", got, want)
+	}
+}
+
+func TestZeroCycleChargesIgnored(t *testing.T) {
+	p := New(Options{}, testFreq)
+	p.Record("h", true, "", []exec.FlowCharge{{Flow: 1, Cat: cpumodel.Lock, Cycles: 0}})
+	if len(p.Stacks()) != 0 {
+		t.Errorf("zero-cycle charge produced a stack")
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := testProfiler()
+	p.Reset()
+	if p.TotalCycles() != 0 || len(p.Stacks()) != 0 {
+		t.Errorf("Reset left %d cycles in %d stacks", p.TotalCycles(), len(p.Stacks()))
+	}
+}
+
+func TestPprofRoundTrip(t *testing.T) {
+	p := testProfiler()
+	var buf bytes.Buffer
+	if err := p.WritePprof(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseData(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(parsed.SampleTypes); got != 2 {
+		t.Fatalf("sample types = %d, want 2", got)
+	}
+	if parsed.SampleTypes[0] != (ParsedValueType{"cycles", "count"}) ||
+		parsed.SampleTypes[1] != (ParsedValueType{"time", "nanoseconds"}) {
+		t.Errorf("sample types = %v", parsed.SampleTypes)
+	}
+	if parsed.DefaultSampleType != "cycles" {
+		t.Errorf("default sample type = %q, want cycles", parsed.DefaultSampleType)
+	}
+	stacks := p.Stacks()
+	if len(parsed.Samples) != len(stacks) {
+		t.Fatalf("samples = %d, want %d", len(parsed.Samples), len(stacks))
+	}
+	for i, s := range stacks {
+		got := parsed.Samples[i]
+		if strings.Join(got.Stack, ";") != strings.Join(s.Frames, ";") {
+			t.Errorf("sample %d stack = %v, want %v", i, got.Stack, s.Frames)
+		}
+		if got.Values[0] != int64(s.Cycles) {
+			t.Errorf("sample %d cycles = %d, want %d", i, got.Values[0], s.Cycles)
+		}
+		wantNS := s.Cycles.Duration(testFreq).Nanoseconds()
+		if got.Values[1] != wantNS {
+			t.Errorf("sample %d ns = %d, want %d", i, got.Values[1], wantNS)
+		}
+	}
+}
+
+func TestPprofDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := testProfiler().WritePprof(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := testProfiler().WritePprof(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("pprof output differs across identical profiles")
+	}
+}
+
+func TestParseDataRejectsGarbage(t *testing.T) {
+	if _, err := ParseData([]byte{0xff, 0xff, 0xff}); err == nil {
+		t.Error("ParseData accepted garbage")
+	}
+	if _, err := ParseData([]byte{0x1f, 0x8b, 0x00}); err == nil {
+		t.Error("ParseData accepted truncated gzip")
+	}
+}
+
+func TestLifecycleTelescopes(t *testing.T) {
+	p := New(Options{}, testFreq)
+	l := p.Lifecycle()
+	s := &skb.SKB{
+		WriteAt: 100, TCPTxAt: 150, NICTxAt: 220, WireAt: 300,
+		Born: 450, GROAt: 460, TCPRxAt: 500,
+	}
+	l.Record(s, 700)
+	b := l.Breakdown(testFreq)
+	var stageSum float64
+	for _, st := range b.Stages {
+		if st.Stage == "total" {
+			continue
+		}
+		if st.Count != 1 {
+			t.Errorf("stage %s count = %d, want 1", st.Stage, st.Count)
+		}
+		stageSum += st.MeanNS
+	}
+	total := b.Stages[StageTotal]
+	if stageSum != total.MeanNS {
+		t.Errorf("stage sum %v != total %v", stageSum, total.MeanNS)
+	}
+	if total.MeanNS != 600 {
+		t.Errorf("total mean = %v, want 600", total.MeanNS)
+	}
+}
+
+func TestLifecycleDropsIncomplete(t *testing.T) {
+	p := New(Options{}, testFreq)
+	l := p.Lifecycle()
+	l.Record(&skb.SKB{WriteAt: 0, TCPTxAt: 150}, 700) // pre-warmup write
+	l.Record(&skb.SKB{}, 50)                          // pure ACK: no stamps
+	if got := l.Dropped(); got != 2 {
+		t.Errorf("dropped = %d, want 2", got)
+	}
+	if got := l.Breakdown(testFreq).Stages[StageTotal].Count; got != 0 {
+		t.Errorf("total count = %d, want 0", got)
+	}
+}
+
+func TestBreakdownFormat(t *testing.T) {
+	p := New(Options{}, testFreq)
+	l := p.Lifecycle()
+	l.Record(&skb.SKB{
+		WriteAt: 1000, TCPTxAt: 2000, NICTxAt: 3000, WireAt: 4000,
+		Born: 5000, GROAt: 6000, TCPRxAt: 7000,
+	}, 8000)
+	out := l.Breakdown(testFreq).Format()
+	for i := 0; i < NumStages; i++ {
+		if !strings.Contains(out, StageName(i)) {
+			t.Errorf("breakdown table missing stage %q:\n%s", StageName(i), out)
+		}
+	}
+}

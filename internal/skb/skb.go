@@ -54,6 +54,14 @@ type Frame struct {
 	CE    bool        // ECN congestion-experienced mark (set by a switch)
 	Pages []mem.Page  // receive-side DMA pages (set by the receiving NIC)
 	Born  sim.Time    // when NAPI processed this frame at the receiver
+
+	// Lifecycle stamps for the profiler's per-packet latency breakdown
+	// (Fig. 9). Zero when no profiler is attached; plain field writes so
+	// the stamps cost nothing on the hot path.
+	WriteAt sim.Time // application wrote the first payload byte
+	TCPTxAt sim.Time // TCP emitted the segment (left the send path)
+	NICTxAt sim.Time // NIC put the frame on the wire
+	WireAt  sim.Time // frame arrived at the receiving NIC's ring
 }
 
 // IsAck reports whether f is a pure acknowledgment.
@@ -76,6 +84,15 @@ type SKB struct {
 	Ack    *AckInfo   // set on pure-ACK skbs
 	CE     bool       // any merged frame carried a CE mark
 	Born   sim.Time   // NAPI timestamp of the first frame (latency metric)
+
+	// Lifecycle stamps inherited from the FIRST merged frame (like Born),
+	// plus receive-side stamps set as the skb moves up the stack.
+	WriteAt sim.Time // application write (first frame)
+	TCPTxAt sim.Time // TCP transmit (first frame)
+	NICTxAt sim.Time // NIC transmit (first frame)
+	WireAt  sim.Time // wire arrival (first frame)
+	GROAt   sim.Time // GRO flushed the skb toward the stack
+	TCPRxAt sim.Time // TCP receive processing began
 }
 
 // End returns the sequence number one past the skb's last byte.
@@ -88,14 +105,18 @@ func (s *SKB) String() string {
 // FromFrame builds a driver-level SKB from one received frame.
 func FromFrame(f *Frame) *SKB {
 	return &SKB{
-		Flow:   f.Flow,
-		Seq:    f.Seq,
-		Len:    f.Len,
-		Frames: 1,
-		Pages:  f.Pages,
-		Ack:    f.Ack,
-		CE:     f.CE,
-		Born:   f.Born,
+		Flow:    f.Flow,
+		Seq:     f.Seq,
+		Len:     f.Len,
+		Frames:  1,
+		Pages:   f.Pages,
+		Ack:     f.Ack,
+		CE:      f.CE,
+		Born:    f.Born,
+		WriteAt: f.WriteAt,
+		TCPTxAt: f.TCPTxAt,
+		NICTxAt: f.NICTxAt,
+		WireAt:  f.WireAt,
 	}
 }
 
@@ -140,6 +161,10 @@ func (p *Pool) Get(f *Frame) *SKB {
 	s.Ack = f.Ack
 	s.CE = f.CE
 	s.Born = f.Born
+	s.WriteAt = f.WriteAt
+	s.TCPTxAt = f.TCPTxAt
+	s.NICTxAt = f.NICTxAt
+	s.WireAt = f.WireAt
 	return s
 }
 
@@ -153,6 +178,12 @@ func (p *Pool) Put(s *SKB) {
 	s.Ack = nil
 	s.CE = false
 	s.Frames = 0
+	s.WriteAt = 0
+	s.TCPTxAt = 0
+	s.NICTxAt = 0
+	s.WireAt = 0
+	s.GROAt = 0
+	s.TCPRxAt = 0
 	p.free = append(p.free, s)
 }
 
@@ -200,6 +231,10 @@ func (p *FramePool) Put(f *Frame) {
 	f.CE = false
 	f.Pages = f.Pages[:0]
 	f.Born = 0
+	f.WriteAt = 0
+	f.TCPTxAt = 0
+	f.NICTxAt = 0
+	f.WireAt = 0
 	p.free = append(p.free, f)
 }
 

@@ -118,6 +118,7 @@ type Stats struct {
 type sentChunk struct {
 	endSeq int64
 	pages  []mem.Page
+	at     sim.Time // when the application wrote the chunk
 }
 
 // Conn is one endpoint of a TCP connection: transmit state for its
@@ -244,8 +245,22 @@ func (c *Conn) SendData(ctx *exec.Ctx, n units.Bytes, pages []mem.Page) {
 		panic("tcp: SendData beyond free send buffer")
 	}
 	c.appLimit += int64(n)
-	c.chunks = append(c.chunks, sentChunk{endSeq: c.appLimit, pages: pages})
+	c.chunks = append(c.chunks, sentChunk{endSeq: c.appLimit, pages: pages, at: ctx.Now()})
 	c.pump(ctx)
+}
+
+// WriteTimeOf returns the application-write timestamp of the chunk
+// containing seq, or zero when the chunk has already been released (acked)
+// or never existed. Used by the profiler's lifecycle tracker to stamp
+// outgoing frames; chunks live until cumulatively acked, so any sequence
+// being (re)transmitted still has its chunk.
+func (c *Conn) WriteTimeOf(seq int64) sim.Time {
+	for i := range c.chunks {
+		if c.chunks[i].endSeq > seq {
+			return c.chunks[i].at
+		}
+	}
+	return 0
 }
 
 // InFlight returns unacked-and-unsacked bytes in the pipe.

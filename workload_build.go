@@ -21,6 +21,22 @@ type builtWorkload struct {
 	rpcDone      int64
 }
 
+// flowClasses derives the profiler's default flow → class labeling from
+// the workload: both directions of every bulk-transfer connection are
+// "long", every RPC connection "rpc".
+func flowClasses(b *builtWorkload) map[int32]string {
+	m := make(map[int32]string)
+	for _, lf := range b.long {
+		m[int32(lf.Sender.TxFlow())] = "long"
+		m[int32(lf.Sender.RxFlow())] = "long"
+	}
+	for _, c := range b.clients {
+		m[int32(c.EP.TxFlow())] = "rpc"
+		m[int32(c.EP.RxFlow())] = "rpc"
+	}
+	return m
+}
+
 func buildWorkload(sender, receiver *core.Host, wl Workload) (*builtWorkload, error) {
 	b := &builtWorkload{}
 	switch wl.Kind {

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench bench-runner bench-profile profile-smoke figures
+.PHONY: all build test check fmt vet race bench bench-runner bench-profile profile-smoke fuzz-smoke figures figures-golden
 
 all: build
 
@@ -50,5 +50,16 @@ profile-smoke:
 		-folded-out /tmp/hostsim-smoke.folded -latency-breakdown > /dev/null
 	$(GO) run ./cmd/profcheck /tmp/hostsim-smoke.pb.gz
 
+# fuzz-smoke is the CI fuzz gate: a short coverage-guided walk of the
+# configuration space with the conservation-law checker as the oracle.
+# Run `go test -fuzz=FuzzConfig .` (no -fuzztime) to hunt open-ended.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzConfig -fuzztime=30s -run FuzzConfig .
+
 figures:
 	$(GO) run ./cmd/figures
+
+# figures-golden regenerates the committed per-figure goldens under
+# testdata/golden/ after a deliberate model change.
+figures-golden:
+	$(GO) test -run TestFiguresGolden -update .

@@ -188,3 +188,28 @@ func BenchmarkRunTelemetryOn(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRunCheckOff is the baseline for the invariant-checker
+// overhead pair: with Config.Check nil, the leaf conservation counters
+// still tick (they are plain integer arithmetic on paths that already
+// touch the stats) but no ledger, audit timer or rule runs. Compare
+// against BenchmarkRunCheckOn for the armed cost.
+func BenchmarkRunCheckOff(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := hostsim.Run(benchRunCfg(), hostsim.LongFlowWorkload(hostsim.PatternSingle, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunCheckOn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := benchRunCfg()
+		cfg.Check = &hostsim.CheckOptions{}
+		if _, err := hostsim.Run(cfg, hostsim.LongFlowWorkload(hostsim.PatternSingle, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

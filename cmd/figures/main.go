@@ -9,6 +9,7 @@
 //	figures -list           # list available experiments
 //	figures -dur 50ms       # longer measurement window
 //	figures -jobs 1         # serial regeneration (default: all CPUs)
+//	figures -check          # audit conservation laws during every run
 //
 // Output on stdout is byte-identical at any -jobs value: experiments fan
 // out across workers but tables are printed in paper order, and each
@@ -34,6 +35,7 @@ func main() {
 		seed   = flag.Int64("seed", 7, "simulation seed")
 		format = flag.String("format", "text", "output format: text, csv, markdown")
 		jobs   = flag.Int("jobs", runtime.NumCPU(), "simulations run concurrently (1 = serial)")
+		chk    = flag.Bool("check", false, "run every simulation with the conservation-law invariant checker armed")
 	)
 	flag.Parse()
 
@@ -51,7 +53,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	rc := figures.RunConfig{Seed: *seed, Warmup: *warmup, Duration: *dur, Jobs: *jobs}
+	rc := figures.RunConfig{Seed: *seed, Warmup: *warmup, Duration: *dur, Jobs: *jobs, Check: *chk}
 	exps := figures.All()
 	if *fig != "" {
 		e, ok := figures.ByID(*fig)

@@ -53,6 +53,7 @@ func main() {
 		loss  = flag.Float64("loss", 0, "switch drop probability")
 		ecn   = flag.Int("ecn-kb", 0, "ECN marking threshold in KB (0 = off)")
 
+		chk    = flag.Bool("check", false, "run with the conservation-law invariant checker armed (fail fast on the first violation)")
 		dur    = flag.Duration("dur", 25*time.Millisecond, "measurement window (simulated)")
 		warmup = flag.Duration("warmup", 15*time.Millisecond, "warm-up (simulated)")
 		seed   = flag.Int64("seed", 1, "simulation seed")
@@ -83,6 +84,9 @@ func main() {
 	}
 	if *traceF != 0 && cfg.TraceEvents == 0 {
 		cfg.TraceEvents = 256
+	}
+	if *chk {
+		cfg.Check = &hostsim.CheckOptions{}
 	}
 	if *telemetryOut != "" {
 		cfg.Telemetry = &hostsim.Telemetry{SampleInterval: *sampleEvery}

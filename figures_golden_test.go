@@ -1,0 +1,69 @@
+package hostsim_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"hostsim/internal/figures"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden figure files under testdata/golden/")
+
+// renderFigure reproduces exactly what `figures -fig <id>` prints for
+// one experiment: the aligned text table plus the paper's takeaway.
+func renderFigure(e figures.Experiment, tbl *figures.Table) string {
+	return tbl.String() + fmt.Sprintf("paper: %s\n\n", e.Paper)
+}
+
+// TestFiguresGolden pins every `cmd/figures` table — all paper figures,
+// Table 2, extensions, ablations and appendix breakdowns — against
+// golden files at the standard measurement window, with the invariant
+// checker armed for every simulation (so each figure doubles as a
+// conservation-law audit of its scenario). A deliberate model change
+// regenerates the goldens with:
+//
+//	go test -run TestFiguresGolden -update .
+//
+// and the diff under testdata/golden/ documents exactly which figures
+// moved.
+func TestFiguresGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure regeneration")
+	}
+	rc := figures.Default()
+	rc.Jobs = runtime.NumCPU()
+	rc.Check = true
+	exps := figures.All()
+	tables, err := figures.RunAll(rc, exps)
+	if err != nil {
+		t.Fatalf("regenerating figures (with invariant checking): %v", err)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, e := range exps {
+		got := renderFigure(e, tables[i])
+		path := filepath.Join("testdata", "golden", e.ID+".txt")
+		if *updateGolden {
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("%s: no golden file (run `go test -run TestFiguresGolden -update .`): %v", e.ID, err)
+			continue
+		}
+		if got != string(want) {
+			t.Errorf("%s: output drifted from golden (rerun with -update if the change is intended)\n--- got ---\n%s--- want ---\n%s",
+				e.ID, got, want)
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"io"
 	"time"
 
+	"hostsim/internal/check"
 	"hostsim/internal/core"
 	"hostsim/internal/cpumodel"
 	"hostsim/internal/profile"
@@ -179,7 +180,36 @@ type Config struct {
 	// interval into Result.Timeline. A nil Telemetry allocates no
 	// telemetry state and costs nothing, like a nil tracer.
 	Telemetry *Telemetry
+
+	// Check, when non-nil, attaches the conservation-law invariant
+	// checker: between simulation events it audits byte conservation
+	// (wire, NIC and pool accounting), cycle conservation (Table-1
+	// category cycles reconciled against the charge log and core busy
+	// time), TCP sequence-space sanity, and cache-occupancy bounds. The
+	// audits are pure reads, so a checked run follows the exact
+	// trajectory of an unchecked one. By default the first violation
+	// aborts Run with a simulated-time-stamped error; CheckOptions.Collect
+	// gathers violations into Result.Violations instead. A nil Check
+	// costs nothing.
+	Check *CheckOptions
 }
+
+// CheckOptions configures the invariant checker (see Config.Check). The
+// zero value audits every 500µs of simulated time and fails fast.
+type CheckOptions struct {
+	// Interval between periodic audits; 0 = 500µs of simulated time.
+	Interval time.Duration
+	// Collect accumulates violations into Result.Violations instead of
+	// aborting the run at the first one.
+	Collect bool
+	// MaxViolations caps Collect-mode accumulation; 0 = 64.
+	MaxViolations int
+}
+
+// Violation is one invariant breach observed by the checker: the
+// simulated time of the audit, the breached rule's name, and a pointed
+// diagnostic. It implements error.
+type Violation = check.Violation
 
 // ProfileOptions configures the cycle profiler (see Config.Profile). The
 // zero value classifies flows by workload kind ("long"/"rpc"); set
@@ -347,6 +377,11 @@ type Result struct {
 	// Config.Profile was set (nil otherwise).
 	LatencyBreakdown *LatencyBreakdown
 
+	// Violations holds the invariant breaches observed when Config.Check
+	// was set with Collect; always empty on a clean run, nil when
+	// checking was off.
+	Violations []Violation
+
 	traceEvents []trace.Event     // raw events for WriteChromeTrace
 	prof        *profile.Profiler // backs WritePprof/WriteFolded
 }
@@ -425,6 +460,20 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 		ba.SetECNThreshold(units.Bytes(cfg.ECNMarkKB) * units.KB)
 	}
 
+	var checker *check.Checker
+	if cfg.Check != nil {
+		if cfg.Check.Interval < 0 {
+			return nil, fmt.Errorf("hostsim: negative Check.Interval")
+		}
+		checker = check.New(eng, check.Options{
+			Interval:      cfg.Check.Interval,
+			Collect:       cfg.Check.Collect,
+			MaxViolations: cfg.Check.MaxViolations,
+		})
+		core.AttachChecker(checker, sender, receiver, ab, ba)
+		checker.Start()
+	}
+
 	var tracer *trace.Tracer
 	if cfg.TraceEvents > 0 {
 		tracer = trace.New(cfg.TraceEvents)
@@ -477,7 +526,9 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 		receiver.EnableProfiler(prof)
 	}
 
-	eng.Run(sim.Time(cfg.Warmup))
+	if err := guardFailure(checker, func() { eng.Run(sim.Time(cfg.Warmup)) }); err != nil {
+		return nil, err
+	}
 	sender.ResetMetrics()
 	receiver.ResetMetrics()
 	// The profiler observes charges at the same point core accounting
@@ -491,9 +542,21 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 		// after the warm-up reset.
 		sampler.Start(sim.Time(cfg.Warmup))
 	}
-	eng.Run(sim.Time(cfg.Warmup + cfg.Duration))
+	if err := guardFailure(checker, func() {
+		eng.Run(sim.Time(cfg.Warmup + cfg.Duration))
+		if checker != nil {
+			// Drain-point audit at the horizon, so a leak in the final
+			// stretch is caught even if the periodic timer missed it.
+			checker.Audit()
+		}
+	}); err != nil {
+		return nil, err
+	}
 
 	res := assemble(cfg, sender, receiver, ab, ba, run)
+	if checker != nil {
+		res.Violations = checker.Violations()
+	}
 	if sampler != nil {
 		res.Timeline = sampler.Timeline()
 	}
@@ -524,6 +587,27 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// guardFailure runs fn, converting a fail-fast invariant panic into the
+// checker's error. With no checker attached it is a plain call: any panic
+// propagates, as before.
+func guardFailure(checker *check.Checker, fn func()) (err error) {
+	if checker == nil {
+		fn()
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			f, ok := r.(*check.Failure)
+			if !ok {
+				panic(r)
+			}
+			err = fmt.Errorf("hostsim: %w", f)
+		}
+	}()
+	fn()
+	return nil
 }
 
 func assemble(cfg Config, sender, receiver *core.Host, ab, ba *wire.Link, run *builtWorkload) *Result {

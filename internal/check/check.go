@@ -1,0 +1,176 @@
+// Package check is the simulator's conservation-law invariant engine.
+//
+// The paper's credibility rests on its accounting adding up: every CPU
+// cycle lands in exactly one Table-1 category and every byte is either
+// delivered, dropped, queued, or in flight. This package provides the
+// machinery to assert exactly that, continuously, while a simulation
+// runs: a Checker owns a set of named audit rules (closures installed by
+// internal/core over the live host pair) and evaluates them between
+// simulation events — periodically on a timer and on demand at drain
+// points. Rules are pure reads: they never charge cycles, draw random
+// numbers, or mutate stack state, so a run behaves identically with
+// checking on or off.
+//
+// A violation carries the simulated timestamp, the rule name, and a
+// pointed diagnostic. By default the first violation aborts the run
+// (panic with a *Failure, converted to an error at the API boundary);
+// Collect mode accumulates violations instead, for tests that want to
+// census them.
+package check
+
+import (
+	"fmt"
+	"time"
+
+	"hostsim/internal/cpumodel"
+	"hostsim/internal/exec"
+	"hostsim/internal/sim"
+)
+
+// DefaultInterval is the periodic audit cadence when Options.Interval is
+// zero. 500µs keeps dozens of audits inside even a short measurement
+// window while staying far off the per-packet hot path.
+const DefaultInterval = 500 * time.Microsecond
+
+// DefaultMaxViolations bounds Collect-mode accumulation when
+// Options.MaxViolations is zero.
+const DefaultMaxViolations = 64
+
+// Options configures a Checker.
+type Options struct {
+	// Interval between periodic audits; 0 = DefaultInterval.
+	Interval time.Duration
+	// Collect accumulates violations instead of failing fast on the first.
+	Collect bool
+	// MaxViolations caps Collect-mode accumulation (further violations are
+	// dropped, keeping a broken run from flooding memory); 0 = 64.
+	MaxViolations int
+}
+
+// Violation is one observed invariant breach.
+type Violation struct {
+	At     time.Duration // simulated time of the audit
+	Rule   string        // name of the breached rule
+	Detail string        // pointed diagnostic
+}
+
+// Error implements error.
+func (v Violation) Error() string {
+	return fmt.Sprintf("invariant %q violated at t=%v: %s", v.Rule, v.At, v.Detail)
+}
+
+// Failure is the panic payload of a fail-fast Checker; the simulation
+// driver recovers it and returns the violation as an error.
+type Failure struct {
+	V Violation
+}
+
+// Error implements error.
+func (f *Failure) Error() string { return f.V.Error() }
+
+// FailFunc reports one violation from inside a rule.
+type FailFunc func(format string, args ...any)
+
+// Checker evaluates invariant rules against a running simulation.
+type Checker struct {
+	eng        *sim.Engine
+	opts       Options
+	rules      []rule
+	violations []Violation
+	started    bool
+}
+
+type rule struct {
+	name string
+	fn   func(FailFunc)
+}
+
+// New builds a Checker bound to eng.
+func New(eng *sim.Engine, opts Options) *Checker {
+	if eng == nil {
+		panic("check: nil engine")
+	}
+	if opts.Interval == 0 {
+		opts.Interval = DefaultInterval
+	}
+	if opts.Interval < 0 {
+		panic("check: negative interval")
+	}
+	if opts.MaxViolations == 0 {
+		opts.MaxViolations = DefaultMaxViolations
+	}
+	return &Checker{eng: eng, opts: opts}
+}
+
+// AddRule registers a named audit. fn must be a pure read of simulation
+// state, reporting each breach through the supplied FailFunc.
+func (c *Checker) AddRule(name string, fn func(FailFunc)) {
+	if name == "" || fn == nil {
+		panic("check: empty rule")
+	}
+	c.rules = append(c.rules, rule{name: name, fn: fn})
+}
+
+// Start arms the periodic audit timer. Call once, after all rules are
+// registered.
+func (c *Checker) Start() {
+	if c.started {
+		panic("check: Start called twice")
+	}
+	c.started = true
+	var tick func()
+	tick = func() {
+		c.Audit()
+		c.eng.After(c.opts.Interval, tick)
+	}
+	c.eng.After(c.opts.Interval, tick)
+}
+
+// Audit evaluates every rule now. Call it between simulation events (the
+// periodic timer does; drain points after Engine.Run may too).
+func (c *Checker) Audit() {
+	for _, r := range c.rules {
+		name := r.name
+		r.fn(func(format string, args ...any) { c.report(name, format, args...) })
+	}
+}
+
+func (c *Checker) report(rule, format string, args ...any) {
+	v := Violation{
+		At:     time.Duration(c.eng.Now()),
+		Rule:   rule,
+		Detail: fmt.Sprintf(format, args...),
+	}
+	if !c.opts.Collect {
+		panic(&Failure{V: v})
+	}
+	if len(c.violations) < c.opts.MaxViolations {
+		c.violations = append(c.violations, v)
+	}
+}
+
+// Violations returns the breaches accumulated in Collect mode.
+func (c *Checker) Violations() []Violation { return c.violations }
+
+// CycleLedger tallies charge-log lines into a per-category total. It is
+// the checker's independent view of cycle accounting: the exec layer
+// flushes each work item's charge log at the same instant the item's
+// cycles merge into the core Breakdown, so a ledger fed from the charge
+// log must reconcile exactly with System.TotalBreakdown at every event
+// boundary — any drift means cycles were double-charged or lost.
+type CycleLedger struct {
+	total cpumodel.Breakdown
+}
+
+// Record folds one work item's charge log into the ledger.
+func (l *CycleLedger) Record(log []exec.FlowCharge) {
+	for _, e := range log {
+		l.total.Add(e.Cat, e.Cycles)
+	}
+}
+
+// Reset zeroes the ledger (warmup boundary, alongside ResetAccounting).
+func (l *CycleLedger) Reset() { l.total = cpumodel.Breakdown{} }
+
+// Total returns the accumulated per-category tally.
+func (l *CycleLedger) Total() cpumodel.Breakdown { return l.total }

@@ -1,0 +1,129 @@
+package check
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hostsim/internal/cpumodel"
+	"hostsim/internal/exec"
+	"hostsim/internal/sim"
+	"hostsim/internal/units"
+)
+
+func TestNewDefaults(t *testing.T) {
+	c := New(sim.NewEngine(1), Options{})
+	if c.opts.Interval != DefaultInterval {
+		t.Errorf("Interval = %v, want %v", c.opts.Interval, DefaultInterval)
+	}
+	if c.opts.MaxViolations != DefaultMaxViolations {
+		t.Errorf("MaxViolations = %d, want %d", c.opts.MaxViolations, DefaultMaxViolations)
+	}
+}
+
+func TestNewPanicsOnBadInput(t *testing.T) {
+	mustPanic(t, "nil engine", func() { New(nil, Options{}) })
+	mustPanic(t, "negative interval", func() { New(sim.NewEngine(1), Options{Interval: -time.Second}) })
+}
+
+func TestAddRulePanicsOnEmpty(t *testing.T) {
+	c := New(sim.NewEngine(1), Options{})
+	mustPanic(t, "empty name", func() { c.AddRule("", func(FailFunc) {}) })
+	mustPanic(t, "nil fn", func() { c.AddRule("x", nil) })
+}
+
+func TestFailFastPanicsWithFailure(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := New(eng, Options{})
+	c.AddRule("always-broken", func(fail FailFunc) { fail("leaked %d widgets", 3) })
+	defer func() {
+		r := recover()
+		f, ok := r.(*Failure)
+		if !ok {
+			t.Fatalf("recovered %T, want *Failure", r)
+		}
+		if f.V.Rule != "always-broken" || !strings.Contains(f.V.Detail, "leaked 3 widgets") {
+			t.Errorf("unexpected violation: %+v", f.V)
+		}
+	}()
+	c.Audit()
+	t.Fatal("Audit did not panic")
+}
+
+func TestCollectAccumulatesAndCaps(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := New(eng, Options{Collect: true, MaxViolations: 2})
+	c.AddRule("noisy", func(fail FailFunc) {
+		fail("first")
+		fail("second")
+		fail("third") // over the cap: dropped
+	})
+	c.Audit()
+	vs := c.Violations()
+	if len(vs) != 2 {
+		t.Fatalf("got %d violations, want 2 (capped)", len(vs))
+	}
+	if vs[0].Detail != "first" || vs[1].Detail != "second" {
+		t.Errorf("violations out of order: %+v", vs)
+	}
+}
+
+func TestViolationCarriesSimulatedTime(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := New(eng, Options{Collect: true})
+	c.AddRule("broken", func(fail FailFunc) { fail("boom") })
+	eng.After(3*time.Millisecond, func() { c.Audit() })
+	eng.Run(sim.Time(10 * time.Millisecond))
+	vs := c.Violations()
+	if len(vs) != 1 {
+		t.Fatalf("got %d violations, want 1", len(vs))
+	}
+	if vs[0].At != 3*time.Millisecond {
+		t.Errorf("At = %v, want 3ms", vs[0].At)
+	}
+	if want := `invariant "broken" violated at t=3ms: boom`; vs[0].Error() != want {
+		t.Errorf("Error() = %q, want %q", vs[0].Error(), want)
+	}
+}
+
+func TestStartAuditsPeriodically(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := New(eng, Options{Collect: true, Interval: time.Millisecond, MaxViolations: 100})
+	audits := 0
+	c.AddRule("counter", func(FailFunc) { audits++ })
+	c.Start()
+	eng.Run(sim.Time(10*time.Millisecond + time.Microsecond))
+	if audits != 10 {
+		t.Errorf("got %d periodic audits over 10ms at 1ms cadence, want 10", audits)
+	}
+	mustPanic(t, "double Start", c.Start)
+}
+
+func TestCycleLedger(t *testing.T) {
+	var l CycleLedger
+	l.Record([]exec.FlowCharge{
+		{Cat: cpumodel.DataCopy, Cycles: 100},
+		{Cat: cpumodel.TCPIP, Cycles: 40},
+		{Cat: cpumodel.DataCopy, Cycles: 11},
+	})
+	var want cpumodel.Breakdown
+	want.Add(cpumodel.DataCopy, units.Cycles(111))
+	want.Add(cpumodel.TCPIP, units.Cycles(40))
+	if got := l.Total(); got != want {
+		t.Errorf("Total = %v, want %v", got, want)
+	}
+	l.Reset()
+	if got := l.Total(); got != (cpumodel.Breakdown{}) {
+		t.Errorf("Total after Reset = %v, want zero", got)
+	}
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", name)
+		}
+	}()
+	fn()
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"hostsim/internal/check"
+	"hostsim/internal/cpumodel"
+	"hostsim/internal/skb"
+	"hostsim/internal/wire"
+)
+
+// AttachChecker registers the conservation-law audit rules for a
+// connected host pair on ck and arms each host's cycle ledger. Call after
+// Connect and before the simulation runs; the rules are pure reads, so a
+// checked run follows the exact trajectory of an unchecked one.
+//
+// The laws, each exact at event boundaries:
+//
+//   - wire: per link, frames (and payload bytes) sent = delivered +
+//     dropped at the switch + in flight;
+//   - nic-rx: per host, payload delivered by the inbound link = NIC
+//     RxBytes + ring-dropped bytes, and RxBytes = bytes handed up the
+//     stack + ring backlog + GRO-held; posted descriptors stay in
+//     [0, RxRing];
+//   - tcp-seqspace: per connection, sequence bookkeeping is internally
+//     consistent (see tcp.Conn.CheckInvariants) and cross-host
+//     sndUna <= peer rcvNxt <= sndNxt;
+//   - skb-pool / frame-pool: every buffer handed out by the pair's shared
+//     pools is accounted for by a live queue, a counted leak-by-design
+//     (switch drops, unsteered skbs), or an in-flight counter;
+//   - cycles: per host, the charge log's per-category tally reconciles
+//     exactly with the core Breakdown accounting, and busy time matches
+//     the cycle total within per-item truncation slack;
+//   - dca: DDIO occupancy never exceeds the configured L3 share.
+func AttachChecker(ck *check.Checker, a, b *Host, ab, ba *wire.Link) {
+	for _, h := range []*Host{a, b} {
+		h.chkLedger = &check.CycleLedger{}
+		h.installChargeLog()
+	}
+
+	ck.AddRule("wire-conservation", func(fail check.FailFunc) {
+		wireConservation(fail, a.name+"->"+b.name, ab)
+		wireConservation(fail, b.name+"->"+a.name, ba)
+	})
+	ck.AddRule("nic-rx-conservation", func(fail check.FailFunc) {
+		nicRxConservation(fail, b, ab) // ab delivers into b's NIC
+		nicRxConservation(fail, a, ba)
+	})
+	ck.AddRule("tcp-seqspace", func(fail check.FailFunc) {
+		tcpSeqSpace(fail, a, b)
+		tcpSeqSpace(fail, b, a)
+	})
+	ck.AddRule("skb-pool-conservation", func(fail check.FailFunc) {
+		skbConservation(fail, a, b)
+	})
+	ck.AddRule("frame-pool-conservation", func(fail check.FailFunc) {
+		frameConservation(fail, a, b, ab, ba)
+	})
+	ck.AddRule("cycle-conservation", func(fail check.FailFunc) {
+		cycleConservation(fail, a)
+		cycleConservation(fail, b)
+	})
+	ck.AddRule("dca-occupancy", func(fail check.FailFunc) {
+		dcaOccupancy(fail, a)
+		dcaOccupancy(fail, b)
+	})
+}
+
+func wireConservation(fail check.FailFunc, name string, l *wire.Link) {
+	st := l.Stats()
+	frames, payload := l.InFlight()
+	if frames < 0 || payload < 0 {
+		fail("link %s: negative in-flight (%d frames, %d bytes)", name, frames, payload)
+	}
+	if st.Sent != st.Delivered+st.Dropped+frames {
+		fail("link %s: %d frames sent != %d delivered + %d dropped + %d in flight (leak of %d)",
+			name, st.Sent, st.Delivered, st.Dropped, frames,
+			st.Sent-st.Delivered-st.Dropped-frames)
+	}
+	if st.SentPayload != st.DeliveredPayload+st.DroppedPayload+payload {
+		fail("link %s: %d payload bytes sent != %d delivered + %d dropped + %d in flight (leak of %d)",
+			name, st.SentPayload, st.DeliveredPayload, st.DroppedPayload, payload,
+			st.SentPayload-st.DeliveredPayload-st.DroppedPayload-payload)
+	}
+}
+
+func nicRxConservation(fail check.FailFunc, h *Host, inbound *wire.Link) {
+	st := h.NIC.Stats()
+	if got := inbound.Stats().DeliveredPayload; got != st.RxBytes+st.RxDroppedBytes {
+		fail("host %s: link delivered %d payload bytes but NIC accounts %d accepted + %d ring-dropped",
+			h.name, got, st.RxBytes, st.RxDroppedBytes)
+	}
+	_, backlogB := h.NIC.RxBacklog()
+	_, groB := h.NIC.GROHeld()
+	if st.RxBytes != st.RxDelivered+backlogB+groB {
+		fail("host %s: NIC accepted %d bytes != %d delivered up + %d ring backlog + %d GRO-held (leak of %d)",
+			h.name, st.RxBytes, st.RxDelivered, backlogB, groB,
+			st.RxBytes-st.RxDelivered-backlogB-groB)
+	}
+	ring := h.NIC.Config().RxRing
+	if lo, hi := h.NIC.PostedBounds(); lo < 0 || hi > ring {
+		fail("host %s: posted descriptors out of bounds: [%d, %d] not within [0, %d]",
+			h.name, lo, hi, ring)
+	}
+}
+
+// sortedEndpoints returns h's sender endpoints in tx-flow order, so audit
+// failures are reported deterministically.
+func sortedEndpoints(h *Host) []*Endpoint {
+	flows := make([]skb.FlowID, 0, len(h.byTx))
+	for f := range h.byTx {
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i] < flows[j] })
+	eps := make([]*Endpoint, len(flows))
+	for i, f := range flows {
+		eps[i] = h.byTx[f]
+	}
+	return eps
+}
+
+func tcpSeqSpace(fail check.FailFunc, h, peer *Host) {
+	for _, ep := range sortedEndpoints(h) {
+		ep.conn.CheckInvariants(fail)
+		pep := peer.byRx[ep.txFlow]
+		if pep == nil {
+			continue
+		}
+		una, nxt := ep.conn.SndUna(), ep.conn.SndNxt()
+		rcv := pep.conn.RcvNxt()
+		if una > rcv || rcv > nxt {
+			fail("tcp flow %d: cross-host sequence drift: %s sndUna %d, %s rcvNxt %d, sndNxt %d "+
+				"(want sndUna <= rcvNxt <= sndNxt)",
+				ep.txFlow, h.name, una, peer.name, rcv, nxt)
+		}
+	}
+}
+
+func skbConservation(fail check.FailFunc, a, b *Host) {
+	pool := a.NIC.SKBPool()
+	if pool == nil {
+		return
+	}
+	var held int64
+	for _, h := range []*Host{a, b} {
+		groN, _ := h.NIC.GROHeld()
+		held += int64(groN)
+		for _, ep := range sortedEndpoints(h) {
+			held += int64(ep.conn.RecvQLen() + ep.conn.OOOLen())
+		}
+		held += h.unsteered + h.rpsInFlight
+	}
+	if out := pool.Outstanding(); out != held {
+		fail("skb pool: %d outstanding but only %d accounted for "+
+			"(gro+recvq+ooo+unsteered+rps across %s/%s) — %d skbs leaked",
+			out, held, a.name, b.name, out-held)
+	}
+}
+
+func frameConservation(fail check.FailFunc, a, b *Host, ab, ba *wire.Link) {
+	fp := a.NIC.FramePool()
+	if fp == nil {
+		return
+	}
+	var held int64
+	for _, h := range []*Host{a, b} {
+		txN, _ := h.NIC.TxQueued()
+		backlogN, _ := h.NIC.RxBacklog()
+		held += int64(txN + backlogN)
+	}
+	for _, l := range []*wire.Link{ab, ba} {
+		inflight, _ := l.InFlight()
+		held += inflight + l.Stats().Dropped // switch drops abandon the frame
+	}
+	if out := fp.Outstanding(); out != held {
+		fail("frame pool: %d outstanding but only %d accounted for "+
+			"(txq+rx backlog+wire+switch drops across %s/%s) — %d frames leaked",
+			out, held, a.name, b.name, out-held)
+	}
+}
+
+func cycleConservation(fail check.FailFunc, h *Host) {
+	led := h.chkLedger.Total()
+	acct := h.Sys.TotalBreakdown()
+	if led != acct {
+		for _, cat := range cpumodel.Categories() {
+			if led[cat] != acct[cat] {
+				fail("host %s: category %v accounts %d cycles but the charge log saw %d (drift %+d)",
+					h.name, cat, acct[cat], led[cat], int64(acct[cat])-int64(led[cat]))
+			}
+		}
+		return
+	}
+	busy := h.Sys.TotalBusy()
+	exact := acct.Total().Duration(h.spec.Frequency)
+	slack := time.Duration(h.Sys.CompletedItems() + 1) // 1ns truncation per item
+	if diff := exact - busy; diff < -slack || diff > slack {
+		fail("host %s: busy time %v drifted from cycle total %v by %v (allowed slack %v over %d items)",
+			h.name, busy, exact, diff, slack, h.Sys.CompletedItems())
+	}
+}
+
+func dcaOccupancy(fail check.FailFunc, h *Host) {
+	if h.DCA == nil {
+		return
+	}
+	if res, capacity := h.DCA.Resident(), h.DCA.Capacity(); res < 0 || res > capacity {
+		fail("host %s: DDIO occupancy %d pages outside [0, %d]", h.name, res, capacity)
+	}
+}

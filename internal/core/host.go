@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"hostsim/internal/cache"
+	"hostsim/internal/check"
 	"hostsim/internal/cpumodel"
 	"hostsim/internal/exec"
 	"hostsim/internal/mem"
@@ -69,6 +70,10 @@ type Host struct {
 	tracer    *trace.Tracer     // nil = tracing off
 	prof      *profile.Profiler // nil = profiling off
 
+	// ---- invariant-checker state (nil/zero when checking is off).
+	chkLedger   *check.CycleLedger // independent cycle tally from the charge log
+	rpsInFlight int64              // skbs deferred to a cross-core softirq (RPS/RFS)
+
 	telemetry    *telemetry.Registry // nil = telemetry off
 	ctrSteerMiss *telemetry.Counter  // Rx processed off the app core
 
@@ -98,13 +103,26 @@ func (h *Host) Tracer() *trace.Tracer { return h.tracer }
 // allocation-free.
 func (h *Host) EnableProfiler(p *profile.Profiler) {
 	h.prof = p
-	if p == nil {
+	h.installChargeLog()
+}
+
+// installChargeLog points the exec layer's charge log at whichever
+// consumers are attached — the profiler, the invariant checker's cycle
+// ledger, or both — and disables it when neither is.
+func (h *Host) installChargeLog() {
+	p, led := h.prof, h.chkLedger
+	if p == nil && led == nil {
 		h.Sys.SetChargeLog(nil)
 		return
 	}
 	name := h.name
 	h.Sys.SetChargeLog(func(core int, softirq bool, thread string, log []exec.FlowCharge) {
-		p.Record(name, softirq, thread, log)
+		if led != nil {
+			led.Record(log)
+		}
+		if p != nil {
+			p.Record(name, softirq, thread, log)
+		}
 	})
 }
 
@@ -298,8 +316,10 @@ func (h *Host) deliver(ctx *exec.Ctx, s *skb.SKB) {
 		// enqueue_to_backlog + IPI, then TCP/IP in the target's softirq.
 		ctx.Charge(cpumodel.Netdev, h.costs.RPSSteer)
 		tc := h.Sys.Core(target)
+		h.rpsInFlight++
 		ctx.Defer(func() {
 			tc.RaiseSoftirq(func(ctx2 *exec.Ctx) {
+				h.rpsInFlight--
 				ctx2.Charge(cpumodel.Etc, h.costs.IRQEntry/3) // softirq entry
 				h.process(ctx2, ep, s)
 			})
@@ -410,6 +430,11 @@ func (h *Host) EnableSpanTrace() {
 // stats and host counters accumulated during warm-up.
 func (h *Host) ResetMetrics() {
 	h.Sys.ResetAccounting()
+	if h.chkLedger != nil {
+		// The ledger shadows the Breakdown accounting; reset them together
+		// or cycle conservation trivially breaks at the warmup boundary.
+		h.chkLedger.Reset()
+	}
 	if h.DCA != nil {
 		h.DCA.ResetStats()
 	}

@@ -169,7 +169,20 @@ func (s *System) ResetAccounting() {
 		c.softirqBusy = 0
 		c.threadBusy = 0
 		c.runqWait = 0
+		c.items = 0
 	}
+}
+
+// CompletedItems returns the number of work items completed across all
+// cores since the last reset. Busy time is the truncated per-item sum of
+// cycle durations, so it can trail the exact cycle total by up to one
+// clock tick per item — callers bounding busy-vs-cycles drift need this.
+func (s *System) CompletedItems() int64 {
+	var n int64
+	for _, c := range s.cores {
+		n += c.items
+	}
+	return n
 }
 
 // TotalBusy returns the summed busy time across cores.
@@ -241,6 +254,16 @@ type Core struct {
 	softirqBusy time.Duration
 	threadBusy  time.Duration
 	runqWait    time.Duration
+	items       int64 // work items completed since the last reset
+}
+
+// SkewAccounting adds cycles to the core's category tally WITHOUT going
+// through a work item or the charge log. It exists solely so tests can
+// inject an accounting discrepancy (a "double charge") and prove the
+// cycle-conservation checker catches it; production code must never call
+// it.
+func (c *Core) SkewAccounting(cat cpumodel.Category, n units.Cycles) {
+	c.acct.Add(cat, n)
 }
 
 // enqueueWoken admits a freshly woken thread with bounded sleeper credit:
@@ -425,6 +448,7 @@ func (c *Core) pickThread() *Thread {
 // thread's next state, and dispatches further work.
 func (c *Core) complete(ctx *Ctx) {
 	c.acct.Merge(&ctx.acct)
+	c.items++
 	d := ctx.cycles.Duration(c.sys.spec.Frequency)
 	c.busy += d
 	if ctx.thread == nil {

@@ -27,7 +27,16 @@ type RunConfig struct {
 	// are always assembled in submission order and each run is an
 	// isolated, seeded simulation.
 	Jobs int
+	// Check runs every simulation with the conservation-law invariant
+	// checker armed (fail-fast). Audits are pure reads, so checked runs
+	// produce byte-identical tables.
+	Check bool
 }
+
+// checkOpts is the one CheckOptions value shared by every checked run.
+// A single package-level pointer keeps the run memo's "%+v" keys stable:
+// the pointer field renders as the same address for every config.
+var checkOpts = &hostsim.CheckOptions{}
 
 // jobs returns the effective parallelism degree.
 func (rc RunConfig) jobs() int {
@@ -43,7 +52,11 @@ func Default() RunConfig {
 }
 
 func (rc RunConfig) config(s hostsim.Stack) hostsim.Config {
-	return hostsim.Config{Stack: s, Seed: rc.Seed, Warmup: rc.Warmup, Duration: rc.Duration}
+	cfg := hostsim.Config{Stack: s, Seed: rc.Seed, Warmup: rc.Warmup, Duration: rc.Duration}
+	if rc.Check {
+		cfg.Check = checkOpts
+	}
+	return cfg
 }
 
 // Table is one rendered figure/table.

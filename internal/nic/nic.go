@@ -136,6 +136,13 @@ type Stats struct {
 	IRQs        int64
 	NAPIPolls   int64
 	LROCoalesce int64
+
+	// Conservation-audit mirrors: payload bytes of ring-dropped frames,
+	// and SKBs/payload handed up the stack by NAPI. RxBytes must equal
+	// RxDelivered plus whatever is parked in backlogs and GRO.
+	RxDroppedBytes  units.Bytes
+	RxDelivered     units.Bytes
+	RxDeliveredSKBs int64
 }
 
 // DeliverFunc receives fully assembled SKBs from NAPI, in softirq context
@@ -169,6 +176,11 @@ type NIC struct {
 	txNext     int
 	txBusy     bool
 	txComplete TxCompleteFunc
+
+	// Frames accepted by SendFrames but still riding the Defer to the
+	// caller's logical completion time (not yet in any Tx queue).
+	txPendingFrames  int
+	txPendingPayload units.Bytes
 
 	tracer    *trace.Tracer // nil = no tracing
 	traceHost string
@@ -298,6 +310,68 @@ func (n *NIC) RingOccupancy() int {
 	return occ
 }
 
+// RxBacklog returns the frames (and payload bytes) DMA-ed into rings but
+// not yet processed by NAPI, across all queues.
+func (n *NIC) RxBacklog() (int, units.Bytes) {
+	var frames int
+	var payload units.Bytes
+	for _, q := range n.queues {
+		frames += len(q.backlog)
+		for _, f := range q.backlog {
+			payload += f.Len
+		}
+	}
+	return frames, payload
+}
+
+// GROHeld returns the SKBs (and payload bytes) parked in GRO engines
+// across all queues.
+func (n *NIC) GROHeld() (int, units.Bytes) {
+	var skbs int
+	var payload units.Bytes
+	for _, q := range n.queues {
+		if q.gro == nil {
+			continue
+		}
+		skbs += q.gro.Held()
+		payload += q.gro.HeldBytes()
+	}
+	return skbs, payload
+}
+
+// TxQueued returns the frames (and payload bytes) sitting in Tx queues or
+// still in flight toward them, accepted by SendFrames but not yet pushed
+// onto the wire.
+func (n *NIC) TxQueued() (int, units.Bytes) {
+	frames := n.txPendingFrames
+	payload := n.txPendingPayload
+	for _, fs := range n.txqs {
+		frames += len(fs)
+		for _, f := range fs {
+			payload += f.Len
+		}
+	}
+	return frames, payload
+}
+
+// PostedBounds returns the smallest and largest posted-descriptor count
+// across Rx queues; a healthy driver keeps every queue within
+// [0, RxRing]. With no queues yet, both bounds are RxRing.
+func (n *NIC) PostedBounds() (lo, hi int) {
+	lo, hi = n.cfg.RxRing, n.cfg.RxRing
+	first := true
+	for _, q := range n.queues {
+		if first || q.posted < lo {
+			lo = q.posted
+		}
+		if first || q.posted > hi {
+			hi = q.posted
+		}
+		first = false
+	}
+	return lo, hi
+}
+
 // RegisterTelemetry registers the NIC's gauges under prefix (e.g.
 // "rx/"). Probes are pure reads; no-op on a nil registry.
 func (n *NIC) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
@@ -328,7 +402,17 @@ func (n *NIC) SendFrames(ctx *exec.Ctx, frames []*skb.Frame) {
 	ctx.Charge(cpumodel.Netdev, ctx.Costs().TxDoorbell)
 	core := ctx.Core().ID()
 	fs := frames
-	ctx.Defer(func() { n.enqueueTx(core, fs) })
+	n.txPendingFrames += len(fs)
+	for _, f := range fs {
+		n.txPendingPayload += f.Len
+	}
+	ctx.Defer(func() {
+		n.txPendingFrames -= len(fs)
+		for _, f := range fs {
+			n.txPendingPayload -= f.Len
+		}
+		n.enqueueTx(core, fs)
+	})
 }
 
 // SendFramesNow is SendFrames for non-CPU contexts. It enqueues on queue
@@ -394,6 +478,7 @@ func (n *NIC) ReceiveFromWire(f *skb.Frame) {
 	q := n.queue(core)
 	if q.posted <= 0 {
 		n.stats.RxDropped++
+		n.stats.RxDroppedBytes += f.Len
 		n.tracer.Emit(trace.Event{
 			At: n.eng.Now(), Host: n.traceHost, Core: core, Flow: f.Flow,
 			Kind: trace.Drop, A: f.Seq, B: int64(f.Len),
@@ -549,6 +634,8 @@ func (q *rxQueue) poll(ctx *exec.Ctx) {
 	for _, s := range out {
 		s.GROAt = ctx.Now()
 		ctx.SetFlowTag(int32(s.Flow))
+		n.stats.RxDeliveredSKBs++
+		n.stats.RxDelivered += s.Len
 		n.deliver(ctx, s)
 	}
 	ctx.SetFlowTag(0)

@@ -135,6 +135,8 @@ type Pool struct {
 	// Recycled/Fresh count Gets served from the pool vs heap-allocated.
 	Recycled int64
 	Fresh    int64
+	// Puts counts SKBs returned to the pool.
+	Puts int64
 }
 
 // Get builds a driver-level SKB from one received frame, reusing a pooled
@@ -174,6 +176,7 @@ func (p *Pool) Put(s *SKB) {
 	if p == nil || s == nil {
 		return
 	}
+	p.Puts++
 	s.Pages = s.Pages[:0]
 	s.Ack = nil
 	s.CE = false
@@ -195,6 +198,16 @@ func (p *Pool) Held() int {
 	return len(p.free)
 }
 
+// Outstanding returns the SKBs handed out but never returned. In a
+// quiesced stack every one must be accounted for by a live queue, or it
+// leaked.
+func (p *Pool) Outstanding() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.Recycled + p.Fresh - p.Puts
+}
+
 // FramePool recycles wire Frame structs for the transmit fast path (one
 // Frame per MTU under TSO adds up quickly). Frames are Put back by the
 // receiving NIC once GRO has absorbed them, so with bidirectional traffic
@@ -202,6 +215,9 @@ func (p *Pool) Held() int {
 // *FramePool allocates plainly.
 type FramePool struct {
 	free []*Frame
+	// Gets/Puts count frames handed out and returned.
+	Gets int64
+	Puts int64
 }
 
 // Get returns a zeroed frame (possibly retaining page-slice capacity from
@@ -210,6 +226,7 @@ func (p *FramePool) Get() *Frame {
 	if p == nil {
 		return &Frame{}
 	}
+	p.Gets++
 	if n := len(p.free); n > 0 {
 		f := p.free[n-1]
 		p.free[n-1] = nil
@@ -224,6 +241,7 @@ func (p *FramePool) Put(f *Frame) {
 	if p == nil || f == nil {
 		return
 	}
+	p.Puts++
 	f.Flow = 0
 	f.Seq = 0
 	f.Len = 0
@@ -244,6 +262,14 @@ func (p *FramePool) Held() int {
 		return 0
 	}
 	return len(p.free)
+}
+
+// Outstanding returns the frames handed out but never returned.
+func (p *FramePool) Outstanding() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.Gets - p.Puts
 }
 
 // SegmentSizes returns the wire-frame payload sizes produced by cutting
@@ -366,6 +392,15 @@ func (g *GRO) Flush() []*SKB {
 
 // Held returns the number of in-progress entries.
 func (g *GRO) Held() int { return len(g.entries) }
+
+// HeldBytes returns the payload bytes parked in in-progress entries.
+func (g *GRO) HeldBytes() units.Bytes {
+	var b units.Bytes
+	for _, e := range g.entries {
+		b += e.Len
+	}
+	return b
+}
 
 func (g *GRO) remove(i int) *SKB {
 	e := g.entries[i]

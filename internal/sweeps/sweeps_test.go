@@ -53,28 +53,103 @@ func TestSweepDeterminismAcrossJobs(t *testing.T) {
 	}
 }
 
-func TestAllKindsEmitRows(t *testing.T) {
+// ringGrid returns the ring sweep's grid points in emission order:
+// rx-buffer sizes outer, descriptor counts inner.
+func ringGrid() [][]string {
+	var out [][]string
+	for _, bufKB := range []string{"0", "3200", "6400"} {
+		for _, ring := range []string{"128", "256", "512", "1024", "2048", "4096", "8192"} {
+			out = append(out, []string{bufKB, ring})
+		}
+	}
+	return out
+}
+
+func singles(vals ...string) [][]string {
+	out := make([][]string, len(vals))
+	for i, v := range vals {
+		out[i] = []string{v}
+	}
+	return out
+}
+
+// TestGridOrderAndRowEmission is the sweep contract, table-driven per
+// kind: the exact CSV header, one data row per grid point, rows in grid
+// order (identified by their leading grid cells), and every metric cell
+// populated. It covers all of Kinds() — a new kind without a case here
+// fails the final completeness check.
+func TestGridOrderAndRowEmission(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every sweep kind")
 	}
-	for _, kind := range Kinds() {
-		kind := kind
-		t.Run(kind, func(t *testing.T) {
+	cases := []struct {
+		kind   string
+		header string
+		grid   [][]string // expected leading cells of each row, in order
+	}{
+		{
+			kind:   "ring",
+			header: "rxbuf_kb,ring,thpt_gbps,tpc_gbps,miss_rate",
+			grid:   ringGrid(),
+		},
+		{
+			kind:   "rxbuf",
+			header: "rxbuf_kb,thpt_gbps,lat_avg_us,lat_p99_us,miss_rate",
+			grid:   singles("100", "200", "400", "800", "1600", "3200", "6400", "12800"),
+		},
+		{
+			kind:   "flows",
+			header: "flows,thpt_gbps,tpc_gbps,miss_rate,skb_avg_kb",
+			grid:   singles("1", "2", "4", "8", "12", "16", "20", "24"),
+		},
+		{
+			kind:   "loss",
+			header: "loss,thpt_gbps,tpc_gbps,retransmits,miss_rate",
+			grid:   singles("0", "1e-05", "0.0001", "0.00015", "0.001", "0.0015", "0.005", "0.015"),
+		},
+	}
+	covered := map[string]bool{}
+	for _, tc := range cases {
+		tc := tc
+		covered[tc.kind] = true
+		t.Run(tc.kind, func(t *testing.T) {
 			t.Parallel()
 			var b strings.Builder
-			if err := Run(&b, quick(kind, 4)); err != nil {
+			if err := Run(&b, quick(tc.kind, 4)); err != nil {
 				t.Fatal(err)
 			}
 			lines := strings.Split(strings.TrimSpace(b.String()), "\n")
-			if len(lines) < 2 {
-				t.Fatalf("no data rows:\n%s", b.String())
+			if lines[0] != tc.header {
+				t.Fatalf("header = %q, want %q", lines[0], tc.header)
 			}
-			cols := strings.Count(lines[0], ",")
-			for i, l := range lines[1:] {
-				if strings.Count(l, ",") != cols {
-					t.Errorf("row %d has wrong arity: %q", i+1, l)
+			rows := lines[1:]
+			if len(rows) != len(tc.grid) {
+				t.Fatalf("emitted %d rows, want one per grid point (%d)", len(rows), len(tc.grid))
+			}
+			nCols := strings.Count(tc.header, ",") + 1
+			for i, row := range rows {
+				cells := strings.Split(row, ",")
+				if len(cells) != nCols {
+					t.Errorf("row %d has %d cells, want %d: %q", i, len(cells), nCols, row)
+					continue
+				}
+				for j, want := range tc.grid[i] {
+					if cells[j] != want {
+						t.Errorf("row %d out of grid order: column %d = %q, want %q (row %q)",
+							i, j, cells[j], want, row)
+					}
+				}
+				for j := len(tc.grid[i]); j < nCols; j++ {
+					if cells[j] == "" {
+						t.Errorf("row %d metric column %d empty: %q", i, j, row)
+					}
 				}
 			}
 		})
+	}
+	for _, kind := range Kinds() {
+		if !covered[kind] {
+			t.Errorf("sweep kind %q has no grid-order case in this test", kind)
+		}
 	}
 }

@@ -222,6 +222,94 @@ func (c *Conn) SRTT() time.Duration { return c.srtt }
 // RcvBuf returns the current receive buffer size (autotuned or fixed).
 func (c *Conn) RcvBuf() units.Bytes { return c.rcvBuf }
 
+// SndUna returns the lowest unacknowledged sequence number.
+func (c *Conn) SndUna() int64 { return c.sndUna }
+
+// SndNxt returns the next sequence number to transmit.
+func (c *Conn) SndNxt() int64 { return c.sndNxt }
+
+// AppLimit returns the bytes the application has committed to the stream.
+func (c *Conn) AppLimit() int64 { return c.appLimit }
+
+// RcvNxt returns the next expected receive sequence number.
+func (c *Conn) RcvNxt() int64 { return c.rcvNxt }
+
+// RecvQLen returns the number of skbs queued for the application.
+func (c *Conn) RecvQLen() int { return len(c.recvQ) }
+
+// OOOLen returns the number of out-of-order skbs held.
+func (c *Conn) OOOLen() int { return len(c.ooo) }
+
+// CheckInvariants audits the connection's sequence-space bookkeeping,
+// reporting each violation through fail. It performs no protocol actions
+// and mutates nothing, so it is safe to call between simulation events.
+func (c *Conn) CheckInvariants(fail func(format string, args ...any)) {
+	if c.sndUna < 0 || c.sndUna > c.sndNxt || c.sndNxt > c.appLimit {
+		fail("tcp flow %d: sequence order broken: sndUna %d, sndNxt %d, appLimit %d",
+			c.flow, c.sndUna, c.sndNxt, c.appLimit)
+	}
+	if c.sndNxt > c.rightEdge {
+		fail("tcp flow %d: sndNxt %d beyond peer window edge %d", c.flow, c.sndNxt, c.rightEdge)
+	}
+	if c.inQdisc < 0 {
+		fail("tcp flow %d: negative qdisc occupancy %d", c.flow, c.inQdisc)
+	}
+	if int64(c.stats.DeliveredBytes) != c.rcvNxt {
+		fail("tcp flow %d: DeliveredBytes %d != rcvNxt %d (in-order delivery must advance both together)",
+			c.flow, c.stats.DeliveredBytes, c.rcvNxt)
+	}
+	var rq units.Bytes
+	for _, s := range c.recvQ {
+		rq += s.Len
+	}
+	if rq != c.recvQBytes {
+		fail("tcp flow %d: recvQBytes %d but queue holds %d", c.flow, c.recvQBytes, rq)
+	}
+	var ob units.Bytes
+	prev := c.rcvNxt
+	for i, s := range c.ooo {
+		ob += s.Len
+		if s.Seq <= prev {
+			fail("tcp flow %d: ooo[%d] seq %d not ascending above rcvNxt %d (prev %d)",
+				c.flow, i, s.Seq, c.rcvNxt, prev)
+		}
+		prev = s.Seq
+	}
+	if ob != c.oooBytes {
+		fail("tcp flow %d: oooBytes %d but queue holds %d", c.flow, c.oooBytes, ob)
+	}
+	if len(c.chunks) == 0 {
+		if c.appLimit != c.sndUna {
+			fail("tcp flow %d: no send chunks but appLimit %d != sndUna %d",
+				c.flow, c.appLimit, c.sndUna)
+		}
+	} else {
+		if c.chunks[0].endSeq <= c.sndUna {
+			fail("tcp flow %d: acked chunk (end %d <= sndUna %d) not released",
+				c.flow, c.chunks[0].endSeq, c.sndUna)
+		}
+		prevEnd := int64(-1)
+		for i, ch := range c.chunks {
+			if ch.endSeq <= prevEnd {
+				fail("tcp flow %d: chunk[%d] end %d not ascending (prev %d)",
+					c.flow, i, ch.endSeq, prevEnd)
+			}
+			prevEnd = ch.endSeq
+		}
+		if last := c.chunks[len(c.chunks)-1].endSeq; last != c.appLimit {
+			fail("tcp flow %d: last chunk end %d != appLimit %d", c.flow, last, c.appLimit)
+		}
+	}
+	prevEnd := c.sndUna
+	for i, r := range c.sacked {
+		if r.Start < prevEnd || r.End <= r.Start || r.End > c.sndNxt {
+			fail("tcp flow %d: sacked[%d] [%d,%d) not disjoint-ascending within [sndUna %d, sndNxt %d]",
+				c.flow, i, r.Start, r.End, c.sndUna, c.sndNxt)
+		}
+		prevEnd = r.End
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Transmit path.
 

@@ -20,6 +20,13 @@ type Stats struct {
 	Dropped   int64       // frames lost at the switch
 	Marked    int64       // frames CE-marked
 	TxBytes   units.Bytes // wire bytes serialized (including headers)
+
+	// Payload-byte mirrors of the frame counters, kept so byte
+	// conservation (sent = delivered + dropped + in flight) can be
+	// audited without multiplying frame counts by an assumed size.
+	SentPayload      units.Bytes
+	DeliveredPayload units.Bytes
+	DroppedPayload   units.Bytes
 }
 
 // Link is one direction of the inter-host path. Frames serialize in FIFO
@@ -35,6 +42,11 @@ type Link struct {
 	ecnThreshold units.Bytes
 	nextFree     sim.Time
 	stats        Stats
+
+	// Frames past the switch but not yet delivered (serializing or
+	// propagating). Audited by the conservation checker.
+	inflightFrames  int64
+	inflightPayload units.Bytes
 }
 
 // NewLink builds a link delivering frames to deliver.
@@ -77,6 +89,12 @@ func (l *Link) Delay() time.Duration { return l.delay }
 // Stats returns a copy of the counters.
 func (l *Link) Stats() Stats { return l.stats }
 
+// InFlight reports the frames (and their payload bytes) accepted past the
+// switch but not yet handed to the receiver.
+func (l *Link) InFlight() (int64, units.Bytes) {
+	return l.inflightFrames, l.inflightPayload
+}
+
 // Backlog returns the bytes' worth of serialization time still queued.
 func (l *Link) Backlog() units.Bytes {
 	now := l.eng.Now()
@@ -93,6 +111,7 @@ func (l *Link) Send(f *skb.Frame) {
 		panic("wire: nil frame")
 	}
 	l.stats.Sent++
+	l.stats.SentPayload += f.Len
 	now := l.eng.Now()
 	start := l.nextFree
 	if start < now {
@@ -107,11 +126,18 @@ func (l *Link) Send(f *skb.Frame) {
 	}
 	if l.lossRate > 0 && l.eng.Rand().Float64() < l.lossRate {
 		l.stats.Dropped++
+		l.stats.DroppedPayload += f.Len
 		return // consumed wire time, then died at the switch
 	}
+	pl := f.Len // captured now: the receiver may recycle f before we log it
+	l.inflightFrames++
+	l.inflightPayload += pl
 	deliverAt := l.nextFree.Add(l.delay)
 	l.eng.At(deliverAt, func() {
 		l.stats.Delivered++
+		l.stats.DeliveredPayload += pl
+		l.inflightFrames--
+		l.inflightPayload -= pl
 		l.deliver(f)
 	})
 }

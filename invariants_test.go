@@ -1,0 +1,123 @@
+package hostsim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestInvariantsSmoke drives the full pipeline end to end once with the
+// fail-fast invariant checker armed and asserts data actually moved. It
+// subsumes the old smoke test: a run that leaks buffers or drops cycles
+// now fails here with a pointed diagnostic instead of passing silently.
+func TestInvariantsSmoke(t *testing.T) {
+	res, err := Run(Config{Stack: AllOptimizations(), Seed: 1,
+		Warmup: 10 * time.Millisecond, Duration: 20 * time.Millisecond,
+		Check: &CheckOptions{}},
+		LongFlowWorkload(PatternSingle, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("throughput          %.2f Gbps", res.ThroughputGbps)
+	t.Logf("throughput-per-core %.2f Gbps (bottleneck %s)", res.ThroughputPerCoreGbps, res.Bottleneck)
+	t.Logf("receiver breakdown  %v", res.Receiver.Breakdown)
+	if res.ThroughputGbps <= 1 {
+		t.Fatalf("single flow moved almost no data: %.2f Gbps", res.ThroughputGbps)
+	}
+}
+
+// TestInvariantsScenarioMatrix audits the conservation laws across the
+// paper's scenario space: every optimization ladder step, traffic
+// pattern, loss rate, congestion controller, steering mode and workload
+// kind runs with the checker in Collect mode, and any violation fails the
+// scenario with the checker's diagnostic. This subsumes the old probe
+// matrix (whose -v log lines it keeps, for calibration spelunking).
+func TestInvariantsScenarioMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario matrix")
+	}
+	short := Config{Seed: 1, Warmup: 15 * time.Millisecond, Duration: 25 * time.Millisecond,
+		Check: &CheckOptions{Collect: true}}
+	type probe struct {
+		name string
+		cfg  Config
+		wl   Workload
+	}
+	all := AllOptimizations()
+	noOpt := NoOptimizations()
+	tsogro := noOpt
+	tsogro.TSO, tsogro.GSO, tsogro.GRO = true, true, true
+	jumbo := tsogro
+	jumbo.JumboFrames = true
+	dcaOff := all
+	dcaOff.DCA = false
+	iommu := all
+	iommu.IOMMU = true
+	bbr := all
+	bbr.CC = "bbr"
+	dctcp := all
+	dctcp.CC = "dctcp"
+	lro := all
+	lro.GRO, lro.LRO = false, true
+	rfs := all
+	rfs.ARFS, rfs.Steering = false, "rfs"
+	rps := all
+	rps.ARFS, rps.Steering = false, "rps"
+	zerocopy := all
+	zerocopy.ZeroCopyTx, zerocopy.ZeroCopyRx = true, true
+
+	mk := func(s Stack) Config { c := short; c.Stack = s; return c }
+	lossCfg := func(rate float64) Config { c := mk(all); c.LossRate = rate; return c }
+	ecnCfg := func(s Stack, kb int) Config { c := mk(s); c.ECNMarkKB = kb; return c }
+
+	probes := []probe{
+		{"single/noopt", mk(noOpt), LongFlowWorkload(PatternSingle, 1)},
+		{"single/+tso-gro", mk(tsogro), LongFlowWorkload(PatternSingle, 1)},
+		{"single/+jumbo", mk(jumbo), LongFlowWorkload(PatternSingle, 1)},
+		{"single/+arfs(all)", mk(all), LongFlowWorkload(PatternSingle, 1)},
+		{"single/remote-numa", mk(all), Workload{Kind: "long", Pattern: PatternSingle, RemoteNUMA: true}},
+		{"single/dca-off", mk(dcaOff), LongFlowWorkload(PatternSingle, 1)},
+		{"single/iommu", mk(iommu), LongFlowWorkload(PatternSingle, 1)},
+		{"single/bbr", mk(bbr), LongFlowWorkload(PatternSingle, 1)},
+		{"single/dctcp", ecnCfg(dctcp, 90), LongFlowWorkload(PatternSingle, 1)},
+		{"single/lro", mk(lro), LongFlowWorkload(PatternSingle, 1)},
+		{"single/rfs", mk(rfs), LongFlowWorkload(PatternSingle, 1)},
+		{"single/rps", mk(rps), LongFlowWorkload(PatternSingle, 1)},
+		{"single/zerocopy", mk(zerocopy), LongFlowWorkload(PatternSingle, 1)},
+		{"one-to-one/8", mk(all), LongFlowWorkload(PatternOneToOne, 8)},
+		{"one-to-one/24", mk(all), LongFlowWorkload(PatternOneToOne, 24)},
+		{"incast/8", mk(all), LongFlowWorkload(PatternIncast, 8)},
+		{"incast/24", mk(all), LongFlowWorkload(PatternIncast, 24)},
+		{"outcast/8", mk(all), LongFlowWorkload(PatternOutcast, 8)},
+		{"outcast/24", mk(all), LongFlowWorkload(PatternOutcast, 24)},
+		{"all-to-all/8", mk(all), LongFlowWorkload(PatternAllToAll, 8)},
+		{"all-to-all/24", mk(all), LongFlowWorkload(PatternAllToAll, 24)},
+		{"loss/1.5e-4", lossCfg(1.5e-4), LongFlowWorkload(PatternSingle, 1)},
+		{"loss/1.5e-3", lossCfg(1.5e-3), LongFlowWorkload(PatternSingle, 1)},
+		{"loss/1.5e-2", lossCfg(1.5e-2), LongFlowWorkload(PatternSingle, 1)},
+		{"rpc/4KB", mk(all), RPCIncastWorkload(16, 4096)},
+		{"rpc/16KB", mk(all), RPCIncastWorkload(16, 16384)},
+		{"rpc/64KB", mk(all), RPCIncastWorkload(16, 65536)},
+		{"mixed/0", mk(all), MixedWorkload(0, 4096)},
+		{"mixed/16", mk(all), MixedWorkload(16, 4096)},
+	}
+	for _, p := range probes {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(p.cfg, p.wl)
+			if err != nil {
+				t.Fatalf("%s: %v", p.name, err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("%s: %v", p.name, v)
+			}
+			b := res.Receiver.Breakdown
+			t.Logf("%-20s thpt %6.2f tpc %6.2f [%s] sndBusy %5.2f rcvBusy %5.2f miss %4.1f%% copy %4.1f%% sched %4.1f%% mem %4.1f%% tcp %4.1f%% lat %8v skb %5.1fKB rpc %6d drops %5d retx %5d",
+				p.name, res.ThroughputGbps, res.ThroughputPerCoreGbps, res.Bottleneck,
+				res.Sender.BusyCores, res.Receiver.BusyCores,
+				res.Receiver.CacheMissRate*100, b["data_copy"]*100, b["sched"]*100, b["memory"]*100, b["tcp/ip"]*100,
+				res.Receiver.LatencyAvg.Round(time.Microsecond), res.Receiver.SKBAvgBytes/1024,
+				res.RPCCompleted, res.Receiver.NICDrops, res.Sender.Retransmits)
+		})
+	}
+}

@@ -1,0 +1,161 @@
+package hostsim_test
+
+// Metamorphic properties: relations that must hold between *pairs* of
+// runs (same seed, different parallelism; checker on vs off; longer
+// warmup; one optimization more) regardless of the simulator's absolute
+// calibration. They catch bug classes point assertions cannot: hidden
+// shared state across concurrent runs, checker observer effects,
+// non-steady-state measurement windows, optimization regressions.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"hostsim"
+)
+
+// fingerprint renders every deterministic measurement of a Result.
+// Two runs with equal fingerprints produced identical physics: map
+// fields print in sorted key order, so the string is stable.
+func fingerprint(r *hostsim.Result) string {
+	return fmt.Sprintf("dur=%v thpt=%v tpc=%v bott=%s rpc=%d longGbps=%v rpcGbps=%v flows=%v fair=%v snd=%+v rcv=%+v",
+		r.Duration, r.ThroughputGbps, r.ThroughputPerCoreGbps, r.Bottleneck,
+		r.RPCCompleted, r.LongFlowGbps, r.RPCGbps, r.FlowGbps, r.FairnessIndex,
+		r.Sender, r.Receiver)
+}
+
+func metaCfg(s hostsim.Stack) hostsim.Config {
+	return hostsim.Config{Stack: s, Seed: 7,
+		Warmup: 10 * time.Millisecond, Duration: 15 * time.Millisecond}
+}
+
+// TestMetamorphicDeterminismAcrossJobs runs a mixed batch serially and
+// with full parallelism: every run must be bit-identical, proving
+// simulations share no hidden state.
+func TestMetamorphicDeterminismAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run property")
+	}
+	jobs := []hostsim.Job{
+		{Config: metaCfg(hostsim.AllOptimizations()), Workload: hostsim.LongFlowWorkload(hostsim.PatternSingle, 1)},
+		{Config: metaCfg(hostsim.NoOptimizations()), Workload: hostsim.LongFlowWorkload(hostsim.PatternSingle, 1)},
+		{Config: metaCfg(hostsim.AllOptimizations()), Workload: hostsim.LongFlowWorkload(hostsim.PatternIncast, 8)},
+		{Config: metaCfg(hostsim.AllOptimizations()), Workload: hostsim.RPCIncastWorkload(16, 4096)},
+	}
+	serial, err := hostsim.RunMany(jobs, hostsim.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := hostsim.RunMany(jobs, hostsim.WithParallelism(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if a, b := fingerprint(serial[i]), fingerprint(par[i]); a != b {
+			t.Errorf("job %d diverged between -jobs 1 and -jobs 8:\n serial: %s\n   par8: %s", i, a, b)
+		}
+	}
+}
+
+// TestMetamorphicCheckTransparency asserts the invariant checker is a
+// pure observer: a checked run must be bit-identical to an unchecked
+// one (audits never charge cycles or draw random numbers).
+func TestMetamorphicCheckTransparency(t *testing.T) {
+	wl := hostsim.LongFlowWorkload(hostsim.PatternIncast, 4)
+	plain, err := hostsim.Run(metaCfg(hostsim.AllOptimizations()), wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := metaCfg(hostsim.AllOptimizations())
+	cfg.Check = &hostsim.CheckOptions{Collect: true}
+	checked, err := hostsim.Run(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checked.Violations) != 0 {
+		t.Fatalf("checked run violated invariants: %v", checked.Violations)
+	}
+	if a, b := fingerprint(plain), fingerprint(checked); a != b {
+		t.Errorf("checker perturbed the simulation:\n   off: %s\n    on: %s", a, b)
+	}
+}
+
+// TestMetamorphicLadderMonotonic walks Fig. 3a's optimization ladder:
+// each step (No Opt -> +TSO/GRO -> +Jumbo -> +aRFS/all) must strictly
+// raise single-flow throughput-per-core, whatever the exact values.
+func TestMetamorphicLadderMonotonic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run property")
+	}
+	noOpt := hostsim.NoOptimizations()
+	tsogro := noOpt
+	tsogro.TSO, tsogro.GSO, tsogro.GRO = true, true, true
+	jumbo := tsogro
+	jumbo.JumboFrames = true
+	ladder := []struct {
+		name  string
+		stack hostsim.Stack
+	}{
+		{"no-opt", noOpt},
+		{"+tso/gro", tsogro},
+		{"+jumbo", jumbo},
+		{"+arfs(all)", hostsim.AllOptimizations()},
+	}
+	wl := hostsim.LongFlowWorkload(hostsim.PatternSingle, 1)
+	prev, prevName := -1.0, ""
+	for _, step := range ladder {
+		res, err := hostsim.Run(metaCfg(step.stack), wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tpc := res.ThroughputPerCoreGbps
+		t.Logf("%-12s tpc %6.2f Gbps", step.name, tpc)
+		if tpc <= prev {
+			t.Errorf("ladder not monotonic: %s tpc %.2f <= %s tpc %.2f", step.name, tpc, prevName, prev)
+		}
+		prev, prevName = tpc, step.name
+	}
+}
+
+// TestMetamorphicRPCSymmetry uses the mirrored-traffic property of
+// ping-pong RPCs: requests and responses are the same size, so both
+// hosts must deliver (copy to their applications) the same volume, give
+// or take the RPCs in flight when the window closed.
+func TestMetamorphicRPCSymmetry(t *testing.T) {
+	const size, clients = 16384, 16
+	res, err := hostsim.Run(metaCfg(hostsim.AllOptimizations()), hostsim.RPCIncastWorkload(clients, size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snd, rcv := res.Sender.CopiedGB, res.Receiver.CopiedGB
+	slack := float64(clients*size) / 1e9 // one in-flight RPC per client
+	if diff := math.Abs(snd - rcv); diff > slack {
+		t.Errorf("mirrored RPC traffic asymmetric: sender copied %.4f GB, receiver %.4f GB (|diff| %.4f > slack %.4f)",
+			snd, rcv, diff, slack)
+	}
+}
+
+// TestMetamorphicWarmupIndependence asserts the measurement window sees
+// steady state: doubling the warmup must not move single-flow
+// throughput by more than a few percent.
+func TestMetamorphicWarmupIndependence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run property")
+	}
+	wl := hostsim.LongFlowWorkload(hostsim.PatternSingle, 1)
+	run := func(warmup time.Duration) float64 {
+		res, err := hostsim.Run(hostsim.Config{Stack: hostsim.AllOptimizations(), Seed: 7,
+			Warmup: warmup, Duration: 20 * time.Millisecond}, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ThroughputGbps
+	}
+	short, long := run(10*time.Millisecond), run(20*time.Millisecond)
+	if ratio := short / long; ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("throughput depends on warmup length: %.2f Gbps after 10ms vs %.2f Gbps after 20ms (ratio %.3f)",
+			short, long, ratio)
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench bench-runner bench-profile profile-smoke fuzz-smoke figures figures-golden
+.PHONY: all build test check fmt vet race bench bench-runner bench-profile bench-inspect profile-smoke inspect-smoke fuzz-smoke figures figures-golden
 
 all: build
 
@@ -43,12 +43,27 @@ bench-profile:
 	$(GO) test -run '^$$' -bench 'ProfileOff|ProfileOn|SoftirqNilChargeLog|SoftirqWithChargeLog' \
 		-benchmem -json . ./internal/exec > BENCH_profile.json
 
+# bench-inspect records the wire-level inspector's end-to-end overhead
+# (inspector off vs on for the same run) as JSON for regression tracking.
+bench-inspect:
+	$(GO) test -run '^$$' -bench 'InspectOff|InspectOn' \
+		-benchmem -json . > BENCH_inspect.json
+
 # profile-smoke is the CI profile-golden check: run netsim with profiling
 # enabled and validate the emitted profile.proto with the in-repo parser.
 profile-smoke:
 	$(GO) run ./cmd/netsim -dur 3ms -warmup 3ms -profile-out /tmp/hostsim-smoke.pb.gz \
 		-folded-out /tmp/hostsim-smoke.folded -latency-breakdown > /dev/null
 	$(GO) run ./cmd/profcheck /tmp/hostsim-smoke.pb.gz
+
+# inspect-smoke is the CI wire-inspector check: run netsim with all three
+# exporters and validate the emitted pcapng with the in-repo reader.
+inspect-smoke:
+	$(GO) run ./cmd/netsim -dur 3ms -warmup 3ms -loss 0.01 \
+		-pcap-out /tmp/hostsim-smoke.pcapng -probe-out /tmp/hostsim-smoke.probe.jsonl \
+		-ss-out /tmp/hostsim-smoke.ss.csv > /dev/null
+	$(GO) run ./cmd/inspectcheck /tmp/hostsim-smoke.pcapng
+	test -s /tmp/hostsim-smoke.probe.jsonl && test -s /tmp/hostsim-smoke.ss.csv
 
 # fuzz-smoke is the CI fuzz gate: a short coverage-guided walk of the
 # configuration space with the conservation-law checker as the oracle.

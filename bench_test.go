@@ -213,3 +213,27 @@ func BenchmarkRunCheckOn(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRunInspectOff is the baseline for the wire-level inspector
+// overhead pair: with Config.Inspect nil the only residue is a nil tap
+// test per wire transmission and a nil probe test per ACK. Compare
+// against BenchmarkRunInspectOn for the cost of capturing everything.
+func BenchmarkRunInspectOff(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := hostsim.Run(benchRunCfg(), hostsim.LongFlowWorkload(hostsim.PatternSingle, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunInspectOn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := benchRunCfg()
+		cfg.Inspect = &hostsim.InspectOptions{}
+		if _, err := hostsim.Run(cfg, hostsim.LongFlowWorkload(hostsim.PatternSingle, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -68,8 +69,30 @@ func main() {
 		telemetryOut = flag.String("telemetry-out", "", "write the sampled metric timeline to this file (CSV, or JSONL with a .jsonl suffix)")
 		sampleEvery  = flag.Duration("sample-interval", 100*time.Microsecond, "simulated time between telemetry samples")
 		traceOut     = flag.String("trace-out", "", "write a Chrome trace-event JSON file (open in Perfetto); implies -trace")
+
+		pcapOut  = flag.String("pcap-out", "", "write a Wireshark-readable pcapng capture of both link directions")
+		probeOut = flag.String("probe-out", "", "write tcp_probe-style congestion traces (JSONL, or CSV with a .csv suffix)")
+		ssOut    = flag.String("ss-out", "", "write ss-style socket/queue snapshots (CSV, or JSONL with a .jsonl suffix)")
+		ssEvery  = flag.Duration("ss-interval", 100*time.Microsecond, "simulated time between socket snapshots")
 	)
 	flag.Parse()
+
+	// Fail typoed output paths before the run, not after: every -*-out
+	// flag requires its parent directory to exist already.
+	for _, of := range []struct{ name, path string }{
+		{"profile-out", *profileOut}, {"folded-out", *foldedOut},
+		{"telemetry-out", *telemetryOut}, {"trace-out", *traceOut},
+		{"pcap-out", *pcapOut}, {"probe-out", *probeOut}, {"ss-out", *ssOut},
+	} {
+		if of.path == "" {
+			continue
+		}
+		if fi, err := os.Stat(filepath.Dir(of.path)); err != nil || !fi.IsDir() {
+			fmt.Fprintf(os.Stderr, "netsim: -%s %s: directory %s does not exist\n",
+				of.name, of.path, filepath.Dir(of.path))
+			os.Exit(1)
+		}
+	}
 
 	stack := hostsim.Stack{
 		TSO: *tso, GSO: *gso, GRO: *gro && !*lro, LRO: *lro,
@@ -99,6 +122,12 @@ func main() {
 			cfg.TraceEvents = 1 << 16
 		}
 		cfg.TraceSpans = true
+	}
+	if *pcapOut != "" || *probeOut != "" || *ssOut != "" {
+		cfg.Inspect = &hostsim.InspectOptions{
+			Pcap: *pcapOut != "", Probe: *probeOut != "", SS: *ssOut != "",
+			SSInterval: *ssEvery,
+		}
 	}
 
 	var wl hostsim.Workload
@@ -130,41 +159,59 @@ func main() {
 		fmt.Printf("\n--- per-packet latency breakdown ---\n%s", res.LatencyBreakdown.Format())
 	}
 	if *profileOut != "" {
-		if err := writeTo(*profileOut, res.WritePprof); err != nil {
-			fmt.Fprintln(os.Stderr, "netsim:", err)
-			os.Exit(1)
-		}
+		writeOutput("profile-out", *profileOut, res.WritePprof)
 		fmt.Printf("\ncycle profile: %d stacks -> %s (go tool pprof -top %s)\n",
 			len(res.CycleProfile), *profileOut, *profileOut)
 	}
 	if *foldedOut != "" {
-		if err := writeTo(*foldedOut, res.WriteFolded); err != nil {
-			fmt.Fprintln(os.Stderr, "netsim:", err)
-			os.Exit(1)
-		}
+		writeOutput("folded-out", *foldedOut, res.WriteFolded)
 		fmt.Printf("folded stacks: %d -> %s (flamegraph.pl %s > flame.svg)\n",
 			len(res.CycleProfile), *foldedOut, *foldedOut)
 	}
 	if *telemetryOut != "" {
-		if err := writeTimeline(res.Timeline, *telemetryOut); err != nil {
-			fmt.Fprintln(os.Stderr, "netsim:", err)
-			os.Exit(1)
-		}
+		writeOutput("telemetry-out", *telemetryOut, func(w io.Writer) error {
+			if strings.HasSuffix(*telemetryOut, ".jsonl") {
+				return res.Timeline.WriteJSONL(w)
+			}
+			return res.Timeline.WriteCSV(w)
+		})
 		fmt.Printf("\ntelemetry: %d samples x %d metrics -> %s\n",
 			res.Timeline.Len(), len(res.Timeline.Names), *telemetryOut)
 	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err == nil {
-			err = res.WriteChromeTrace(f)
-			if cerr := f.Close(); err == nil {
-				err = cerr
+	if *pcapOut != "" {
+		writeOutput("pcap-out", *pcapOut, res.WritePcap)
+		total, truncated := 0, int64(0)
+		for _, c := range res.PacketCaptures {
+			total += c.Packets()
+			truncated += c.Truncated()
+		}
+		fmt.Printf("\npcap: %d packets on %d interfaces -> %s (tshark -r %s)\n",
+			total, len(res.PacketCaptures), *pcapOut, *pcapOut)
+		if truncated > 0 {
+			fmt.Printf("pcap: %d packets beyond the capture bound were dropped\n", truncated)
+		}
+	}
+	if *probeOut != "" {
+		writeOutput("probe-out", *probeOut, func(w io.Writer) error {
+			if strings.HasSuffix(*probeOut, ".csv") {
+				return res.WriteProbeCSV(w)
 			}
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "netsim:", err)
-			os.Exit(1)
-		}
+			return res.WriteProbeJSONL(w)
+		})
+		fmt.Printf("tcp_probe: %d records -> %s\n", res.ProbeTrace.Len(), *probeOut)
+	}
+	if *ssOut != "" {
+		writeOutput("ss-out", *ssOut, func(w io.Writer) error {
+			if strings.HasSuffix(*ssOut, ".jsonl") {
+				return res.SocketSnapshots.WriteJSONL(w)
+			}
+			return res.WriteSocketCSV(w)
+		})
+		fmt.Printf("ss snapshots: %d samples x %d metrics -> %s\n",
+			res.SocketSnapshots.Len(), len(res.SocketSnapshots.Names), *ssOut)
+	}
+	if *traceOut != "" {
+		writeOutput("trace-out", *traceOut, res.WriteChromeTrace)
 		fmt.Printf("chrome trace: %d events -> %s (open in https://ui.perfetto.dev)\n",
 			len(res.Trace), *traceOut)
 		return // -trace-out implies -trace; skip the text dump
@@ -178,35 +225,20 @@ func main() {
 	}
 }
 
-// writeTo creates path and streams write into it.
-func writeTo(path string, write func(io.Writer) error) error {
+// writeOutput creates the file named by the -<flagName> flag and streams
+// write into it, exiting with a uniform error message on failure.
+func writeOutput(flagName, path string, write func(io.Writer) error) {
 	f, err := os.Create(path)
+	if err == nil {
+		err = write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
-		return err
+		fmt.Fprintf(os.Stderr, "netsim: -%s %s: %v\n", flagName, path, err)
+		os.Exit(1)
 	}
-	err = write(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	return err
-}
-
-// writeTimeline dumps the sampled timeline: JSON lines when the path ends
-// in .jsonl, CSV otherwise.
-func writeTimeline(tl *hostsim.Timeline, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if strings.HasSuffix(path, ".jsonl") {
-		err = tl.WriteJSONL(f)
-	} else {
-		err = tl.WriteCSV(f)
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	return err
 }
 
 // runSeeds reports mean +/- stddev of the headline metrics over n seeds.

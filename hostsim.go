@@ -28,6 +28,7 @@ import (
 	"hostsim/internal/check"
 	"hostsim/internal/core"
 	"hostsim/internal/cpumodel"
+	"hostsim/internal/inspect"
 	"hostsim/internal/profile"
 	"hostsim/internal/sim"
 	"hostsim/internal/skb"
@@ -192,6 +193,15 @@ type Config struct {
 	// gathers violations into Result.Violations instead. A nil Check
 	// costs nothing.
 	Check *CheckOptions
+
+	// Inspect, when non-nil, attaches the wire-level inspector: per-link
+	// packet captures serialized as pcapng (Result.WritePcap, readable in
+	// Wireshark), tcp_probe-style congestion traces (Result.ProbeTrace)
+	// and `ss -i`-style socket/queue snapshots (Result.SocketSnapshots).
+	// Every inspector hook is a pure read, so an inspected run follows
+	// the exact trajectory of an uninspected one — Check can stay armed
+	// while capturing. A nil Inspect costs nothing on the hot path.
+	Inspect *InspectOptions
 }
 
 // CheckOptions configures the invariant checker (see Config.Check). The
@@ -204,6 +214,29 @@ type CheckOptions struct {
 	Collect bool
 	// MaxViolations caps Collect-mode accumulation; 0 = 64.
 	MaxViolations int
+}
+
+// InspectOptions configures the wire-level inspector (see Config.Inspect).
+// Pcap, Probe and SS select the exporters; all three false (the zero
+// value) enables all of them.
+type InspectOptions struct {
+	Pcap  bool // capture both link directions into Result.PacketCaptures
+	Probe bool // tcp_probe-style congestion traces into Result.ProbeTrace
+	SS    bool // socket/queue snapshots into Result.SocketSnapshots
+
+	// SnapLen bounds the bytes kept per captured packet (0 = 128, enough
+	// for the 66 synthesized header bytes plus a slice of payload).
+	SnapLen int
+	// MaxPackets bounds each direction's capture (0 = 1<<20); further
+	// packets count as truncated.
+	MaxPackets int
+	// MaxProbeEvents bounds the congestion trace (0 = 1<<20).
+	MaxProbeEvents int
+	// SSInterval is the snapshot sampling period (0 = 100µs); snapshots
+	// cover the whole run, warmup included, so slow start is visible.
+	SSInterval time.Duration
+	// SSMaxSamples bounds the snapshot timeline ring (0 = 4096).
+	SSMaxSamples int
 }
 
 // Violation is one invariant breach observed by the checker: the
@@ -263,6 +296,33 @@ type Telemetry struct {
 // It dumps as CSV (WriteCSV) or JSON lines (WriteJSONL), and Column
 // extracts one metric's series.
 type Timeline = telemetry.Timeline
+
+// PacketCapture is one link direction's recorded packet stream (see
+// Config.Inspect); inspect.Capture documents the record layout.
+type PacketCapture = inspect.Capture
+
+// ProbeTrace is the run's tcp_probe-style congestion trace (see
+// Config.Inspect); inspect.ProbeTrace documents the record layout.
+type ProbeTrace = inspect.ProbeTrace
+
+// FlowStats is one connection's terminal TCP state at the end of the run:
+// the sender-side counters `ss -i` would print on teardown. Collected for
+// every run — inspection enabled or not — by pure reads after the horizon.
+type FlowStats struct {
+	Host            string // transmitting side: "sender" or "receiver"
+	Flow            int32  // tx flow id (flows are numbered from 1)
+	CC              string // congestion control algorithm name
+	SentBytes       int64  // first transmissions
+	RetransBytes    int64
+	Retransmits     int64
+	FastRetransmits int64
+	Timeouts        int64
+	DeliveredBytes  int64 // handed to the peer application in order
+	SRTT            time.Duration
+	RTO             time.Duration
+	Cwnd            int64 // final congestion window, bytes
+	Ssthresh        int64 // final slow-start threshold, bytes (0 for BBR)
+}
 
 // TraceEvent is one recorded data-path occurrence (see Config.TraceEvents).
 // A and B are kind-specific: sequence/length for data events, cumulative
@@ -382,6 +442,24 @@ type Result struct {
 	// checking was off.
 	Violations []Violation
 
+	// Flows holds every connection's terminal TCP state (both hosts'
+	// transmitting sides, sender first, tx-flow order). Always populated.
+	Flows []FlowStats
+
+	// PacketCaptures holds the per-direction packet captures when
+	// Config.Inspect enabled pcap (sender->receiver first); serialize
+	// them with WritePcap. Nil otherwise.
+	PacketCaptures []*PacketCapture
+
+	// ProbeTrace holds the tcp_probe-style congestion trace when
+	// Config.Inspect enabled it (nil otherwise).
+	ProbeTrace *ProbeTrace
+
+	// SocketSnapshots holds the ss-style socket/queue timeline when
+	// Config.Inspect enabled it (nil otherwise). Unlike Timeline it
+	// covers the whole run including warmup.
+	SocketSnapshots *Timeline
+
 	traceEvents []trace.Event     // raw events for WriteChromeTrace
 	prof        *profile.Profiler // backs WritePprof/WriteFolded
 }
@@ -403,6 +481,44 @@ func (r *Result) WriteFolded(w io.Writer) error {
 		return fmt.Errorf("hostsim: run had no Config.Profile")
 	}
 	return r.prof.WriteFolded(w)
+}
+
+// WritePcap writes both packet captures as one Wireshark-readable pcapng
+// file (one interface per link direction, packets in timestamp order,
+// nanosecond resolution). Errors unless the run had Config.Inspect with
+// pcap enabled.
+func (r *Result) WritePcap(w io.Writer) error {
+	if len(r.PacketCaptures) == 0 {
+		return fmt.Errorf("hostsim: run had no Config.Inspect with pcap enabled")
+	}
+	return inspect.WritePcap(w, r.PacketCaptures...)
+}
+
+// WriteProbeCSV writes the congestion trace as CSV. Errors unless the run
+// had Config.Inspect with probe tracing enabled.
+func (r *Result) WriteProbeCSV(w io.Writer) error {
+	if r.ProbeTrace == nil {
+		return fmt.Errorf("hostsim: run had no Config.Inspect with probe tracing enabled")
+	}
+	return r.ProbeTrace.WriteCSV(w)
+}
+
+// WriteProbeJSONL writes the congestion trace as JSON lines. Errors unless
+// the run had Config.Inspect with probe tracing enabled.
+func (r *Result) WriteProbeJSONL(w io.Writer) error {
+	if r.ProbeTrace == nil {
+		return fmt.Errorf("hostsim: run had no Config.Inspect with probe tracing enabled")
+	}
+	return r.ProbeTrace.WriteJSONL(w)
+}
+
+// WriteSocketCSV writes the ss-style socket/queue snapshot timeline as
+// CSV. Errors unless the run had Config.Inspect with snapshots enabled.
+func (r *Result) WriteSocketCSV(w io.Writer) error {
+	if r.SocketSnapshots == nil {
+		return fmt.Errorf("hostsim: run had no Config.Inspect with socket snapshots enabled")
+	}
+	return r.SocketSnapshots.WriteCSV(w)
 }
 
 // WriteChromeTrace renders the recorded trace as a Chrome trace-event
@@ -526,6 +642,14 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 		receiver.EnableProfiler(prof)
 	}
 
+	// The inspector attaches after the workload so the connections it
+	// hooks exist, and before the warmup run so captures and probe traces
+	// include slow start.
+	insp, err := attachInspector(cfg.Inspect, eng, sender, receiver, ab, ba)
+	if err != nil {
+		return nil, err
+	}
+
 	if err := guardFailure(checker, func() { eng.Run(sim.Time(cfg.Warmup)) }); err != nil {
 		return nil, err
 	}
@@ -556,6 +680,9 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 	res := assemble(cfg, sender, receiver, ab, ba, run)
 	if checker != nil {
 		res.Violations = checker.Violations()
+	}
+	if insp != nil {
+		insp.attach(res)
 	}
 	if sampler != nil {
 		res.Timeline = sampler.Timeline()
@@ -633,7 +760,32 @@ func assemble(cfg Config, sender, receiver *core.Host, ab, ba *wire.Link, run *b
 	res.RPCCompleted, res.LongFlowGbps, res.RPCGbps = run.deltas(window)
 	res.FlowGbps = run.perFlow(window)
 	res.FairnessIndex = jain(res.FlowGbps)
+	res.Flows = append(collectFlowStats(sender), collectFlowStats(receiver)...)
 	return res
+}
+
+// collectFlowStats reads each local connection's terminal TCP state after
+// the horizon — pure reads, performed for every run.
+func collectFlowStats(h *core.Host) []FlowStats {
+	var out []FlowStats
+	h.ForEachEndpoint(func(ep *core.Endpoint) {
+		conn := ep.Conn()
+		st := conn.Stats()
+		out = append(out, FlowStats{
+			Host: h.Name(), Flow: int32(ep.TxFlow()), CC: conn.CC().Name(),
+			SentBytes:       int64(st.SentBytes),
+			RetransBytes:    int64(st.RetransBytes),
+			Retransmits:     st.Retransmits,
+			FastRetransmits: st.FastRetransmit,
+			Timeouts:        st.Timeouts,
+			DeliveredBytes:  int64(st.DeliveredBytes),
+			SRTT:            conn.SRTT(),
+			RTO:             conn.RTO(),
+			Cwnd:            int64(conn.CC().Cwnd()),
+			Ssthresh:        int64(conn.CC().Ssthresh()),
+		})
+	})
+	return out
 }
 
 func hostStats(h *core.Host, window time.Duration) HostStats {

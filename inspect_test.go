@@ -1,0 +1,320 @@
+package hostsim_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"hostsim"
+	"hostsim/internal/inspect"
+)
+
+// inspectCfg is a short lossy run with the full inspector armed.
+func inspectCfg(seed int64) hostsim.Config {
+	cfg := shortCfg(seed)
+	cfg.LossRate = 0.01
+	cfg.Inspect = &hostsim.InspectOptions{}
+	return cfg
+}
+
+// TestInspectArtifacts round-trips the packet capture through the pcapng
+// writer and reader and checks every decoded packet against the in-memory
+// record it came from.
+func TestInspectArtifacts(t *testing.T) {
+	res, err := hostsim.Run(inspectCfg(3), hostsim.LongFlowWorkload(hostsim.PatternSingle, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PacketCaptures) != 2 {
+		t.Fatalf("got %d captures, want 2", len(res.PacketCaptures))
+	}
+	if res.ProbeTrace == nil || res.ProbeTrace.Len() == 0 {
+		t.Fatal("probe trace empty")
+	}
+	if res.SocketSnapshots == nil || res.SocketSnapshots.Len() == 0 {
+		t.Fatal("socket snapshots empty")
+	}
+
+	var buf bytes.Buffer
+	if err := res.WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := inspect.ReadPcap(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Interfaces) != 2 {
+		t.Fatalf("got %d interfaces, want 2", len(f.Interfaces))
+	}
+	if f.Interfaces[0].Name != "sender->receiver" || f.Interfaces[1].Name != "receiver->sender" {
+		t.Fatalf("unexpected interface names %q, %q", f.Interfaces[0].Name, f.Interfaces[1].Name)
+	}
+
+	// Re-bucket the merged stream per interface and compare field by field
+	// with the capture records.
+	next := []int{0, 0}
+	for i, p := range f.Packets {
+		cap := res.PacketCaptures[p.Interface]
+		recs := cap.Records()
+		if next[p.Interface] >= len(recs) {
+			t.Fatalf("packet %d: interface %d has more packets than records", i, p.Interface)
+		}
+		rec := recs[next[p.Interface]]
+		next[p.Interface]++
+		if p.At != rec.At {
+			t.Fatalf("packet %d: time %d != record %d", i, p.At, rec.At)
+		}
+		if p.Seq != uint32(rec.Seq) {
+			t.Fatalf("packet %d: seq %d != record %d", i, p.Seq, uint32(rec.Seq))
+		}
+		if got, want := p.PayloadLen, int(rec.Len); got != want {
+			t.Fatalf("packet %d: payload %d != record %d", i, got, want)
+		}
+		if p.CE != rec.CE {
+			t.Fatalf("packet %d: CE %v != record %v", i, p.CE, rec.CE)
+		}
+		if p.Flags&inspect.FlagACK == 0 {
+			t.Fatalf("packet %d: ACK flag missing", i)
+		}
+		if wantPSH := !rec.Ack && rec.Len > 0; (p.Flags&inspect.FlagPSH != 0) != wantPSH {
+			t.Fatalf("packet %d: PSH flag %v, want %v", i, p.Flags&inspect.FlagPSH != 0, wantPSH)
+		}
+		if rec.Ack {
+			if p.AckNum != uint32(rec.Cum) {
+				t.Fatalf("packet %d: ack %d != record %d", i, p.AckNum, uint32(rec.Cum))
+			}
+			if (p.Flags&inspect.FlagECE != 0) != rec.ECNEcho {
+				t.Fatalf("packet %d: ECE flag %v, want %v", i, p.Flags&inspect.FlagECE != 0, rec.ECNEcho)
+			}
+			if len(rec.SACK) > 0 {
+				if len(p.SACK) != 1 || p.SACK[0].Start != int64(uint32(rec.SACK[0].Start)) {
+					t.Fatalf("packet %d: SACK %v does not reflect record %v", i, p.SACK, rec.SACK)
+				}
+			}
+		}
+		// Addressing must be direction-coherent so Wireshark can follow
+		// the stream: interface 0 carries 10.0.0.1 -> 10.0.0.2.
+		srcA := p.SrcIP == 0x0A000001
+		if srcA != (p.Interface == 0) {
+			t.Fatalf("packet %d: source IP %08x on interface %d", i, p.SrcIP, p.Interface)
+		}
+	}
+	for ifc, n := range next {
+		if got := res.PacketCaptures[ifc].Packets(); n != got {
+			t.Fatalf("interface %d: decoded %d packets, capture has %d", ifc, n, got)
+		}
+	}
+}
+
+// TestInspectTransparencyChecked arms the conservation-law checker and the
+// full inspector together and requires the run to be indistinguishable —
+// throughput, cycle breakdowns, per-flow stats — from a checked run
+// without inspection.
+func TestInspectTransparencyChecked(t *testing.T) {
+	wl := hostsim.LongFlowWorkload(hostsim.PatternOneToOne, 2)
+	base := shortCfg(5)
+	base.LossRate = 0.01
+	base.Check = &hostsim.CheckOptions{Collect: true}
+
+	plain, err := hostsim.Run(base, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inspected := base
+	inspected.Inspect = &hostsim.InspectOptions{}
+	insp, err := hostsim.Run(inspected, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insp.Violations) != 0 {
+		t.Fatalf("inspected run violated invariants: %v", insp.Violations[0])
+	}
+	if plain.ThroughputGbps != insp.ThroughputGbps {
+		t.Fatalf("throughput diverged: %v vs %v", plain.ThroughputGbps, insp.ThroughputGbps)
+	}
+	if !reflect.DeepEqual(plain.FlowGbps, insp.FlowGbps) {
+		t.Fatalf("per-flow goodput diverged: %v vs %v", plain.FlowGbps, insp.FlowGbps)
+	}
+	if !reflect.DeepEqual(plain.Flows, insp.Flows) {
+		t.Fatalf("terminal flow stats diverged:\n%v\nvs\n%v", plain.Flows, insp.Flows)
+	}
+	if !reflect.DeepEqual(plain.Sender.BreakdownCycles, insp.Sender.BreakdownCycles) {
+		t.Fatalf("sender cycle breakdown diverged:\n%v\nvs\n%v",
+			plain.Sender.BreakdownCycles, insp.Sender.BreakdownCycles)
+	}
+	if !reflect.DeepEqual(plain.Receiver.BreakdownCycles, insp.Receiver.BreakdownCycles) {
+		t.Fatalf("receiver cycle breakdown diverged:\n%v\nvs\n%v",
+			plain.Receiver.BreakdownCycles, insp.Receiver.BreakdownCycles)
+	}
+	if insp.ProbeTrace.Len() == 0 {
+		t.Fatal("probe trace empty")
+	}
+}
+
+// serializeInspect renders every inspector artifact of a run to bytes.
+func serializeInspect(t *testing.T, res *hostsim.Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := res.WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteProbeCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteSocketCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestInspectDeterminism requires capture artifacts from a parallel batch
+// to be byte-identical to a serial one.
+func TestInspectDeterminism(t *testing.T) {
+	var jobs []hostsim.Job
+	for seed := int64(1); seed <= 3; seed++ {
+		jobs = append(jobs, hostsim.Job{
+			Config:   inspectCfg(seed),
+			Workload: hostsim.LongFlowWorkload(hostsim.PatternSingle, 1),
+		})
+	}
+	serial, err := hostsim.RunMany(jobs, hostsim.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := hostsim.RunMany(jobs, hostsim.WithParallelism(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		a := serializeInspect(t, serial[i])
+		b := serializeInspect(t, parallel[i])
+		if !bytes.Equal(a, b) {
+			t.Fatalf("job %d: inspect artifacts differ between -jobs=1 and -jobs=8", i)
+		}
+	}
+}
+
+// probeGoldenCfg is the Fig. 3a-style scenario behind the golden traces: a
+// single flow on a slow lossy link, so slow start, fast retransmits and
+// congestion avoidance all fit in a small file.
+func probeGoldenCfg(cc string) hostsim.Config {
+	return hostsim.Config{
+		Stack:    func() hostsim.Stack { s := hostsim.AllOptimizations(); s.CC = cc; return s }(),
+		LinkGbps: 10,
+		LossRate: 0.02,
+		Seed:     3,
+		Warmup:   time.Millisecond,
+		Duration: 2 * time.Millisecond,
+		Inspect:  &hostsim.InspectOptions{Probe: true},
+	}
+}
+
+// TestProbeGolden pins the tcp_probe trace of a deterministic reno-vs-cubic
+// scenario against golden CSVs (regenerate with `go test -run ProbeGolden
+// -update`), and asserts the cwnd shape: monotone growth through slow
+// start, at least one fast retransmit, and a cut afterwards.
+func TestProbeGolden(t *testing.T) {
+	for _, cc := range []string{"reno", "cubic"} {
+		t.Run(cc, func(t *testing.T) {
+			res, err := hostsim.Run(probeGoldenCfg(cc), hostsim.LongFlowWorkload(hostsim.PatternSingle, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := res.WriteProbeCSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", "golden", fmt.Sprintf("probe_%s.csv", cc))
+			if *updateGolden {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("probe trace differs from %s (run with -update to regenerate)", golden)
+			}
+
+			recs := res.ProbeTrace.Records()
+			firstLoss := -1
+			for i, r := range recs {
+				if r.Host == "sender" && r.Kind.String() == "fast-retransmit" {
+					firstLoss = i
+					break
+				}
+			}
+			if firstLoss < 0 {
+				t.Fatal("no fast retransmit in a 2% loss run")
+			}
+			var maxBefore int64
+			for _, r := range recs[:firstLoss] {
+				if r.Host != "sender" || r.Kind.String() != "ack" {
+					continue
+				}
+				if r.Cwnd < maxBefore {
+					t.Fatalf("cwnd shrank to %d during loss-free slow start (max %d)", r.Cwnd, maxBefore)
+				}
+				maxBefore = r.Cwnd
+			}
+			for _, r := range recs[firstLoss:] {
+				if r.Host != "sender" || r.Kind.String() != "ack" {
+					continue
+				}
+				if r.Cwnd >= maxBefore {
+					t.Fatalf("first post-loss cwnd sample %d not below pre-loss max %d", r.Cwnd, maxBefore)
+				}
+				if r.Ssthresh >= maxBefore*4 {
+					t.Fatalf("post-loss ssthresh %d still at its initial huge value", r.Ssthresh)
+				}
+				break
+			}
+		})
+	}
+}
+
+// TestFlowStatsAlwaysOn checks the zero-config satellite: every run
+// reports terminal per-flow TCP stats, and they reconcile with the host
+// aggregates.
+func TestFlowStatsAlwaysOn(t *testing.T) {
+	cfg := shortCfg(2)
+	cfg.LossRate = 0.01
+	res, err := hostsim.Run(cfg, hostsim.LongFlowWorkload(hostsim.PatternSingle, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PacketCaptures != nil || res.ProbeTrace != nil || res.SocketSnapshots != nil {
+		t.Fatal("inspection artifacts present without Config.Inspect")
+	}
+	if len(res.Flows) == 0 {
+		t.Fatal("Flows not populated on a plain run")
+	}
+	sums := map[string]int64{}
+	for _, fl := range res.Flows {
+		if fl.CC != "cubic" {
+			t.Fatalf("flow %d reports CC %q, want cubic", fl.Flow, fl.CC)
+		}
+		if fl.Host == "sender" && fl.SentBytes == 0 {
+			t.Fatalf("sender flow %d reports zero sent bytes", fl.Flow)
+		}
+		sums[fl.Host] += fl.Retransmits
+	}
+	if sums["sender"] != res.Sender.Retransmits {
+		t.Fatalf("sender flow retransmits sum %d != host stat %d", sums["sender"], res.Sender.Retransmits)
+	}
+	if sums["sender"] == 0 {
+		t.Fatal("no retransmits recorded in a lossy run")
+	}
+	if fl := res.Flows[0]; fl.SRTT <= 0 || fl.Cwnd <= 0 {
+		t.Fatalf("flow 0 terminal state not populated: %+v", fl)
+	}
+}

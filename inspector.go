@@ -1,0 +1,83 @@
+package hostsim
+
+import (
+	"fmt"
+
+	"hostsim/internal/core"
+	"hostsim/internal/inspect"
+	"hostsim/internal/sim"
+	"hostsim/internal/telemetry"
+	"hostsim/internal/wire"
+)
+
+// inspector bundles the run's attached wire-level observers (see
+// Config.Inspect) until assemble hands them to the Result.
+type inspector struct {
+	captures []*inspect.Capture
+	probes   *inspect.ProbeTrace
+	sampler  *telemetry.Sampler
+}
+
+// attachInspector installs the requested observers: packet taps on both
+// link directions, tcp_probe hooks on every connection, and an ss-style
+// snapshot sampler over a dedicated registry (independent of
+// Config.Telemetry, so the two can coexist without name clashes). Must run
+// after the workload built its connections and before the warmup run.
+// Returns nil when o is nil.
+func attachInspector(o *InspectOptions, eng *sim.Engine, sender, receiver *core.Host, ab, ba *wire.Link) (*inspector, error) {
+	if o == nil {
+		return nil, nil
+	}
+	if o.SnapLen < 0 || o.MaxPackets < 0 || o.MaxProbeEvents < 0 || o.SSMaxSamples < 0 {
+		return nil, fmt.Errorf("hostsim: negative Inspect bound")
+	}
+	if o.SSInterval < 0 {
+		return nil, fmt.Errorf("hostsim: negative Inspect.SSInterval")
+	}
+	pcap, probe, ss := o.Pcap, o.Probe, o.SS
+	if !pcap && !probe && !ss {
+		pcap, probe, ss = true, true, true
+	}
+	insp := &inspector{}
+	if pcap {
+		capAB := inspect.NewCapture(eng, "sender->receiver", 0, o.SnapLen, o.MaxPackets)
+		capBA := inspect.NewCapture(eng, "receiver->sender", 1, o.SnapLen, o.MaxPackets)
+		ab.SetTap(capAB.Tap())
+		ba.SetTap(capBA.Tap())
+		insp.captures = []*inspect.Capture{capAB, capBA}
+	}
+	if probe {
+		insp.probes = inspect.NewProbeTrace(o.MaxProbeEvents)
+		for _, h := range []*core.Host{sender, receiver} {
+			hook := insp.probes.Hook(h.Name())
+			h.ForEachEndpoint(func(ep *core.Endpoint) { ep.Conn().SetProbe(hook) })
+		}
+	}
+	if ss {
+		interval := o.SSInterval
+		if interval == 0 {
+			interval = inspect.DefaultSSInterval
+		}
+		maxSamples := o.SSMaxSamples
+		if maxSamples == 0 {
+			maxSamples = inspect.DefaultSSMaxSamples
+		}
+		reg := telemetry.NewRegistry()
+		sender.RegisterInspect(reg)
+		receiver.RegisterInspect(reg)
+		insp.sampler = telemetry.NewSampler(eng, reg, interval, maxSamples)
+		// Sample from t=0: unlike the measurement timeline, socket
+		// snapshots deliberately cover warmup, where slow start lives.
+		insp.sampler.Start(0)
+	}
+	return insp, nil
+}
+
+// attach moves the inspector's collected artifacts onto the Result.
+func (i *inspector) attach(res *Result) {
+	res.PacketCaptures = i.captures
+	res.ProbeTrace = i.probes
+	if i.sampler != nil {
+		res.SocketSnapshots = i.sampler.Timeline()
+	}
+}

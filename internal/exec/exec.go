@@ -151,6 +151,16 @@ func (s *System) Core(i int) *Core { return s.cores[i] }
 // NumCores returns the core count.
 func (s *System) NumCores() int { return len(s.cores) }
 
+// SoftirqBacklogTotal sums the queued softirq work items across all cores
+// — the host-wide backlog depth for ss-style queue diagnostics.
+func (s *System) SoftirqBacklogTotal() int {
+	total := 0
+	for _, c := range s.cores {
+		total += c.SoftirqBacklog()
+	}
+	return total
+}
+
 // Engine returns the simulation engine.
 func (s *System) Engine() *sim.Engine { return s.eng }
 

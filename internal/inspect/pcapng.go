@@ -1,0 +1,290 @@
+package inspect
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+// pcapng block and option constants (pcapng spec, little-endian encoding).
+const (
+	blockSHB = 0x0A0D0D0A
+	blockIDB = 0x00000001
+	blockEPB = 0x00000006
+
+	byteOrderMagic = 0x1A2B3C4D
+	linkEthernet   = 1
+
+	optEnd       = 0
+	optIfName    = 2
+	optIfTsresol = 9
+)
+
+// Synthesized wire addressing: the two simulated hosts sit on a
+// point-to-point 10.0.0.0/24 with fixed MACs, and each connection gets a
+// stable ephemeral/server port pair so Wireshark's "Follow TCP Stream"
+// groups both directions of a flow pair correctly.
+const (
+	headerBytes = 66 // 14 Ethernet + 20 IPv4 + 32 TCP (data offset 8)
+
+	hostAIP = 0x0A000001 // 10.0.0.1 (first host: the sender)
+	hostBIP = 0x0A000002 // 10.0.0.2 (second host: the receiver)
+
+	basePortA = 40000 // host A's per-connection ephemeral port base
+	basePortB = 5000  // host B's per-connection server port base
+)
+
+var (
+	macA = [6]byte{0x02, 0x00, 0x00, 0x00, 0x00, 0x01}
+	macB = [6]byte{0x02, 0x00, 0x00, 0x00, 0x00, 0x02}
+)
+
+// TCP flag bits as they appear in the synthesized headers.
+const (
+	FlagFIN = 0x01
+	FlagSYN = 0x02
+	FlagRST = 0x04
+	FlagPSH = 0x08
+	FlagACK = 0x10
+	FlagECE = 0x40
+)
+
+// WritePcap merges the given captures into one pcapng section: one
+// interface description per capture, packets interleaved in timestamp
+// order (ties resolved by capture index, then capture order, so output is
+// deterministic). Timestamps are nanoseconds since simulation start.
+func WritePcap(w io.Writer, caps ...*Capture) error {
+	if len(caps) == 0 {
+		return errors.New("inspect: WritePcap needs at least one capture")
+	}
+	bw := bufio.NewWriter(w)
+	writeBlock(bw, blockSHB, shbBody())
+	for _, c := range caps {
+		writeBlock(bw, blockIDB, idbBody(c.name, c.snap))
+	}
+	idx := make([]int, len(caps))
+	scratch := make([]byte, 0, 256)
+	for {
+		best := -1
+		for i, c := range caps {
+			if idx[i] >= len(c.recs) {
+				continue
+			}
+			if best < 0 || c.recs[idx[i]].At < caps[best].recs[idx[best]].At {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		c := caps[best]
+		rec := c.recs[idx[best]]
+		// The IP identification field is a per-interface packet counter
+		// (mod 2^16), handy for spotting capture gaps in Wireshark.
+		pkt, origLen := synthPacket(rec, c.dir, uint16(idx[best]), c.snap, scratch)
+		writeBlock(bw, blockEPB, epbBody(best, rec, pkt, origLen))
+		idx[best]++
+	}
+	return bw.Flush()
+}
+
+func shbBody() []byte {
+	b := make([]byte, 16)
+	binary.LittleEndian.PutUint32(b[0:], byteOrderMagic)
+	binary.LittleEndian.PutUint16(b[4:], 1) // major version
+	binary.LittleEndian.PutUint16(b[6:], 0) // minor version
+	binary.LittleEndian.PutUint64(b[8:], ^uint64(0))
+	return b
+}
+
+func idbBody(name string, snap int) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint16(b[0:], linkEthernet)
+	binary.LittleEndian.PutUint32(b[4:], uint32(snap))
+	b = appendOption(b, optIfName, []byte(name))
+	b = appendOption(b, optIfTsresol, []byte{9}) // 10^-9: nanosecond stamps
+	b = appendOption(b, optEnd, nil)
+	return b
+}
+
+func epbBody(ifc int, rec PacketRecord, pkt []byte, origLen int) []byte {
+	b := make([]byte, 20, 20+len(pkt)+3)
+	ts := uint64(rec.At)
+	binary.LittleEndian.PutUint32(b[0:], uint32(ifc))
+	binary.LittleEndian.PutUint32(b[4:], uint32(ts>>32))
+	binary.LittleEndian.PutUint32(b[8:], uint32(ts))
+	binary.LittleEndian.PutUint32(b[12:], uint32(len(pkt)))
+	binary.LittleEndian.PutUint32(b[16:], uint32(origLen))
+	b = append(b, pkt...)
+	for len(b)%4 != 0 {
+		b = append(b, 0)
+	}
+	return b
+}
+
+func appendOption(b []byte, code uint16, val []byte) []byte {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint16(hdr[0:], code)
+	binary.LittleEndian.PutUint16(hdr[2:], uint16(len(val)))
+	b = append(b, hdr[:]...)
+	b = append(b, val...)
+	for len(b)%4 != 0 {
+		b = append(b, 0)
+	}
+	return b
+}
+
+func writeBlock(bw *bufio.Writer, btype uint32, body []byte) {
+	total := uint32(12 + len(body)) // body is already padded to 4 bytes
+	var u [4]byte
+	binary.LittleEndian.PutUint32(u[:], btype)
+	bw.Write(u[:])
+	binary.LittleEndian.PutUint32(u[:], total)
+	bw.Write(u[:])
+	bw.Write(body)
+	bw.Write(u[:]) // trailing total length
+}
+
+// connOf maps a flow id to its connection number: core.OpenConn allocates
+// the data flow (odd) then its ACK flow (even), both starting at 1.
+func connOf(flow int32) int32 { return (flow + 1) / 2 }
+
+// synthPacket builds the captured bytes of one frame: a fully-formed
+// 66-byte Ethernet/IPv4/TCP header (real checksums) followed by zeroed
+// payload, truncated to snap. It returns the captured slice (backed by
+// scratch) and the original wire length.
+func synthPacket(rec PacketRecord, dir int, ipid uint16, snap int, scratch []byte) ([]byte, int) {
+	srcMAC, dstMAC := macA, macB
+	srcIP, dstIP := uint32(hostAIP), uint32(hostBIP)
+	conn := connOf(rec.Flow)
+	srcPort := uint16(basePortA + conn)
+	dstPort := uint16(basePortB + conn)
+	if dir == 1 {
+		srcMAC, dstMAC = dstMAC, srcMAC
+		srcIP, dstIP = dstIP, srcIP
+		srcPort, dstPort = dstPort, srcPort
+	}
+
+	var hdr [headerBytes]byte
+	// Ethernet.
+	copy(hdr[0:6], dstMAC[:])
+	copy(hdr[6:12], srcMAC[:])
+	binary.BigEndian.PutUint16(hdr[12:], 0x0800)
+
+	// IPv4: 20-byte header, DF, TTL 64, proto TCP. The ECN codepoint
+	// mirrors the simulated marking: data packets are ECT(0), switch-marked
+	// ones CE; pure ACKs are Not-ECT (like Linux's default behaviour).
+	payload := int(rec.Len)
+	hdr[14] = 0x45
+	if !rec.Ack && rec.Len > 0 {
+		if rec.CE {
+			hdr[15] = 0x03 // CE
+		} else {
+			hdr[15] = 0x02 // ECT(0)
+		}
+	}
+	binary.BigEndian.PutUint16(hdr[16:], uint16(20+32+payload))
+	binary.BigEndian.PutUint16(hdr[18:], ipid)
+	binary.BigEndian.PutUint16(hdr[20:], 0x4000) // DF
+	hdr[22] = 64
+	hdr[23] = 6
+	binary.BigEndian.PutUint32(hdr[26:], srcIP)
+	binary.BigEndian.PutUint32(hdr[30:], dstIP)
+	binary.BigEndian.PutUint16(hdr[24:], ipChecksum(hdr[14:34]))
+
+	// TCP: data offset 8 (32 bytes: 20 fixed + 12 of options).
+	binary.BigEndian.PutUint16(hdr[34:], srcPort)
+	binary.BigEndian.PutUint16(hdr[36:], dstPort)
+	binary.BigEndian.PutUint32(hdr[38:], uint32(rec.Seq))
+	hdr[46] = 0x80
+	flags := byte(FlagACK)
+	var window uint16
+	if rec.Ack {
+		binary.BigEndian.PutUint32(hdr[42:], uint32(rec.Cum))
+		if rec.ECNEcho {
+			flags |= FlagECE
+		}
+		// Advertised window scaled down by an implicit wscale of 6.
+		w := rec.Window >> 6
+		if w > 0xFFFF {
+			w = 0xFFFF
+		}
+		window = uint16(w)
+	} else if rec.Len > 0 {
+		flags |= FlagPSH
+		window = 0xFFFF
+	} else {
+		window = 0xFFFF // zero-length window probe: a bare ACK
+	}
+	hdr[47] = flags
+	binary.BigEndian.PutUint16(hdr[48:], window)
+
+	// Options (12 bytes): NOP NOP + one SACK range when the ACK carries
+	// SACK state, otherwise NOP NOP + a timestamp option (tsval in µs).
+	hdr[54] = 1
+	hdr[55] = 1
+	if rec.Ack && len(rec.SACK) > 0 {
+		hdr[56] = 5 // SACK
+		hdr[57] = 10
+		binary.BigEndian.PutUint32(hdr[58:], uint32(rec.SACK[0].Start))
+		binary.BigEndian.PutUint32(hdr[62:], uint32(rec.SACK[0].End))
+	} else {
+		hdr[56] = 8 // timestamps
+		hdr[57] = 10
+		binary.BigEndian.PutUint32(hdr[58:], uint32(uint64(rec.At)/1000))
+		binary.BigEndian.PutUint32(hdr[62:], 0)
+	}
+	binary.BigEndian.PutUint16(hdr[50:], tcpChecksum(hdr[34:66], srcIP, dstIP, 32+payload))
+
+	origLen := headerBytes + payload
+	capLen := origLen
+	if capLen > snap {
+		capLen = snap
+	}
+	out := append(scratch[:0], hdr[:]...)
+	if capLen <= headerBytes {
+		return out[:capLen], origLen
+	}
+	for len(out) < capLen {
+		out = append(out, 0) // simulated payload bytes are all zero
+	}
+	return out, origLen
+}
+
+// ipChecksum is the RFC 791 header checksum over a header whose checksum
+// field is zero.
+func ipChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 {
+			continue // the checksum field itself
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i:]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// tcpChecksum covers the pseudo-header, the 32-byte TCP header (checksum
+// field zero) and the payload; simulated payload is all zeros, so only its
+// length matters (via the pseudo-header).
+func tcpChecksum(tcp []byte, srcIP, dstIP uint32, tcpLen int) uint16 {
+	var sum uint32
+	sum += srcIP>>16 + srcIP&0xFFFF
+	sum += dstIP>>16 + dstIP&0xFFFF
+	sum += 6 // protocol
+	sum += uint32(tcpLen)
+	for i := 0; i+1 < len(tcp); i += 2 {
+		if i == 16 {
+			continue // the checksum field itself
+		}
+		sum += uint32(binary.BigEndian.Uint16(tcp[i:]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,121 @@
+package inspect
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"hostsim/internal/sim"
+	"hostsim/internal/tcp"
+)
+
+// ProbeRecord is one tcp_probe-style trace record: a per-ACK sample of the
+// connection's congestion state, or a loss/recovery event.
+type ProbeRecord struct {
+	At         sim.Time
+	Host       string
+	Flow       int32
+	Kind       tcp.ProbeKind
+	AckedBytes int64
+	Cwnd       int64
+	Ssthresh   int64
+	SRTTNs     int64
+	InFlight   int64
+	SndUna     int64
+	SndNxt     int64
+}
+
+// ProbeTrace accumulates tcp_probe records from every hooked connection,
+// in event order (the simulation is single-threaded, so this is globally
+// time-ordered and deterministic).
+type ProbeTrace struct {
+	max       int
+	truncated int64
+	recs      []ProbeRecord
+}
+
+// NewProbeTrace builds a trace bounded at maxEvents records (0 takes the
+// package default).
+func NewProbeTrace(maxEvents int) *ProbeTrace {
+	if maxEvents <= 0 {
+		maxEvents = DefaultMaxProbeEvents
+	}
+	return &ProbeTrace{max: maxEvents}
+}
+
+// Hook returns the tcp.ProbeFunc to install on a connection of the named
+// host. The callback copies the event into the trace and reads nothing
+// else — a pure observer.
+func (t *ProbeTrace) Hook(host string) tcp.ProbeFunc {
+	return func(ev tcp.ProbeEvent) {
+		if len(t.recs) >= t.max {
+			t.truncated++
+			return
+		}
+		t.recs = append(t.recs, ProbeRecord{
+			At: ev.At, Host: host, Flow: int32(ev.Flow), Kind: ev.Kind,
+			AckedBytes: int64(ev.AckedBytes),
+			Cwnd:       int64(ev.Cwnd),
+			Ssthresh:   int64(ev.Ssthresh),
+			SRTTNs:     ev.SRTT.Nanoseconds(),
+			InFlight:   int64(ev.InFlight),
+			SndUna:     ev.SndUna,
+			SndNxt:     ev.SndNxt,
+		})
+	}
+}
+
+// Len returns the number of recorded events.
+func (t *ProbeTrace) Len() int { return len(t.recs) }
+
+// Truncated returns how many events arrived after the trace filled up.
+func (t *ProbeTrace) Truncated() int64 { return t.truncated }
+
+// Records returns the recorded events in emission order. The slice is the
+// trace's backing store: treat it as read-only.
+func (t *ProbeTrace) Records() []ProbeRecord { return t.recs }
+
+// WriteCSV writes the trace as CSV with a fixed header, one row per
+// record, deterministic formatting.
+func (t *ProbeTrace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("time_ns,host,flow,event,acked_bytes,cwnd_bytes,ssthresh_bytes,srtt_ns,inflight_bytes,snd_una,snd_nxt\n"); err != nil {
+		return err
+	}
+	for i := range t.recs {
+		r := &t.recs[i]
+		bw.WriteString(strconv.FormatInt(int64(r.At), 10))
+		bw.WriteByte(',')
+		bw.WriteString(r.Host)
+		bw.WriteByte(',')
+		bw.WriteString(strconv.FormatInt(int64(r.Flow), 10))
+		bw.WriteByte(',')
+		bw.WriteString(r.Kind.String())
+		for _, v := range [...]int64{r.AckedBytes, r.Cwnd, r.Ssthresh, r.SRTTNs, r.InFlight, r.SndUna, r.SndNxt} {
+			bw.WriteByte(',')
+			bw.WriteString(strconv.FormatInt(v, 10))
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSONL writes the trace as one JSON object per line, matching the
+// CSV column names.
+func (t *ProbeTrace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i := range t.recs {
+		r := &t.recs[i]
+		_, err := fmt.Fprintf(bw,
+			`{"time_ns":%d,"host":%q,"flow":%d,"event":%q,"acked_bytes":%d,"cwnd_bytes":%d,"ssthresh_bytes":%d,"srtt_ns":%d,"inflight_bytes":%d,"snd_una":%d,"snd_nxt":%d}`+"\n",
+			int64(r.At), r.Host, r.Flow, r.Kind.String(), r.AckedBytes, r.Cwnd,
+			r.Ssthresh, r.SRTTNs, r.InFlight, r.SndUna, r.SndNxt)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -392,6 +392,24 @@ func (n *NIC) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
 	})
 }
 
+// RegisterQueueTelemetry registers the NIC's instantaneous queue-depth
+// gauges — Rx ring occupancy, NAPI backlog, GRO-held aggregation state and
+// Tx queue depth — into reg under prefix. These are the `ss`-style
+// diagnostics of the inspect layer: pure reads of where bytes are parked
+// right now, complementing RegisterTelemetry's cumulative counters.
+func (n *NIC) RegisterQueueTelemetry(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge(prefix+"ring_occupancy", func() float64 { return float64(n.RingOccupancy()) })
+	reg.Gauge(prefix+"rx_backlog_frames", func() float64 { f, _ := n.RxBacklog(); return float64(f) })
+	reg.Gauge(prefix+"rx_backlog_bytes", func() float64 { _, b := n.RxBacklog(); return float64(b) })
+	reg.Gauge(prefix+"gro_held_skbs", func() float64 { s, _ := n.GROHeld(); return float64(s) })
+	reg.Gauge(prefix+"gro_held_bytes", func() float64 { _, b := n.GROHeld(); return float64(b) })
+	reg.Gauge(prefix+"tx_queued_frames", func() float64 { f, _ := n.TxQueued(); return float64(f) })
+	reg.Gauge(prefix+"tx_queued_bytes", func() float64 { _, b := n.TxQueued(); return float64(b) })
+}
+
 // SendFrames enqueues Tx frames on the calling core's Tx queue at the
 // context's logical time, charging the per-skb doorbell cost. The egress
 // scheduler drains queues round-robin at line rate.

@@ -27,6 +27,9 @@ type CongestionControl interface {
 	OnRecoveryExit()
 	// Cwnd returns the congestion window in bytes.
 	Cwnd() units.Bytes
+	// Ssthresh returns the slow-start threshold in bytes, or 0 for
+	// algorithms without one (BBR).
+	Ssthresh() units.Bytes
 	// PacingRate returns the pacing rate, or 0 for ack-clocked sending.
 	PacingRate() units.BitRate
 }
@@ -108,6 +111,9 @@ func (r *Reno) OnRecoveryExit() {}
 
 // Cwnd implements CongestionControl.
 func (r *Reno) Cwnd() units.Bytes { return r.cwnd }
+
+// Ssthresh implements CongestionControl.
+func (r *Reno) Ssthresh() units.Bytes { return r.ssthresh }
 
 // PacingRate implements CongestionControl.
 func (r *Reno) PacingRate() units.BitRate { return 0 }
@@ -200,6 +206,9 @@ func (c *Cubic) OnRecoveryExit() {}
 
 // Cwnd implements CongestionControl.
 func (c *Cubic) Cwnd() units.Bytes { return c.cwnd }
+
+// Ssthresh implements CongestionControl.
+func (c *Cubic) Ssthresh() units.Bytes { return c.ssthresh }
 
 // PacingRate implements CongestionControl.
 func (c *Cubic) PacingRate() units.BitRate { return 0 }
@@ -337,6 +346,9 @@ func (b *BBR) OnRecoveryExit() {}
 
 // Cwnd implements CongestionControl.
 func (b *BBR) Cwnd() units.Bytes { return b.cwnd }
+
+// Ssthresh implements CongestionControl. BBR has no slow-start threshold.
+func (b *BBR) Ssthresh() units.Bytes { return 0 }
 
 // PacingRate implements CongestionControl.
 func (b *BBR) PacingRate() units.BitRate {

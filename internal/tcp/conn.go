@@ -168,6 +168,7 @@ type Conn struct {
 	wndClamp    units.Bytes // receiver scheduler clamp; -1 = none
 
 	stats Stats
+	probe ProbeFunc // nil = congestion tracing off
 }
 
 // New builds a connection endpoint for flow, transmitting via hooks and
@@ -478,6 +479,7 @@ func (c *Conn) onAck(ctx *exec.Ctx, a *skb.AckInfo) {
 		if c.inRecovery && c.sndUna >= c.recoveryEnd {
 			c.inRecovery = false
 			c.cc.OnRecoveryExit()
+			c.emitProbe(ctx.Now(), ProbeRecoveryExit, 0)
 		}
 		c.armRTO()
 	} else if c.sndNxt > c.sndUna && (len(a.SACK) > 0 || !windowChanged) {
@@ -512,6 +514,7 @@ func (c *Conn) onAck(ctx *exec.Ctx, a *skb.AckInfo) {
 	if c.hooks.OnWritable != nil && newlyAcked > 0 {
 		c.hooks.OnWritable(ctx, c)
 	}
+	c.emitProbe(ctx.Now(), ProbeAck, units.Bytes(newlyAcked))
 }
 
 // releaseAcked frees page chunks fully below sndUna.
@@ -578,6 +581,7 @@ func (c *Conn) onRTO(ctx *exec.Ctx) {
 	c.sacked = nil
 	c.inRecovery = false
 	c.dupAcks = 0
+	c.emitProbe(ctx.Now(), ProbeRTO, 0)
 	c.retransmitRange(ctx, c.sndUna, c.cfg.MSS)
 	c.armRTO()
 }
@@ -640,6 +644,7 @@ func (c *Conn) enterRecovery(ctx *exec.Ctx) {
 	c.retxNext = c.sndUna
 	c.stats.FastRetransmit++
 	c.cc.OnLoss()
+	c.emitProbe(ctx.Now(), ProbeFastRetransmit, 0)
 	c.retransmitHoles(ctx)
 }
 
@@ -695,6 +700,7 @@ func (c *Conn) retransmitRange(ctx *exec.Ctx, seq int64, length units.Bytes) {
 	c.inQdisc += length
 	c.retxNext = seq + int64(length)
 	ctx.Charge(cpumodel.TCPIP, c.costs.Retransmit)
+	c.emitProbe(ctx.Now(), ProbeRetransmit, 0)
 	c.hooks.SendSegment(ctx, c, seq, length, true)
 }
 

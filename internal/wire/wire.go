@@ -42,6 +42,7 @@ type Link struct {
 	ecnThreshold units.Bytes
 	nextFree     sim.Time
 	stats        Stats
+	tap          func(f *skb.Frame, dropped bool) // nil = capture off
 
 	// Frames past the switch but not yet delivered (serializing or
 	// propagating). Audited by the conservation checker.
@@ -79,6 +80,15 @@ func (l *Link) SetECNThreshold(thresh units.Bytes) {
 	}
 	l.ecnThreshold = thresh
 }
+
+// SetTap installs a frame observer (nil detaches), invoked once for every
+// frame accepted by Send — after the ECN-marking and switch-drop decisions,
+// so the callback sees the frame exactly as the wire does (dropped reports
+// the switch's verdict). The tap must be a pure read: it may not mutate or
+// retain the frame (delivered frames are recycled by the receiver), so a
+// tapped run follows the exact trajectory of an untapped one. With no tap
+// attached, Send pays only a pointer test.
+func (l *Link) SetTap(tap func(f *skb.Frame, dropped bool)) { l.tap = tap }
 
 // Rate returns the link rate.
 func (l *Link) Rate() units.BitRate { return l.rate }
@@ -124,7 +134,11 @@ func (l *Link) Send(f *skb.Frame) {
 		f.CE = true
 		l.stats.Marked++
 	}
-	if l.lossRate > 0 && l.eng.Rand().Float64() < l.lossRate {
+	dropped := l.lossRate > 0 && l.eng.Rand().Float64() < l.lossRate
+	if l.tap != nil {
+		l.tap(f, dropped)
+	}
+	if dropped {
 		l.stats.Dropped++
 		l.stats.DroppedPayload += f.Len
 		return // consumed wire time, then died at the switch

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench bench-runner bench-profile bench-inspect profile-smoke inspect-smoke fuzz-smoke figures figures-golden
+.PHONY: all build test check fmt vet race bench bench-runner bench-profile bench-inspect bench-mtrace profile-smoke inspect-smoke mtrace-smoke fuzz-smoke figures figures-golden
 
 all: build
 
@@ -49,6 +49,12 @@ bench-inspect:
 	$(GO) test -run '^$$' -bench 'InspectOff|InspectOn' \
 		-benchmem -json . > BENCH_inspect.json
 
+# bench-mtrace records the message tracer's end-to-end overhead (tracer
+# off vs on for the same run) as JSON for regression tracking.
+bench-mtrace:
+	$(GO) test -run '^$$' -bench 'MsgTraceOff|MsgTraceOn' \
+		-benchmem -json . > BENCH_mtrace.json
+
 # profile-smoke is the CI profile-golden check: run netsim with profiling
 # enabled and validate the emitted profile.proto with the in-repo parser.
 profile-smoke:
@@ -64,6 +70,16 @@ inspect-smoke:
 		-ss-out /tmp/hostsim-smoke.ss.csv > /dev/null
 	$(GO) run ./cmd/inspectcheck /tmp/hostsim-smoke.pcapng
 	test -s /tmp/hostsim-smoke.probe.jsonl && test -s /tmp/hostsim-smoke.ss.csv
+
+# mtrace-smoke is the CI message-tracing check: run netsim on the golden
+# lossy RPC scenario with both mtrace exporters and validate the span
+# telescoping and the report shape with the in-repo checker.
+mtrace-smoke:
+	$(GO) run ./cmd/netsim -workload rpc -rpcclients 8 -rpcsize 65536 \
+		-loss 0.01 -warmup 2ms -dur 20ms -seed 7 \
+		-mtrace-out /tmp/hostsim-smoke.spans.json \
+		-tail-report /tmp/hostsim-smoke.tail.txt > /dev/null
+	$(GO) run ./cmd/tailcheck /tmp/hostsim-smoke.spans.json /tmp/hostsim-smoke.tail.txt
 
 # fuzz-smoke is the CI fuzz gate: a short coverage-guided walk of the
 # configuration space with the conservation-law checker as the oracle.

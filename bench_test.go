@@ -237,3 +237,29 @@ func BenchmarkRunInspectOn(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRunMsgTraceOff is the baseline for the message-tracer
+// overhead pair: with Config.MsgTrace nil the only residue is a nil
+// tracer test at the write, segment-transmit and read sites, and the
+// per-frame Write/TCPTx stamps stay unstamped. Compare against
+// BenchmarkRunMsgTraceOn for the armed cost of per-message span
+// assembly and the percentile engine.
+func BenchmarkRunMsgTraceOff(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := hostsim.Run(benchRunCfg(), hostsim.LongFlowWorkload(hostsim.PatternSingle, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunMsgTraceOn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := benchRunCfg()
+		cfg.MsgTrace = &hostsim.MsgTraceOptions{}
+		if _, err := hostsim.Run(cfg, hostsim.LongFlowWorkload(hostsim.PatternSingle, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -74,6 +74,11 @@ func main() {
 		probeOut = flag.String("probe-out", "", "write tcp_probe-style congestion traces (JSONL, or CSV with a .csv suffix)")
 		ssOut    = flag.String("ss-out", "", "write ss-style socket/queue snapshots (CSV, or JSONL with a .jsonl suffix)")
 		ssEvery  = flag.Duration("ss-interval", 100*time.Microsecond, "simulated time between socket snapshots")
+
+		mtraceOut  = flag.String("mtrace-out", "", "write the slowest messages' span trees as Chrome trace-event JSON (open in Perfetto)")
+		tailReport = flag.String("tail-report", "", "write the message tail-latency attribution report ('-' = stdout)")
+		slowest    = flag.Int("slowest", 8, "worst-latency exemplar messages kept for -mtrace-out")
+		msgBytes   = flag.Int64("msg-bytes", 0, "message size override for tracing (0 = workload-derived)")
 	)
 	flag.Parse()
 
@@ -83,8 +88,9 @@ func main() {
 		{"profile-out", *profileOut}, {"folded-out", *foldedOut},
 		{"telemetry-out", *telemetryOut}, {"trace-out", *traceOut},
 		{"pcap-out", *pcapOut}, {"probe-out", *probeOut}, {"ss-out", *ssOut},
+		{"mtrace-out", *mtraceOut}, {"tail-report", *tailReport},
 	} {
-		if of.path == "" {
+		if of.path == "" || of.path == "-" {
 			continue
 		}
 		if fi, err := os.Stat(filepath.Dir(of.path)); err != nil || !fi.IsDir() {
@@ -128,6 +134,9 @@ func main() {
 			Pcap: *pcapOut != "", Probe: *probeOut != "", SS: *ssOut != "",
 			SSInterval: *ssEvery,
 		}
+	}
+	if *mtraceOut != "" || *tailReport != "" {
+		cfg.MsgTrace = &hostsim.MsgTraceOptions{Slowest: *slowest, MsgBytes: *msgBytes}
 	}
 
 	var wl hostsim.Workload
@@ -209,6 +218,19 @@ func main() {
 		})
 		fmt.Printf("ss snapshots: %d samples x %d metrics -> %s\n",
 			res.SocketSnapshots.Len(), len(res.SocketSnapshots.Names), *ssOut)
+	}
+	if *tailReport != "" {
+		if *tailReport == "-" {
+			fmt.Printf("\n--- message tail-latency attribution ---\n%s", res.MessageLatency.Format())
+		} else {
+			writeOutput("tail-report", *tailReport, res.WriteTailReport)
+			fmt.Printf("tail report: %d messages -> %s\n", res.MessageLatency.Count, *tailReport)
+		}
+	}
+	if *mtraceOut != "" {
+		writeOutput("mtrace-out", *mtraceOut, res.WriteSpans)
+		fmt.Printf("message spans: %d traced, slowest %d -> %s (open in https://ui.perfetto.dev)\n",
+			res.MessageLatency.Count, *slowest, *mtraceOut)
 	}
 	if *traceOut != "" {
 		writeOutput("trace-out", *traceOut, res.WriteChromeTrace)

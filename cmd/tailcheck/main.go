@@ -1,0 +1,176 @@
+// Command tailcheck validates a hostsim message-trace export written by
+// `netsim -mtrace-out` (a Chrome trace-event JSON array of exemplar span
+// trees) and, optionally, the matching `-tail-report` text. It checks
+// the structural invariants the exporter guarantees — every stage slice
+// names a known stage, timestamps and durations are non-negative, and
+// each exemplar's stage slices telescope exactly (their "ns" args sum to
+// the message's total span) — and prints a per-exemplar summary. Exit
+// status is non-zero on any violation; CI uses it as the mtrace smoke
+// check.
+//
+// Usage: tailcheck <spans.json> [tailreport.txt]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"hostsim/internal/stage"
+)
+
+// traceObj mirrors the subset of the Chrome trace-event schema the
+// mtrace span writer emits (see internal/telemetry.WriteChromeSpans).
+type traceObj struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// exemplar accumulates per-process state while scanning the event array.
+type exemplar struct {
+	name     string
+	total    int64 // message span "ns" arg; -1 until seen
+	stageSum int64
+	stages   int
+	instants int
+}
+
+func main() {
+	if len(os.Args) != 2 && len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: tailcheck <spans.json> [tailreport.txt]")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail("%v", err)
+	}
+	var objs []traceObj
+	if err := json.Unmarshal(data, &objs); err != nil {
+		fail("parse %s: %v", os.Args[1], err)
+	}
+
+	procs := map[int]*exemplar{}
+	for i, o := range objs {
+		if o.Ts < 0 || o.Dur < 0 {
+			fail("event %d (%q): negative ts/dur", i, o.Name)
+		}
+		switch o.Ph {
+		case "M":
+			if o.Name == "process_name" && o.Tid == 0 {
+				ex := proc(procs, o.Pid)
+				ex.name, _ = o.Args["name"].(string)
+			}
+		case "X":
+			s, ok := stage.Parse(o.Name)
+			if !ok {
+				fail("event %d: slice named %q is not a known stage", i, o.Name)
+			}
+			ns, ok := argNS(o.Args)
+			if !ok {
+				fail("event %d (%q): missing integer args.ns", i, o.Name)
+			}
+			if ns < 0 {
+				fail("event %d (%q): negative args.ns %d", i, o.Name, ns)
+			}
+			ex := proc(procs, o.Pid)
+			switch {
+			case o.Tid == 0 && s == stage.Total:
+				if ex.total >= 0 {
+					fail("pid %d: duplicate total span", o.Pid)
+				}
+				ex.total = ns
+			case o.Tid == 1:
+				ex.stageSum += ns
+				ex.stages++
+			default:
+				fail("event %d (%q): slice on unexpected tid %d", i, o.Name, o.Tid)
+			}
+		case "i":
+			proc(procs, o.Pid).instants++
+		default:
+			fail("event %d (%q): unexpected phase %q", i, o.Name, o.Ph)
+		}
+	}
+
+	pids := make([]int, 0, len(procs))
+	for pid := range procs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		ex := procs[pid]
+		if ex.total < 0 {
+			fail("pid %d (%s): no total message span", pid, ex.name)
+		}
+		if ex.stages != len(stage.Message)-1 {
+			fail("pid %d (%s): %d stage slices, want %d",
+				pid, ex.name, ex.stages, len(stage.Message)-1)
+		}
+		if ex.stageSum != ex.total {
+			fail("pid %d (%s): stage slices sum to %dns, total span is %dns",
+				pid, ex.name, ex.stageSum, ex.total)
+		}
+	}
+	fmt.Printf("%s: %d exemplars, %d events, telescoping exact\n",
+		os.Args[1], len(procs), len(objs))
+	for _, pid := range pids {
+		ex := procs[pid]
+		fmt.Printf("  %-40s total %12dns  segments %d\n", ex.name, ex.total, ex.instants)
+	}
+
+	if len(os.Args) == 3 {
+		checkReport(os.Args[2])
+	}
+}
+
+// checkReport verifies the text tail report carries the message count
+// header and one row per percentile band.
+func checkReport(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	text := string(data)
+	var n int64
+	if _, err := fmt.Sscanf(text, "messages %d", &n); err != nil || n < 0 {
+		fail("%s: missing \"messages N\" header", path)
+	}
+	for _, band := range []string{"p0-p50", "p50-p90", "p90-p99", "p99-p999", "p999-max"} {
+		if !strings.Contains(text, band) {
+			fail("%s: missing %s band row", path, band)
+		}
+	}
+	fmt.Printf("%s: %d messages, all bands present\n", path, n)
+}
+
+func proc(m map[int]*exemplar, pid int) *exemplar {
+	ex := m[pid]
+	if ex == nil {
+		ex = &exemplar{total: -1}
+		m[pid] = ex
+	}
+	return ex
+}
+
+// argNS extracts the integer "ns" argument; JSON numbers decode as
+// float64 but the exporter only writes int64 nanosecond values.
+func argNS(args map[string]any) (int64, bool) {
+	f, ok := args["ns"].(float64)
+	if !ok {
+		return 0, false
+	}
+	return int64(f), true
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tailcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

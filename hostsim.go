@@ -29,9 +29,11 @@ import (
 	"hostsim/internal/core"
 	"hostsim/internal/cpumodel"
 	"hostsim/internal/inspect"
+	"hostsim/internal/mtrace"
 	"hostsim/internal/profile"
 	"hostsim/internal/sim"
 	"hostsim/internal/skb"
+	"hostsim/internal/stage"
 	"hostsim/internal/telemetry"
 	"hostsim/internal/topology"
 	"hostsim/internal/trace"
@@ -202,6 +204,39 @@ type Config struct {
 	// the exact trajectory of an uninspected one — Check can stay armed
 	// while capturing. A nil Inspect costs nothing on the hot path.
 	Inspect *InspectOptions
+
+	// MsgTrace, when non-nil, attaches the end-to-end message tracer:
+	// every application write is split into fixed-size messages whose
+	// full journey — send-buffer wait, retransmission wait, NIC queue,
+	// wire, Rx ring, GRO, TCP Rx and socket-queue dwell — is timed from
+	// the write syscall to the read syscall that drains its last byte.
+	// The run's Result gains a tail-attribution report
+	// (Result.MessageLatency, Result.WriteTailReport) decomposing each
+	// percentile band of end-to-end latency into per-stage means, and a
+	// slowest-N exemplar export (Result.WriteSpans) as Chrome trace-event
+	// JSON for Perfetto. Tracing covers the whole run including warmup
+	// (like socket snapshots) and is a pure observer: an armed run is
+	// bit-identical to an unarmed one. A nil MsgTrace costs nothing.
+	MsgTrace *MsgTraceOptions
+}
+
+// MsgTraceOptions configures the message tracer (see Config.MsgTrace).
+// The zero value traces every flow at its natural message size (the RPC
+// request/response size, or 128KB iPerf write units for long flows),
+// keeps the 8 slowest exemplars and caps retained records at 1<<20.
+type MsgTraceOptions struct {
+	// MsgBytes overrides the per-flow message size: each flow's byte
+	// stream is cut into consecutive MsgBytes-sized messages. 0 keeps
+	// the workload-derived default (RPCSize for RPC flows, 128KB for
+	// long flows).
+	MsgBytes int64
+	// Slowest is the number of worst-latency exemplar messages kept with
+	// full segment/recovery detail for span export (0 = 8).
+	Slowest int
+	// MaxMessages caps the per-message records retained for exact band
+	// attribution (0 = 1<<20); completions beyond it still feed the
+	// quantile histogram but count as truncated.
+	MaxMessages int
 }
 
 // CheckOptions configures the invariant checker (see Config.Check). The
@@ -280,6 +315,48 @@ type LatencyBreakdown struct {
 // quantile in both wall time and simulated cycles. Byte-deterministic
 // for a given run.
 func (b *LatencyBreakdown) Format() string { return b.text }
+
+// TailStage is one stage's mean dwell time within a percentile band.
+type TailStage struct {
+	Stage string        // canonical stage name (package stage message order)
+	Mean  time.Duration // mean time the band's messages spent in the stage
+}
+
+// TailBand is one percentile band of end-to-end message latency with its
+// per-stage attribution: only the messages whose total latency ranks
+// inside the band contribute, so comparing bands shows which stages
+// create the tail.
+type TailBand struct {
+	Band   string // "p0-p50", "p50-p90", "p90-p99", "p99-p999", "p999-max"
+	Count  int64
+	Total  time.Duration // mean end-to-end latency of the band's messages
+	Stages []TailStage   // means sum exactly to Total
+}
+
+// MessageLatency is the run's tail-attribution report when
+// Config.MsgTrace was set: end-to-end message latency quantiles plus the
+// per-band stage decomposition.
+type MessageLatency struct {
+	Count     int64 // completed messages (including truncated)
+	Dropped   int64 // messages with incomplete stamps (pre-attach writes)
+	Truncated int64 // completions beyond MaxMessages (quantiles only)
+	P50       time.Duration
+	P90       time.Duration
+	P99       time.Duration
+	P999      time.Duration
+	Max       time.Duration
+	Bands     []TailBand
+
+	text string
+}
+
+// Format renders the report as an aligned text table, byte-deterministic
+// for a given run.
+func (m *MessageLatency) Format() string { return m.text }
+
+// MsgRecord is one completed message's exact latency decomposition (ns
+// per stage, stage.Message order); see Result.MessageRecords.
+type MsgRecord = mtrace.Record
 
 // Telemetry configures the sampling layer (see Config.Telemetry).
 type Telemetry struct {
@@ -460,8 +537,15 @@ type Result struct {
 	// covers the whole run including warmup.
 	SocketSnapshots *Timeline
 
+	// MessageLatency holds the tail-attribution report when
+	// Config.MsgTrace was set (nil otherwise). Like SocketSnapshots it
+	// covers the whole run including warmup, so slow-start stragglers
+	// show up in the tail.
+	MessageLatency *MessageLatency
+
 	traceEvents []trace.Event     // raw events for WriteChromeTrace
 	prof        *profile.Profiler // backs WritePprof/WriteFolded
+	mt          *mtrace.Tracer    // backs WriteSpans/WriteTailReport
 }
 
 // WritePprof writes the cycle profile as a gzipped pprof profile.proto
@@ -519,6 +603,39 @@ func (r *Result) WriteSocketCSV(w io.Writer) error {
 		return fmt.Errorf("hostsim: run had no Config.Inspect with socket snapshots enabled")
 	}
 	return r.SocketSnapshots.WriteCSV(w)
+}
+
+// WriteTailReport writes the tail-attribution report as the aligned text
+// table of MessageLatency.Format. Errors unless the run had
+// Config.MsgTrace set.
+func (r *Result) WriteTailReport(w io.Writer) error {
+	if r.MessageLatency == nil {
+		return fmt.Errorf("hostsim: run had no Config.MsgTrace")
+	}
+	_, err := io.WriteString(w, r.MessageLatency.Format())
+	return err
+}
+
+// WriteSpans writes the slowest-N exemplar messages as a Chrome
+// trace-event JSON array, loadable in Perfetto or chrome://tracing: each
+// exemplar becomes a process with its total span, the telescoping stage
+// spans, and every (re)transmission and loss-recovery event as instants.
+// Errors unless the run had Config.MsgTrace set.
+func (r *Result) WriteSpans(w io.Writer) error {
+	if r.mt == nil {
+		return fmt.Errorf("hostsim: run had no Config.MsgTrace")
+	}
+	return r.mt.WriteSpans(w)
+}
+
+// MessageRecords returns the retained per-message latency records
+// (completion order), nil when the run had no Config.MsgTrace. Each
+// record's stage nanoseconds sum exactly to its total.
+func (r *Result) MessageRecords() []MsgRecord {
+	if r.mt == nil {
+		return nil
+	}
+	return r.mt.Records()
 }
 
 // WriteChromeTrace renders the recorded trace as a Chrome trace-event
@@ -631,6 +748,43 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 		return nil, err
 	}
 
+	var mt *mtrace.Tracer
+	if cfg.MsgTrace != nil {
+		mo := cfg.MsgTrace
+		if mo.MsgBytes < 0 || mo.Slowest < 0 || mo.MaxMessages < 0 {
+			return nil, fmt.Errorf("hostsim: negative MsgTrace option")
+		}
+		sizes := msgSizes(run, mo.MsgBytes)
+		// Workload setup can execute a first write synchronously at build
+		// time (thread wakeups dispatch immediately), before the tracer
+		// attaches; record each flow's committed stream offset so message
+		// numbering stays aligned with TCP sequence space.
+		starts := make(map[skb.FlowID]int64, len(sizes))
+		for _, h := range []*core.Host{sender, receiver} {
+			h.ForEachEndpoint(func(ep *core.Endpoint) {
+				if _, ok := sizes[ep.TxFlow()]; ok {
+					starts[ep.TxFlow()] = ep.Conn().AppLimit()
+				}
+			})
+		}
+		mt = mtrace.New(mtrace.Options{
+			MsgBytes:    sizes,
+			Start:       starts,
+			Slowest:     mo.Slowest,
+			MaxMessages: mo.MaxMessages,
+		})
+		sender.EnableMsgTrace(mt)
+		receiver.EnableMsgTrace(mt)
+		// Loss-recovery context for the exemplars rides the existing
+		// tcp_probe emit sites; AddProbe composes with the inspector's
+		// congestion trace when both are armed.
+		if hook := mt.ProbeHook(); hook != nil {
+			for _, h := range []*core.Host{sender, receiver} {
+				h.ForEachEndpoint(func(ep *core.Endpoint) { ep.Conn().AddProbe(hook) })
+			}
+		}
+	}
+
 	var prof *profile.Profiler
 	if cfg.Profile != nil {
 		popts := *cfg.Profile
@@ -702,6 +856,27 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 			})
 		}
 		res.LatencyBreakdown = lb
+	}
+	if mt != nil {
+		res.mt = mt
+		s := mt.Summary()
+		ml := &MessageLatency{
+			Count: s.Count, Dropped: s.Dropped, Truncated: s.Truncated,
+			P50: time.Duration(s.P50), P90: time.Duration(s.P90),
+			P99: time.Duration(s.P99), P999: time.Duration(s.P999),
+			Max:  time.Duration(s.Max),
+			text: s.Format(),
+		}
+		for _, b := range s.Bands {
+			tb := TailBand{Band: b.Name, Count: b.Count, Total: time.Duration(b.MeanTotal)}
+			for i, v := range b.Stages {
+				tb.Stages = append(tb.Stages, TailStage{
+					Stage: stage.Message[i].String(), Mean: time.Duration(v),
+				})
+			}
+			ml.Bands = append(ml.Bands, tb)
+		}
+		res.MessageLatency = ml
 	}
 	if tracer != nil {
 		res.traceEvents = tracer.Events()

@@ -113,6 +113,48 @@ func TestInspectArtifacts(t *testing.T) {
 	}
 }
 
+// TestRTTMonitor checks the passive per-flow RTT monitor: the ss-style
+// snapshots must carry the rtt_*_ns columns for every transmitting flow,
+// the probe-hook chaining must leave the congestion trace intact (both
+// consumers ride the same ACK events), and the folded statistics must be
+// internally coherent.
+func TestRTTMonitor(t *testing.T) {
+	res, err := hostsim.Run(inspectCfg(5), hostsim.LongFlowWorkload(hostsim.PatternSingle, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProbeTrace == nil || res.ProbeTrace.Len() == 0 {
+		t.Fatal("probe trace empty: RTT monitor must chain with, not replace, the probe consumer")
+	}
+	ss := res.SocketSnapshots
+	last := func(col string) float64 {
+		t.Helper()
+		vals, ok := ss.Column("sender/flow001/" + col)
+		if !ok {
+			t.Fatalf("snapshots missing column sender/flow001/%s", col)
+		}
+		return vals[len(vals)-1]
+	}
+	samples := last("rtt_samples")
+	if samples <= 0 {
+		t.Fatalf("no RTT samples folded in (rtt_samples %v)", samples)
+	}
+	lastRTT, min, mean := last("rtt_last_ns"), last("rtt_min_ns"), last("rtt_mean_ns")
+	p50, p99 := last("rtt_p50_ns"), last("rtt_p99_ns")
+	if lastRTT <= 0 || min <= 0 {
+		t.Fatalf("non-positive RTT gauges: last %v min %v", lastRTT, min)
+	}
+	if p99 < p50 || mean < min {
+		t.Fatalf("incoherent RTT statistics: min %v mean %v p50 %v p99 %v", min, mean, p50, p99)
+	}
+	// The passive signal must agree with TCP's own terminal estimate to
+	// within histogram bucketing: the last sample is the final SRTT.
+	srtt := float64(res.Flows[0].SRTT.Nanoseconds())
+	if srtt > 0 && (lastRTT < srtt/2 || lastRTT > srtt*2) {
+		t.Errorf("last passive RTT %vns far from terminal SRTT %vns", lastRTT, srtt)
+	}
+}
+
 // TestInspectTransparencyChecked arms the conservation-law checker and the
 // full inspector together and requires the run to be indistinguishable —
 // throughput, cycle breakdowns, per-flow stats — from a checked run

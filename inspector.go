@@ -50,7 +50,7 @@ func attachInspector(o *InspectOptions, eng *sim.Engine, sender, receiver *core.
 		insp.probes = inspect.NewProbeTrace(o.MaxProbeEvents)
 		for _, h := range []*core.Host{sender, receiver} {
 			hook := insp.probes.Hook(h.Name())
-			h.ForEachEndpoint(func(ep *core.Endpoint) { ep.Conn().SetProbe(hook) })
+			h.ForEachEndpoint(func(ep *core.Endpoint) { ep.Conn().AddProbe(hook) })
 		}
 	}
 	if ss {
@@ -65,6 +65,19 @@ func attachInspector(o *InspectOptions, eng *sim.Engine, sender, receiver *core.
 		reg := telemetry.NewRegistry()
 		sender.RegisterInspect(reg)
 		receiver.RegisterInspect(reg)
+		// The passive RTT monitor rides the same probe events the
+		// congestion trace consumes (no new emit sites in TCP) and
+		// publishes per-flow RTT gauges into the snapshot registry, so
+		// `ss`-style samples carry a continuous front-door delay signal.
+		rtt := inspect.NewRTTMonitor()
+		for _, h := range []*core.Host{sender, receiver} {
+			name := h.Name()
+			h.ForEachEndpoint(func(ep *core.Endpoint) {
+				flow := ep.TxFlow()
+				prefix := fmt.Sprintf("%s/flow%03d/", name, flow)
+				ep.Conn().AddProbe(rtt.Watch(reg, prefix, flow))
+			})
+		}
 		insp.sampler = telemetry.NewSampler(eng, reg, interval, maxSamples)
 		// Sample from t=0: unlike the measurement timeline, socket
 		// snapshots deliberately cover warmup, where slow start lives.

@@ -136,6 +136,9 @@ func (ep *Endpoint) Write(ctx *exec.Ctx, n units.Bytes) units.Bytes {
 	h.written += w
 	h.tracer.Emit(trace.Event{At: ctx.Now(), Host: h.name, Core: ep.appCore,
 		Flow: ep.txFlow, Kind: trace.AppWrite, B: int64(w)})
+	// Message tracing: register the accepted bytes before TCP sees them,
+	// so segments emitted inside this SendData attach to their message.
+	h.mt.OnWrite(ep.txFlow, int64(w), ctx.Now())
 	ep.conn.SendData(ctx, w, pages)
 	return w
 }
@@ -166,13 +169,17 @@ func (ep *Endpoint) sendSegment(ctx *exec.Ctx, c *tcp.Conn, seq int64, length un
 	pages := h.spec.PagesFor(length)
 	h.Alloc.DMAMap(ctx, pages)
 	h.Alloc.DMAUnmap(ctx, pages)
+	// The message tracer's transmission mark must carry the exact instant
+	// the frames are stamped below, so a first transmission telescopes to
+	// a zero retx_wait.
+	h.mt.OnSegment(c.Flow(), seq, length, retrans, ctx.Now())
 	fp := h.NIC.FramePool()
 	frames := make([]*skb.Frame, 0, len(sizes))
 	s := seq
 	for _, l := range sizes {
 		f := fp.Get()
 		f.Flow, f.Seq, f.Len = c.Flow(), s, l
-		if h.prof != nil {
+		if h.prof != nil || h.mt != nil {
 			f.WriteAt = c.WriteTimeOf(s)
 			f.TCPTxAt = ctx.Now()
 		}
@@ -297,6 +304,7 @@ func (ep *Endpoint) Read(ctx *exec.Ctx, max units.Bytes) units.Bytes {
 			if h.prof != nil {
 				h.prof.Lifecycle().Record(s, ctx.Now())
 			}
+			h.mt.OnDeliver(s, ctx.Now())
 			ep.recycleSKB(s)
 			continue
 		}
@@ -341,6 +349,7 @@ func (ep *Endpoint) Read(ctx *exec.Ctx, max units.Bytes) units.Bytes {
 		if h.prof != nil {
 			h.prof.Lifecycle().Record(s, ctx.Now())
 		}
+		h.mt.OnDeliver(s, ctx.Now())
 		ep.recycleSKB(s)
 	}
 	h.copied += total

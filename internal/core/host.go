@@ -10,6 +10,7 @@ import (
 	"hostsim/internal/exec"
 	"hostsim/internal/mem"
 	"hostsim/internal/metrics"
+	"hostsim/internal/mtrace"
 	"hostsim/internal/nic"
 	"hostsim/internal/profile"
 	"hostsim/internal/sim"
@@ -69,6 +70,7 @@ type Host struct {
 	unsteered int64
 	tracer    *trace.Tracer     // nil = tracing off
 	prof      *profile.Profiler // nil = profiling off
+	mt        *mtrace.Tracer    // nil = message tracing off
 
 	// ---- invariant-checker state (nil/zero when checking is off).
 	chkLedger   *check.CycleLedger // independent cycle tally from the charge log
@@ -128,6 +130,13 @@ func (h *Host) installChargeLog() {
 
 // Profiler returns the attached profiler (possibly nil).
 func (h *Host) Profiler() *profile.Profiler { return h.prof }
+
+// EnableMsgTrace attaches the per-message tracer (nil detaches): writes,
+// segment emissions and in-order deliveries are reported to t, and the
+// data path stamps skb lifecycle points exactly as it does for the
+// profiler. Every hook is a pure observer behind a pointer test, so a
+// detached tracer costs nothing on the hot path.
+func (h *Host) EnableMsgTrace(t *mtrace.Tracer) { h.mt = t }
 
 // NewHost builds a host. The NIC's egress is connected later via Connect.
 func NewHost(name string, eng *sim.Engine, spec topology.MachineSpec,
@@ -335,7 +344,7 @@ func (h *Host) process(ctx *exec.Ctx, ep *Endpoint, s *skb.SKB) {
 	// pump and retransmissions) to the skb's flow; for pure ACKs s.Flow is
 	// the data flow being acknowledged, which is the right bucket.
 	ctx.SetFlowTag(int32(s.Flow))
-	if h.prof != nil && s.Ack == nil {
+	if (h.prof != nil || h.mt != nil) && s.Ack == nil {
 		s.TCPRxAt = ctx.Now()
 	}
 	// Socket lock: cheap when the application shares this core,
@@ -394,7 +403,7 @@ func (h *Host) registerFlowTelemetry(ep *Endpoint) {
 	p := fmt.Sprintf("%s/flow%03d/", h.name, ep.txFlow)
 	conn := ep.conn
 	h.telemetry.Gauge(p+"cwnd_bytes", func() float64 { return float64(conn.CC().Cwnd()) })
-	h.telemetry.Gauge(p+"srtt_us", func() float64 { return conn.SRTT().Seconds() * 1e6 })
+	h.telemetry.Gauge(p+"srtt_ns", func() float64 { return float64(conn.SRTT().Nanoseconds()) })
 	h.telemetry.Gauge(p+"retransmits", func() float64 { return float64(conn.Stats().Retransmits) })
 	h.telemetry.Gauge(p+"rcvbuf_bytes", func() float64 { return float64(conn.RcvBuf()) })
 }

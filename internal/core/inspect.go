@@ -43,8 +43,11 @@ func (h *Host) RegisterInspect(reg *telemetry.Registry) {
 		fp := fmt.Sprintf("%sflow%03d/", p, ep.txFlow)
 		reg.Gauge(fp+"cwnd_bytes", func() float64 { return float64(conn.CC().Cwnd()) })
 		reg.Gauge(fp+"ssthresh_bytes", func() float64 { return float64(conn.CC().Ssthresh()) })
-		reg.Gauge(fp+"srtt_us", func() float64 { return conn.SRTT().Seconds() * 1e6 })
-		reg.Gauge(fp+"rto_us", func() float64 { return conn.RTO().Seconds() * 1e6 })
+		// RTT-class gauges report nanoseconds, the repo-wide latency unit
+		// (see package stage) shared with the passive RTT monitor's
+		// rtt_*_ns gauges and the tail report.
+		reg.Gauge(fp+"srtt_ns", func() float64 { return float64(conn.SRTT().Nanoseconds()) })
+		reg.Gauge(fp+"rto_ns", func() float64 { return float64(conn.RTO().Nanoseconds()) })
 		reg.Gauge(fp+"inflight_bytes", func() float64 { return float64(conn.InFlight()) })
 		reg.Gauge(fp+"qdisc_bytes", func() float64 { return float64(conn.InQdisc()) })
 		reg.Gauge(fp+"sndbuf_free_bytes", func() float64 { return float64(conn.SndBufFree()) })

@@ -1,0 +1,72 @@
+package inspect
+
+import (
+	"hostsim/internal/metrics"
+	"hostsim/internal/skb"
+	"hostsim/internal/tcp"
+	"hostsim/internal/telemetry"
+)
+
+// RTTMonitor is an ePPing-style passive per-flow RTT monitor: it derives
+// a continuous delay signal from the probe events the connections
+// already emit on every processed ACK — no new emit sites in TCP — and
+// folds each flow's samples into a log-linear histogram. Registered
+// gauges ride the ss-style snapshot sampler, so churn and incast runs
+// get front-door latency for free alongside queue depths.
+//
+// All gauges report nanoseconds (the repo-wide latency unit; see package
+// stage): rtt_last_ns, rtt_min_ns, rtt_mean_ns, rtt_p50_ns, rtt_p99_ns
+// and rtt_samples.
+type RTTMonitor struct {
+	flows map[skb.FlowID]*rttFlow
+}
+
+// rttFlow is one monitored connection's running RTT state.
+type rttFlow struct {
+	last int64
+	hist *metrics.LogLinear
+}
+
+// NewRTTMonitor builds an empty monitor.
+func NewRTTMonitor() *RTTMonitor {
+	return &RTTMonitor{flows: make(map[skb.FlowID]*rttFlow)}
+}
+
+// Watch registers flow's RTT gauges into reg under prefix (ending in
+// "/") and returns the tcp.ProbeFunc feeding them. Install the hook with
+// Conn.AddProbe so it composes with other probe consumers; like every
+// probe, it is a pure observer.
+func (m *RTTMonitor) Watch(reg *telemetry.Registry, prefix string, flow skb.FlowID) tcp.ProbeFunc {
+	f := &rttFlow{hist: metrics.NewLogLinear()}
+	m.flows[flow] = f
+	reg.Gauge(prefix+"rtt_last_ns", func() float64 { return float64(f.last) })
+	reg.Gauge(prefix+"rtt_min_ns", func() float64 { return float64(f.hist.Min()) })
+	reg.Gauge(prefix+"rtt_mean_ns", func() float64 { return float64(f.hist.Mean()) })
+	reg.Gauge(prefix+"rtt_p50_ns", func() float64 { return float64(f.hist.Quantile(0.50)) })
+	reg.Gauge(prefix+"rtt_p99_ns", func() float64 { return float64(f.hist.Quantile(0.99)) })
+	reg.Gauge(prefix+"rtt_samples", func() float64 { return float64(f.hist.Count()) })
+	return func(ev tcp.ProbeEvent) {
+		// Sample on ACKs that advanced the window: those carry a fresh
+		// smoothed-RTT update (retransmitted ranges are excluded from RTT
+		// sampling by TCP itself, Karn's rule).
+		if ev.Kind != tcp.ProbeAck || ev.AckedBytes == 0 {
+			return
+		}
+		ns := ev.SRTT.Nanoseconds()
+		if ns <= 0 {
+			return
+		}
+		f.last = ns
+		f.hist.Record(ns)
+	}
+}
+
+// Samples returns the number of RTT samples folded in for flow (0 when
+// the flow is not watched).
+func (m *RTTMonitor) Samples(flow skb.FlowID) int64 {
+	f := m.flows[flow]
+	if f == nil {
+		return 0
+	}
+	return f.hist.Count()
+}

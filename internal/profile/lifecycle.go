@@ -8,6 +8,7 @@ import (
 	"hostsim/internal/metrics"
 	"hostsim/internal/sim"
 	"hostsim/internal/skb"
+	"hostsim/internal/stage"
 	"hostsim/internal/units"
 )
 
@@ -26,12 +27,14 @@ const (
 	NumStages
 )
 
-var stageNames = [NumStages]string{
-	"sndbuf", "nic_tx", "wire", "rx_ring", "gro", "tcp_rx", "sock_queue", "total",
-}
+// packetStages maps the lifecycle's stage indices onto the canonical
+// shared taxonomy; the array size pins NumStages == len(stage.Packet) at
+// compile time, so the profiler, inspector and message tracer can never
+// drift apart on stage names.
+var packetStages [NumStages]stage.Stage = stage.Packet
 
-// StageName returns the short slug for a stage index.
-func StageName(i int) string { return stageNames[i] }
+// StageName returns the canonical slug for a stage index.
+func StageName(i int) string { return packetStages[i].String() }
 
 // Lifecycle tracks per-packet latency through the eight stamp points.
 type Lifecycle struct {
@@ -95,7 +98,7 @@ func (l *Lifecycle) Breakdown(freq units.Frequency) LatencyBreakdown {
 	}
 	for i, h := range l.stages {
 		b.Stages = append(b.Stages, StageLatency{
-			Stage:  stageNames[i],
+			Stage:  StageName(i),
 			Count:  h.Count(),
 			MeanNS: h.Mean(),
 			P50NS:  h.Quantile(0.50),

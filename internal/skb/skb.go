@@ -56,8 +56,9 @@ type Frame struct {
 	Born  sim.Time    // when NAPI processed this frame at the receiver
 
 	// Lifecycle stamps for the profiler's per-packet latency breakdown
-	// (Fig. 9). Zero when no profiler is attached; plain field writes so
-	// the stamps cost nothing on the hot path.
+	// (Fig. 9) and the message tracer's tail attribution. Zero when
+	// neither a profiler nor a message tracer is attached; plain field
+	// writes so the stamps cost nothing on the hot path.
 	WriteAt sim.Time // application wrote the first payload byte
 	TCPTxAt sim.Time // TCP emitted the segment (left the send path)
 	NICTxAt sim.Time // NIC put the frame on the wire

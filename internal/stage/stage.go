@@ -1,0 +1,57 @@
+// Package stage defines the canonical data-path stage taxonomy shared
+// by every latency-reporting layer: the profiler's per-packet lifecycle
+// breakdown, the wire-level inspector's gauges, and the per-message
+// tracer. Reports that disagree on stage names or units cannot be
+// cross-referenced, so all of them draw their labels from here and
+// measure in nanoseconds of simulated time.
+package stage
+
+// Stage is one hop of the Fig. 1 host data path pipeline.
+type Stage uint8
+
+// The stages, in pipeline order. RetxWait only exists at message scope:
+// packets are stamped per transmission, so a packet's sndbuf stage
+// absorbs any retransmission wait, while a message separates the two
+// (its bytes may be transmitted many times before a copy arrives).
+const (
+	Sndbuf    Stage = iota // app write → TCP first emitted the bytes
+	RetxWait               // first emission → emission of the copy that arrived
+	NICTx                  // TCP tx → frame left the NIC (tx queue + doorbell)
+	Wire                   // NIC tx → arrival at the peer NIC (serialize + propagate)
+	RxRing                 // wire arrival → NAPI picked the frame up (IRQ moderation)
+	GRO                    // NAPI pickup → GRO flushed the aggregate
+	TCPRx                  // GRO flush → TCP Rx processing began
+	SockQueue              // TCP Rx → application read the bytes
+	Total                  // app write → app read
+	numStages
+)
+
+var names = [numStages]string{
+	"sndbuf", "retx_wait", "nic_tx", "wire", "rx_ring", "gro", "tcp_rx", "sock_queue", "total",
+}
+
+// String returns the stage's short slug, stable across reports.
+func (s Stage) String() string {
+	if s >= numStages {
+		return "invalid"
+	}
+	return names[s]
+}
+
+// Packet lists the per-packet (SKB lifecycle) stages in pipeline order:
+// seven telescoping deltas plus the total.
+var Packet = [8]Stage{Sndbuf, NICTx, Wire, RxRing, GRO, TCPRx, SockQueue, Total}
+
+// Message lists the per-message stages in pipeline order: eight
+// telescoping deltas (RetxWait included) plus the total.
+var Message = [9]Stage{Sndbuf, RetxWait, NICTx, Wire, RxRing, GRO, TCPRx, SockQueue, Total}
+
+// Parse maps a slug back to its Stage; ok is false for unknown names.
+func Parse(name string) (s Stage, ok bool) {
+	for i, n := range names {
+		if n == name {
+			return Stage(i), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,31 @@
+package stage
+
+import "testing"
+
+func TestSlugsRoundTrip(t *testing.T) {
+	for i := Stage(0); i < numStages; i++ {
+		s, ok := Parse(i.String())
+		if !ok || s != i {
+			t.Errorf("Parse(%q) = %v, %v; want %v, true", i.String(), s, ok, i)
+		}
+	}
+	if _, ok := Parse("bogus"); ok {
+		t.Error("Parse accepted an unknown slug")
+	}
+	if Stage(200).String() != "invalid" {
+		t.Error("out-of-range stage did not stringify as invalid")
+	}
+}
+
+func TestOrderings(t *testing.T) {
+	if Message[len(Message)-1] != Total || Packet[len(Packet)-1] != Total {
+		t.Fatal("orderings must end with the total stage")
+	}
+	// Message is Packet with RetxWait inserted after Sndbuf.
+	withRetx := append([]Stage{Packet[0], RetxWait}, Packet[1:]...)
+	for i, s := range withRetx {
+		if Message[i] != s {
+			t.Fatalf("Message[%d] = %v, want %v", i, Message[i], s)
+		}
+	}
+}

@@ -65,6 +65,26 @@ type ProbeFunc func(ev ProbeEvent)
 // test, per the nil-is-free observability convention.
 func (c *Conn) SetProbe(fn ProbeFunc) { c.probe = fn }
 
+// AddProbe attaches fn alongside any observer already installed: every
+// attached probe sees every event, in attachment order. Composing here
+// keeps a single emit site in the connection while letting the
+// inspector's congestion trace, the passive RTT monitor and the message
+// tracer coexist. A nil fn is a no-op.
+func (c *Conn) AddProbe(fn ProbeFunc) {
+	if fn == nil {
+		return
+	}
+	if c.probe == nil {
+		c.probe = fn
+		return
+	}
+	prev := c.probe
+	c.probe = func(ev ProbeEvent) {
+		prev(ev)
+		fn(ev)
+	}
+}
+
 // emitProbe snapshots the congestion state into the attached probe.
 func (c *Conn) emitProbe(at sim.Time, kind ProbeKind, acked units.Bytes) {
 	if c.probe == nil {

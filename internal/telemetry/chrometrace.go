@@ -26,6 +26,56 @@ type traceObj struct {
 // usOf converts simulated nanoseconds to trace-event microseconds.
 func usOf(ns int64) float64 { return float64(ns) / 1e3 }
 
+// chromeEnc accumulates trace objects, assigning pids to named processes
+// in first-appearance order and emitting the metadata events Perfetto
+// needs to label them. Shared by the event renderer (WriteChromeTrace)
+// and the span renderer (WriteChromeSpans).
+type chromeEnc struct {
+	pids map[string]int
+	tids map[[2]int]bool // (pid, tid) pairs with thread_name emitted
+	objs []traceObj
+}
+
+func newChromeEnc() *chromeEnc {
+	return &chromeEnc{pids: make(map[string]int), tids: make(map[[2]int]bool)}
+}
+
+// pid returns the process id for a named process, emitting its
+// process_name metadata on first appearance.
+func (e *chromeEnc) pid(process string) int {
+	if p, ok := e.pids[process]; ok {
+		return p
+	}
+	p := len(e.pids) + 1
+	e.pids[process] = p
+	e.objs = append(e.objs, traceObj{
+		Name: "process_name", Ph: "M", Pid: p,
+		Args: map[string]any{"name": process},
+	})
+	return p
+}
+
+// threadName emits a thread_name metadata event once per (pid, tid).
+func (e *chromeEnc) threadName(pid, tid int, name string) {
+	if name == "" || e.tids[[2]int{pid, tid}] {
+		return
+	}
+	e.tids[[2]int{pid, tid}] = true
+	e.objs = append(e.objs, traceObj{
+		Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// flush encodes the accumulated objects as one JSON array. An empty
+// accumulation encodes as a valid empty trace.
+func (e *chromeEnc) flush(w io.Writer) error {
+	if e.objs == nil {
+		e.objs = []traceObj{}
+	}
+	return json.NewEncoder(w).Encode(e.objs)
+}
+
 // WriteChromeTrace renders traced events as a Chrome trace-event JSON
 // array, loadable directly in Perfetto or chrome://tracing. Hosts become
 // processes (pid per host, named via metadata events), cores become
@@ -35,20 +85,7 @@ func usOf(ns int64) float64 { return float64(ns) / 1e3 }
 //
 // Writing an empty event list produces a valid empty trace.
 func WriteChromeTrace(w io.Writer, events []trace.Event) error {
-	pids := make(map[string]int)
-	var objs []traceObj
-	pidOf := func(host string) int {
-		if p, ok := pids[host]; ok {
-			return p
-		}
-		p := len(pids) + 1
-		pids[host] = p
-		objs = append(objs, traceObj{
-			Name: "process_name", Ph: "M", Pid: p,
-			Args: map[string]any{"name": host},
-		})
-		return p
-	}
+	enc := newChromeEnc()
 
 	// One pending span start per (host, core): cores execute work items
 	// serially, so starts and ends of a core strictly alternate.
@@ -59,7 +96,7 @@ func WriteChromeTrace(w io.Writer, events []trace.Event) error {
 	pending := make(map[spanKey]trace.Event)
 
 	for _, e := range events {
-		pid := pidOf(e.Host)
+		pid := enc.pid(e.Host)
 		switch e.Kind {
 		case trace.SoftirqStart, trace.ThreadStart:
 			pending[spanKey{e.Host, e.Core}] = e
@@ -74,7 +111,7 @@ func WriteChromeTrace(w io.Writer, events []trace.Event) error {
 			if e.Kind == trace.ThreadEnd {
 				ctxName = "thread"
 			}
-			objs = append(objs, traceObj{
+			enc.objs = append(enc.objs, traceObj{
 				Name: cpumodel.Category(e.A).String(),
 				Cat:  ctxName,
 				Ph:   "X",
@@ -85,7 +122,7 @@ func WriteChromeTrace(w io.Writer, events []trace.Event) error {
 				Args: map[string]any{"cycles": e.B},
 			})
 		default:
-			objs = append(objs, traceObj{
+			enc.objs = append(enc.objs, traceObj{
 				Name: e.Kind.String(),
 				Cat:  "flow",
 				Ph:   "i",
@@ -97,9 +134,47 @@ func WriteChromeTrace(w io.Writer, events []trace.Event) error {
 			})
 		}
 	}
-	if objs == nil {
-		objs = []traceObj{}
+	return enc.flush(w)
+}
+
+// Span is one renderer-agnostic trace entry for WriteChromeSpans: a
+// complete duration slice (or an instant) on a named process/thread.
+// Producers that are not the event tracer — the message tracer's
+// exemplar span trees, for one — build Spans and reuse this writer
+// instead of reimplementing the trace-event format.
+type Span struct {
+	Process    string // process label; pids are assigned in first-appearance order
+	Thread     int    // tid within the process
+	ThreadName string // optional thread label, emitted once per (process, thread)
+	Name       string
+	Cat        string
+	StartNS    int64
+	DurNS      int64          // ignored for instants
+	Instant    bool           // render as a thread-scoped instant instead of a slice
+	Args       map[string]any // optional; retained by reference
+}
+
+// WriteChromeSpans renders prebuilt spans as a Chrome trace-event JSON
+// array (Perfetto-loadable), in input order. Writing no spans produces a
+// valid empty trace.
+func WriteChromeSpans(w io.Writer, spans []Span) error {
+	enc := newChromeEnc()
+	for _, s := range spans {
+		pid := enc.pid(s.Process)
+		enc.threadName(pid, s.Thread, s.ThreadName)
+		if s.Instant {
+			enc.objs = append(enc.objs, traceObj{
+				Name: s.Name, Cat: s.Cat, Ph: "i",
+				Ts: usOf(s.StartNS), Pid: pid, Tid: s.Thread,
+				S: "t", Args: s.Args,
+			})
+			continue
+		}
+		enc.objs = append(enc.objs, traceObj{
+			Name: s.Name, Cat: s.Cat, Ph: "X",
+			Ts: usOf(s.StartNS), Dur: usOf(s.DurNS),
+			Pid: pid, Tid: s.Thread, Args: s.Args,
+		})
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(objs)
+	return enc.flush(w)
 }

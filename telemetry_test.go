@@ -40,7 +40,7 @@ func TestTelemetryTimelinePopulated(t *testing.T) {
 		"sender/written_bytes", "receiver/copied_bytes",
 		"sender/nic/tx_frames", "receiver/nic/ring_occupancy",
 		"receiver/ddio/hit_rate", "receiver/core00/softirq_us",
-		"sender/flow001/cwnd_bytes", "sender/flow001/srtt_us",
+		"sender/flow001/cwnd_bytes", "sender/flow001/srtt_ns",
 	} {
 		vals, ok := tl.Column(name)
 		if !ok {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"hostsim/internal/core"
+	"hostsim/internal/skb"
 	"hostsim/internal/units"
 	"hostsim/internal/workload"
 )
@@ -33,6 +34,29 @@ func flowClasses(b *builtWorkload) map[int32]string {
 	for _, c := range b.clients {
 		m[int32(c.EP.TxFlow())] = "rpc"
 		m[int32(c.EP.RxFlow())] = "rpc"
+	}
+	return m
+}
+
+// msgSizes derives the message tracer's flow → message-size map from the
+// workload: long flows message on their 128KB iPerf write unit (tx
+// direction only — the reverse direction carries no data), RPC
+// connections on the request/response size in both directions (requests
+// out, responses back). A positive override replaces every natural size.
+func msgSizes(b *builtWorkload, override int64) map[skb.FlowID]units.Bytes {
+	m := make(map[skb.FlowID]units.Bytes)
+	size := func(natural units.Bytes) units.Bytes {
+		if override > 0 {
+			return units.Bytes(override)
+		}
+		return natural
+	}
+	for _, lf := range b.long {
+		m[lf.Sender.TxFlow()] = size(workload.WriteChunk)
+	}
+	for _, c := range b.clients {
+		m[c.EP.TxFlow()] = size(c.Size)
+		m[c.EP.RxFlow()] = size(c.Size)
 	}
 	return m
 }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench bench-runner bench-profile bench-inspect bench-mtrace profile-smoke inspect-smoke mtrace-smoke fuzz-smoke figures figures-golden
+.PHONY: all build test check fmt vet race bench bench-runner bench-profile bench-inspect bench-mtrace bench-engine profile-smoke inspect-smoke mtrace-smoke engine-smoke fuzz-smoke figures figures-golden
 
 all: build
 
@@ -55,6 +55,15 @@ bench-mtrace:
 	$(GO) test -run '^$$' -bench 'MsgTraceOff|MsgTraceOn' \
 		-benchmem -json . > BENCH_mtrace.json
 
+# bench-engine records the event-scheduler benchmarks as JSON for
+# regression tracking: end-to-end wheel-vs-heap pairs over three timer
+# profiles (bulk flow, RPC incast, lossy mixed) plus the scheduler
+# microbenchmarks and the allocation-purge headline number
+# (RunMsgTraceOff). Compare captures with `go run ./cmd/benchdiff`.
+bench-engine:
+	$(GO) test -run '^$$' -bench 'Engine|RunMsgTraceOff' \
+		-benchmem -json . ./internal/sim > BENCH_engine.json
+
 # profile-smoke is the CI profile-golden check: run netsim with profiling
 # enabled and validate the emitted profile.proto with the in-repo parser.
 profile-smoke:
@@ -80,6 +89,14 @@ mtrace-smoke:
 		-mtrace-out /tmp/hostsim-smoke.spans.json \
 		-tail-report /tmp/hostsim-smoke.tail.txt > /dev/null
 	$(GO) run ./cmd/tailcheck /tmp/hostsim-smoke.spans.json /tmp/hostsim-smoke.tail.txt
+
+# engine-smoke is the CI scheduler-equivalence gate: the shared
+# Stop/Reset edge-case table and the randomized wheel-vs-heap
+# differential tests under the race detector, plus the end-to-end
+# result-equivalence and allocation-budget checks at the API surface.
+engine-smoke:
+	$(GO) test -race -run 'TimerEdgeCases|SchedulerEquivalence' ./internal/sim
+	$(GO) test -race -run 'SchedulerResultEquivalence|RunUnknownScheduler|RunAllocationBudget' .
 
 # fuzz-smoke is the CI fuzz gate: a short coverage-guided walk of the
 # configuration space with the conservation-law checker as the oracle.

@@ -1,0 +1,167 @@
+// Command benchdiff compares two benchmark captures written by the
+// Makefile's bench-* targets (`go test -json -bench ...`, e.g.
+// BENCH_engine.json): it pairs benchmarks by name and prints old-vs-new
+// ns/op and allocs/op with relative deltas, plus B/op when present.
+// Benchmarks appearing in only one capture are listed separately. With a
+// single argument it just prints that capture as a table.
+//
+// Usage: benchdiff <old.json> [<new.json>]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// bench is one benchmark result distilled from the `go test -json`
+// stream. A name can legitimately recur across packages; captures here
+// keep the first occurrence and warn, since the bench-* targets use
+// disjoint -bench patterns per package.
+type bench struct {
+	nsOp     float64
+	bOp      float64
+	allocsOp float64
+}
+
+// resultLine matches the textual benchmark result embedded in a test2json
+// Output event, e.g.
+//
+//	BenchmarkEngineWheelIPerf-8   193   6034160 ns/op   728385 B/op   2346 allocs/op
+var resultLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(.*)$`)
+
+func parseCapture(path string) (map[string]bench, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	// test2json splits one benchmark result across several output
+	// events (the name is flushed before the measurements), so first
+	// reassemble the raw text stream, then match complete lines.
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Action string
+			Output string
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			// Tolerate plain-text captures (`go test -bench` without
+			// -json) by taking the raw line instead.
+			text.WriteString(sc.Text())
+			text.WriteByte('\n')
+			continue
+		}
+		if ev.Action == "output" {
+			text.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	out := map[string]bench{}
+	var order []string
+	for _, line := range strings.Split(text.String(), "\n") {
+		m := resultLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		if _, dup := out[name]; dup {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s: duplicate %s, keeping first\n", path, name)
+			continue
+		}
+		b := bench{}
+		b.nsOp, _ = strconv.ParseFloat(m[2], 64)
+		rest := strings.Fields(m[3])
+		for i := 0; i+1 < len(rest); i += 2 {
+			v, err := strconv.ParseFloat(rest[i], 64)
+			if err != nil {
+				continue
+			}
+			switch rest[i+1] {
+			case "B/op":
+				b.bOp = v
+			case "allocs/op":
+				b.allocsOp = v
+			}
+		}
+		out[name] = b
+		order = append(order, name)
+	}
+	if len(out) == 0 {
+		return nil, nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return out, order, nil
+}
+
+// delta renders new relative to old as a signed percentage.
+func delta(old, new float64) string {
+	if old == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
+}
+
+func main() {
+	if len(os.Args) != 2 && len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff <old.json> [<new.json>]")
+		os.Exit(2)
+	}
+	old, order, err := parseCapture(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	if len(os.Args) == 2 {
+		fmt.Fprintf(w, "%-40s %14s %14s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+		for _, name := range order {
+			b := old[name]
+			fmt.Fprintf(w, "%-40s %14.0f %14.0f %12.0f\n", name, b.nsOp, b.bOp, b.allocsOp)
+		}
+		return
+	}
+
+	new_, newOrder, err := parseCapture(os.Args[2])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(w, "%-40s %12s %12s %8s %10s %10s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δ", "old allocs", "new allocs", "Δ")
+	var onlyOld, onlyNew []string
+	for _, name := range order {
+		o := old[name]
+		n, ok := new_[name]
+		if !ok {
+			onlyOld = append(onlyOld, name)
+			continue
+		}
+		fmt.Fprintf(w, "%-40s %12.0f %12.0f %8s %10.0f %10.0f %8s\n",
+			name, o.nsOp, n.nsOp, delta(o.nsOp, n.nsOp),
+			o.allocsOp, n.allocsOp, delta(o.allocsOp, n.allocsOp))
+	}
+	for _, name := range newOrder {
+		if _, ok := old[name]; !ok {
+			onlyNew = append(onlyNew, name)
+		}
+	}
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	if len(onlyOld) > 0 {
+		fmt.Fprintf(w, "only in %s: %s\n", os.Args[1], strings.Join(onlyOld, ", "))
+	}
+	if len(onlyNew) > 0 {
+		fmt.Fprintf(w, "only in %s: %s\n", os.Args[2], strings.Join(onlyNew, ", "))
+	}
+}

@@ -31,6 +31,12 @@ type Endpoint struct {
 
 	txCompPending   units.Bytes // wire departures awaiting completion softirq
 	txCompScheduled bool
+	txCompFn        func(*exec.Ctx) // bound completion softirq body, allocated once
+
+	// Hot-path scratch: reused across calls, never retained by callees.
+	segSizes []units.Bytes // sendSegment segmentation scratch
+	txFrames []*skb.Frame  // sendSegment frame-batch scratch
+	oneFrame [1]*skb.Frame // sendAck/sendProbe single-frame scratch
 }
 
 func newEndpoint(h *Host, appCore int, txFlow, rxFlow skb.FlowID) *Endpoint {
@@ -64,7 +70,18 @@ func newEndpoint(h *Host, appCore int, txFlow, rxFlow skb.FlowID) *Endpoint {
 		OnWritable:   ep.onWritable,
 		OnAckedPages: ep.onAckedPages,
 		Recycle:      ep.recycleSKB,
+		NewAck:       func() *skb.AckInfo { return ep.host.NIC.FramePool().GetAck() },
 	})
+	ep.txCompFn = func(ctx *exec.Ctx) {
+		ep.txCompScheduled = false
+		pend := ep.txCompPending
+		ep.txCompPending = 0
+		if pend == 0 {
+			return
+		}
+		ctx.Charge(cpumodel.Netdev, h.costs.TxComplete)
+		ep.conn.TxCompleted(ctx, pend)
+	}
 	return ep
 }
 
@@ -130,7 +147,8 @@ func (ep *Endpoint) Write(ctx *exec.Ctx, n units.Bytes) units.Bytes {
 		miss := h.senderMissRate()
 		per := units.PerByte(float64(costs.CopySenderWarm)*(1-miss) + float64(costs.CopyMissLocal)*miss)
 		ctx.ChargeBytes(cpumodel.DataCopy, per, w)
-		pages = h.Alloc.Alloc(ctx, ep.appCore, h.spec.PagesFor(w))
+		// Recycle the page-slice slab of an earlier, fully acked chunk.
+		pages = h.Alloc.AppendAlloc(ctx, ep.appCore, h.spec.PagesFor(w), ep.conn.PageSlab())
 		h.sndInUse += w
 	}
 	h.written += w
@@ -155,7 +173,8 @@ func (ep *Endpoint) sendSegment(ctx *exec.Ctx, c *tcp.Conn, seq int64, length un
 	}
 	h.tracer.Emit(trace.Event{At: ctx.Now(), Host: h.name, Core: ctx.Core().ID(),
 		Flow: c.Flow(), Kind: kind, A: seq, B: int64(length)})
-	sizes := skb.SegmentSizes(length, h.opts.MSS())
+	sizes := skb.AppendSegmentSizes(ep.segSizes[:0], length, h.opts.MSS())
+	ep.segSizes = sizes
 	if !h.opts.TSO && h.opts.GSO && len(sizes) > 1 {
 		// Software segmentation in the netdevice subsystem.
 		perSeg := costs.GSOSegment + costs.SKBSplit
@@ -174,7 +193,7 @@ func (ep *Endpoint) sendSegment(ctx *exec.Ctx, c *tcp.Conn, seq int64, length un
 	// a zero retx_wait.
 	h.mt.OnSegment(c.Flow(), seq, length, retrans, ctx.Now())
 	fp := h.NIC.FramePool()
-	frames := make([]*skb.Frame, 0, len(sizes))
+	frames := ep.txFrames[:0]
 	s := seq
 	for _, l := range sizes {
 		f := fp.Get()
@@ -186,7 +205,11 @@ func (ep *Endpoint) sendSegment(ctx *exec.Ctx, c *tcp.Conn, seq int64, length un
 		frames = append(frames, f)
 		s += int64(l)
 	}
-	h.NIC.SendFrames(ctx, frames)
+	h.NIC.SendFrames(ctx, frames) // copies the slice; safe to reuse
+	for i := range frames {
+		frames[i] = nil
+	}
+	ep.txFrames = frames[:0]
 }
 
 func (ep *Endpoint) sendAck(ctx *exec.Ctx, c *tcp.Conn, info *skb.AckInfo) {
@@ -197,18 +220,28 @@ func (ep *Endpoint) sendAck(ctx *exec.Ctx, c *tcp.Conn, info *skb.AckInfo) {
 	// peer's NIC steers it to the data sender's queue and socket.
 	f := ep.host.NIC.FramePool().Get()
 	f.Flow, f.Ack = ep.rxFlow, info
-	ep.host.NIC.SendFrames(ctx, []*skb.Frame{f})
+	ep.oneFrame[0] = f
+	ep.host.NIC.SendFrames(ctx, ep.oneFrame[:]) // copies the slice; safe to reuse
+	ep.oneFrame[0] = nil
 }
 
 func (ep *Endpoint) sendProbe(ctx *exec.Ctx, c *tcp.Conn) {
 	f := ep.host.NIC.FramePool().Get()
 	f.Flow = c.Flow()
-	ep.host.NIC.SendFrames(ctx, []*skb.Frame{f})
+	ep.oneFrame[0] = f
+	ep.host.NIC.SendFrames(ctx, ep.oneFrame[:]) // copies the slice; safe to reuse
+	ep.oneFrame[0] = nil
 }
 
 // recycleSKB returns a fully consumed skb to the host pair's pool (nil
-// pool = no-op, the GC takes it).
+// pool = no-op, the GC takes it). An attached AckInfo dies here — the skb
+// is the record's last reference — so it goes back to the frame pool the
+// peer's sendAck draws from.
 func (ep *Endpoint) recycleSKB(s *skb.SKB) {
+	if s.Ack != nil {
+		ep.host.NIC.FramePool().PutAck(s.Ack)
+		s.Ack = nil
+	}
 	ep.host.NIC.SKBPool().Put(s)
 }
 

@@ -236,16 +236,7 @@ func (h *Host) txComplete(flow skb.FlowID, bytes units.Bytes) {
 		return
 	}
 	ep.txCompScheduled = true
-	ep.softirq(func(ctx *exec.Ctx) {
-		ep.txCompScheduled = false
-		pend := ep.txCompPending
-		ep.txCompPending = 0
-		if pend == 0 {
-			return
-		}
-		ctx.Charge(cpumodel.Netdev, h.costs.TxComplete)
-		ep.conn.TxCompleted(ctx, pend)
-	})
+	ep.softirq(ep.txCompFn)
 }
 
 // installSteering (re)builds the NIC steering table from the endpoints

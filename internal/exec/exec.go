@@ -57,6 +57,26 @@ type System struct {
 	spanObs     SpanObserver
 	chargeLog   ChargeLogFunc
 	logPool     [][]FlowCharge
+	ctxPool     []*Ctx // recycled work-item contexts; dispatch is allocation-free in steady state
+}
+
+// getCtx hands out a zeroed work-item context from the free list.
+func (s *System) getCtx() *Ctx {
+	if n := len(s.ctxPool); n > 0 {
+		x := s.ctxPool[n-1]
+		s.ctxPool = s.ctxPool[:n-1]
+		return x
+	}
+	return &Ctx{}
+}
+
+// putCtx recycles a completed work-item context. Safe because a Ctx is
+// only ever passed down synchronous call chains — nothing retains one past
+// its item's completion. done stays set while pooled so a leaked handle
+// still trips the Charge-after-completion guard.
+func (s *System) putCtx(x *Ctx) {
+	*x = Ctx{done: true}
+	s.ctxPool = append(s.ctxPool, x)
 }
 
 // SpanObserver receives one callback per completed work item: the core it
@@ -252,6 +272,7 @@ type Core struct {
 	running  bool
 	current  *Thread // last thread context that ran (for switch detection)
 	softirq  []func(*Ctx)
+	sirqHead int       // dispatch position in softirq (head-indexed ring, compacted when drained)
 	runq     []*Thread // runnable threads, selected by min vruntime
 	minVR    units.Cycles
 	acct     cpumodel.Breakdown
@@ -351,7 +372,7 @@ func (c *Core) RaiseSoftirq(fn func(*Ctx)) {
 }
 
 // SoftirqBacklog returns the number of queued softirq items.
-func (c *Core) SoftirqBacklog() int { return len(c.softirq) }
+func (c *Core) SoftirqBacklog() int { return len(c.softirq) - c.sirqHead }
 
 // Wake makes t runnable from outside any work item (hardware events,
 // timer expiry). No wakeup cost is charged — use Ctx.Wake from inside
@@ -383,9 +404,14 @@ func (c *Core) dispatch() {
 		switchTo bool
 	)
 	switch {
-	case len(c.softirq) > 0:
-		fn = c.softirq[0]
-		c.softirq = c.softirq[1:]
+	case c.sirqHead < len(c.softirq):
+		fn = c.softirq[c.sirqHead]
+		c.softirq[c.sirqHead] = nil
+		c.sirqHead++
+		if c.sirqHead == len(c.softirq) {
+			c.softirq = c.softirq[:0]
+			c.sirqHead = 0
+		}
 	case len(c.runq) > 0:
 		thread = c.pickThread()
 		thread.state = stateRunning
@@ -395,7 +421,11 @@ func (c *Core) dispatch() {
 		return // idle
 	}
 	c.running = true
-	ctx := &Ctx{core: c, start: c.sys.eng.Now(), thread: thread}
+	ctx := c.sys.getCtx()
+	ctx.core = c
+	ctx.start = c.sys.eng.Now()
+	ctx.thread = thread
+	ctx.done = false
 	if c.sys.chargeLog != nil {
 		ctx.charges = c.sys.getLog()
 		ctx.logging = true
@@ -420,7 +450,14 @@ func (c *Core) dispatch() {
 		return
 	}
 	d := ctx.cycles.Duration(c.sys.spec.Frequency)
-	c.sys.eng.After(d, func() { c.complete(ctx) })
+	c.sys.eng.AfterArg(d, completeEv, ctx)
+}
+
+// completeEv is the work-item completion event; static so scheduling a
+// completion never allocates.
+func completeEv(a any) {
+	x := a.(*Ctx)
+	x.core.complete(x)
 }
 
 // pickThread removes and returns the next thread to run: the minimum
@@ -498,6 +535,7 @@ func (c *Core) complete(ctx *Ctx) {
 		t.willBlock = false
 	}
 	c.running = false
+	c.sys.putCtx(ctx)
 	c.dispatch()
 }
 
@@ -580,6 +618,12 @@ func (x *Ctx) Defer(fn func()) {
 	x.core.sys.eng.At(x.Now(), fn)
 }
 
+// DeferArg is Defer for hot paths: fn is typically a static function or a
+// stored method value, so deferring allocates nothing.
+func (x *Ctx) DeferArg(fn func(any), arg any) {
+	x.core.sys.eng.AtArg(x.Now(), fn, arg)
+}
+
 // Block marks the current thread as wanting to sleep at quantum end. Only
 // valid in thread context.
 func (x *Ctx) Block() {
@@ -606,7 +650,7 @@ func (x *Ctx) Wake(t *Thread) {
 	}
 	x.Charge(cpumodel.Sched, costs.Wakeup)
 	tc := t.core
-	if tc != x.core && !tc.running && len(tc.runq) == 0 && len(tc.softirq) == 0 {
+	if tc != x.core && !tc.running && len(tc.runq) == 0 && tc.SoftirqBacklog() == 0 {
 		x.Charge(cpumodel.Sched, costs.IdleWake)
 	}
 	if tc == x.core {
@@ -616,5 +660,8 @@ func (x *Ctx) Wake(t *Thread) {
 		return
 	}
 	// Cross-core: the wake lands at this item's logical time.
-	x.Defer(func() { t.wake() })
+	x.DeferArg(wakeEv, t)
 }
+
+// wakeEv is the cross-core wake event; static so waking never allocates.
+func wakeEv(a any) { a.(*Thread).wake() }

@@ -90,27 +90,33 @@ func (a *Allocator) SetPagesetCap(n int) {
 // from the core's pageset when available (cheap) and the global allocator
 // otherwise (expensive); they are placed on the core's NUMA node.
 func (a *Allocator) Alloc(ch cpumodel.Charger, core, n int) []Page {
+	return a.AppendAlloc(ch, core, n, nil)
+}
+
+// AppendAlloc is Alloc appending into dst, so hot paths can hand in a
+// reusable slice and avoid the per-call allocation.
+func (a *Allocator) AppendAlloc(ch cpumodel.Charger, core, n int, dst []Page) []Page {
 	if n < 0 {
 		panic(fmt.Sprintf("mem: Alloc(%d)", n))
 	}
 	node := a.spec.NodeOf(core)
-	out := make([]Page, 0, n)
+	want := len(dst) + n
 	fl := a.freelists[core]
-	for len(out) < n && len(fl) > 0 {
-		out = append(out, fl[len(fl)-1])
+	for len(dst) < want && len(fl) > 0 {
+		dst = append(dst, fl[len(fl)-1])
 		fl = fl[:len(fl)-1]
 		a.stats.AllocPCP++
 		ch.Charge(cpumodel.Memory, a.costs.PageAllocPCP)
 	}
 	a.freelists[core] = fl
-	for len(out) < n {
+	for len(dst) < want {
 		a.nextID++
-		out = append(out, Page{ID: a.nextID, Node: node})
+		dst = append(dst, Page{ID: a.nextID, Node: node})
 		a.stats.AllocGlobal++
 		ch.Charge(cpumodel.Memory, a.costs.PageAllocGlobal)
 	}
 	a.inUse += int64(n)
-	return out
+	return dst
 }
 
 // Free returns pages from code running on core. Local pages go back to the

@@ -171,7 +171,7 @@ type NIC struct {
 	// frame at a time — the frame-level interleaving of a multi-queue
 	// NIC's DMA scheduler. This is what breaks per-flow burst adjacency
 	// on the wire when many cores transmit (Fig. 8c).
-	txqs       map[int][]*skb.Frame
+	txqs       map[int]*txq
 	txOrder    []int
 	txNext     int
 	txBusy     bool
@@ -181,6 +181,8 @@ type NIC struct {
 	// caller's logical completion time (not yet in any Tx queue).
 	txPendingFrames  int
 	txPendingPayload units.Bytes
+	txDone           func() // bound pump-restart event, allocated once
+	txBatchFree      []*txBatch
 
 	tracer    *trace.Tracer // nil = no tracing
 	traceHost string
@@ -192,19 +194,37 @@ type NIC struct {
 	framePool *skb.FramePool
 }
 
+// txq is one core's egress queue: frames append at the tail and drain from
+// a head index, so the backing array is reused instead of reallocated by
+// front-slicing.
+type txq struct {
+	frames []*skb.Frame
+	head   int
+}
+
+func (t *txq) pending() int { return len(t.frames) - t.head }
+
 type rxQueue struct {
 	nic          *NIC
 	core         int
 	posted       int // descriptors with buffers available
 	stash        []mem.Page
-	stashDeficit int // pages taken by DMA since the last replenish
-	descDeficit  int // descriptors consumed since the last replenish
-	backlog      []*skb.Frame
+	stashDeficit int          // pages taken by DMA since the last replenish
+	descDeficit  int          // descriptors consumed since the last replenish
+	backlog      []*skb.Frame // arrivals append at the tail, NAPI drains from bhead
+	bhead        int
 	napi         bool // NAPI scheduled or running
 	modTimer     sim.Timer
 	irqPending   bool     // charge IRQEntry on next poll
 	gro          *skb.GRO // persistent across polls (always drained at poll end)
+
+	pollFn func(*exec.Ctx) // bound poll, allocated once
+	modFn  func()          // bound moderation-timer body, allocated once
+	out    []*skb.SKB      // per-poll delivery scratch
 }
+
+// pendingRx is the frames DMA-ed into the ring but not yet polled.
+func (q *rxQueue) pendingRx() int { return len(q.backlog) - q.bhead }
 
 // New builds a NIC. dca may be nil (DCA disabled). link is the egress
 // link; deliver is the Rx upcall.
@@ -221,7 +241,11 @@ func New(eng *sim.Engine, sys *exec.System, alloc *mem.Allocator, dca *cache.DCA
 		link: link, deliver: deliver,
 		steer:  RSS{Cores: []int{0}},
 		queues: make(map[int]*rxQueue),
-		txqs:   make(map[int][]*skb.Frame),
+		txqs:   make(map[int]*txq),
+	}
+	n.txDone = func() {
+		n.txBusy = false
+		n.pumpTx()
 	}
 	if dca != nil {
 		dca.SetHazard(n.DCAHazard())
@@ -266,6 +290,12 @@ func (n *NIC) queue(core int) *rxQueue {
 	q, ok := n.queues[core]
 	if !ok {
 		q = &rxQueue{nic: n, core: core, posted: n.cfg.RxRing}
+		q.pollFn = q.poll
+		q.modFn = func() {
+			if !q.napi && q.pendingRx() > 0 {
+				q.fireIRQ()
+			}
+		}
 		// Pre-fill the page stash for all posted descriptors, as the
 		// driver does at ifup. Boot-time cost is not accounted.
 		pages := n.cfg.RxRing * n.alloc.PagesFor(n.cfg.MTU)
@@ -316,8 +346,8 @@ func (n *NIC) RxBacklog() (int, units.Bytes) {
 	var frames int
 	var payload units.Bytes
 	for _, q := range n.queues {
-		frames += len(q.backlog)
-		for _, f := range q.backlog {
+		frames += q.pendingRx()
+		for _, f := range q.backlog[q.bhead:] {
 			payload += f.Len
 		}
 	}
@@ -345,9 +375,9 @@ func (n *NIC) GROHeld() (int, units.Bytes) {
 func (n *NIC) TxQueued() (int, units.Bytes) {
 	frames := n.txPendingFrames
 	payload := n.txPendingPayload
-	for _, fs := range n.txqs {
-		frames += len(fs)
-		for _, f := range fs {
+	for _, t := range n.txqs {
+		frames += t.pending()
+		for _, f := range t.frames[t.head:] {
 			payload += f.Len
 		}
 	}
@@ -410,27 +440,60 @@ func (n *NIC) RegisterQueueTelemetry(reg *telemetry.Registry, prefix string) {
 	reg.Gauge(prefix+"tx_queued_bytes", func() float64 { _, b := n.TxQueued(); return float64(b) })
 }
 
+// txBatch carries one SendFrames call's frames across the Defer to the
+// caller's logical completion time. Batches are pooled per NIC, and the
+// frame pointers are copied in, so callers may reuse their slice as soon
+// as SendFrames returns.
+type txBatch struct {
+	nic     *NIC
+	core    int
+	frames  []*skb.Frame
+	payload units.Bytes
+}
+
+func (n *NIC) getTxBatch() *txBatch {
+	if k := len(n.txBatchFree); k > 0 {
+		b := n.txBatchFree[k-1]
+		n.txBatchFree = n.txBatchFree[:k-1]
+		return b
+	}
+	return &txBatch{nic: n}
+}
+
+// sendFramesEv lands a deferred Tx batch in its queue; static so
+// SendFrames never allocates in steady state.
+func sendFramesEv(a any) {
+	b := a.(*txBatch)
+	n := b.nic
+	n.txPendingFrames -= len(b.frames)
+	n.txPendingPayload -= b.payload
+	n.enqueueTx(b.core, b.frames)
+	for i := range b.frames {
+		b.frames[i] = nil
+	}
+	b.frames = b.frames[:0]
+	b.payload = 0
+	n.txBatchFree = append(n.txBatchFree, b)
+}
+
 // SendFrames enqueues Tx frames on the calling core's Tx queue at the
 // context's logical time, charging the per-skb doorbell cost. The egress
-// scheduler drains queues round-robin at line rate.
+// scheduler drains queues round-robin at line rate. The slice is not
+// retained: callers may reuse it immediately.
 func (n *NIC) SendFrames(ctx *exec.Ctx, frames []*skb.Frame) {
 	if len(frames) == 0 {
 		return
 	}
 	ctx.Charge(cpumodel.Netdev, ctx.Costs().TxDoorbell)
-	core := ctx.Core().ID()
-	fs := frames
-	n.txPendingFrames += len(fs)
-	for _, f := range fs {
-		n.txPendingPayload += f.Len
+	b := n.getTxBatch()
+	b.core = ctx.Core().ID()
+	b.frames = append(b.frames, frames...)
+	for _, f := range frames {
+		b.payload += f.Len
 	}
-	ctx.Defer(func() {
-		n.txPendingFrames -= len(fs)
-		for _, f := range fs {
-			n.txPendingPayload -= f.Len
-		}
-		n.enqueueTx(core, fs)
-	})
+	n.txPendingFrames += len(b.frames)
+	n.txPendingPayload += b.payload
+	ctx.DeferArg(sendFramesEv, b)
 }
 
 // SendFramesNow is SendFrames for non-CPU contexts. It enqueues on queue
@@ -444,10 +507,13 @@ func (n *NIC) enqueueTx(core int, frames []*skb.Frame) {
 	for _, f := range frames {
 		n.stats.TxBytes += f.WireSize()
 	}
-	if _, ok := n.txqs[core]; !ok {
+	t, ok := n.txqs[core]
+	if !ok {
+		t = &txq{}
+		n.txqs[core] = t
 		n.txOrder = append(n.txOrder, core)
 	}
-	n.txqs[core] = append(n.txqs[core], frames...)
+	t.frames = append(t.frames, frames...)
 	n.pumpTx()
 }
 
@@ -467,22 +533,24 @@ func (n *NIC) pumpTx() {
 	if n.txComplete != nil && !f.IsAck() && f.Len > 0 {
 		n.txComplete(f.Flow, f.Len)
 	}
-	n.eng.After(n.link.Rate().Serialize(f.WireSize()), func() {
-		n.txBusy = false
-		n.pumpTx()
-	})
+	n.eng.After(n.link.Rate().Serialize(f.WireSize()), n.txDone)
 }
 
 func (n *NIC) nextTxFrame() *skb.Frame {
 	for i := 0; i < len(n.txOrder); i++ {
 		n.txNext = (n.txNext + 1) % len(n.txOrder)
-		q := n.txOrder[n.txNext]
-		frames := n.txqs[q]
-		if len(frames) == 0 {
+		t := n.txqs[n.txOrder[n.txNext]]
+		if t.head >= len(t.frames) {
 			continue
 		}
-		f := frames[0]
-		n.txqs[q] = frames[1:]
+		f := t.frames[t.head]
+		t.frames[t.head] = nil
+		t.head++
+		if t.head == len(t.frames) {
+			// Drained: rewind so the backing array is reused from the front.
+			t.frames = t.frames[:0]
+			t.head = 0
+		}
 		return f
 	}
 	return nil
@@ -543,7 +611,7 @@ func (n *NIC) ReceiveFromWire(f *skb.Frame) {
 // tryLRO coalesces f into the last backlog frame if contiguous, same-flow
 // and within the 64KB aggregate bound — hardware aggregation, no CPU cost.
 func (q *rxQueue) tryLRO(f *skb.Frame) bool {
-	if f.IsAck() || len(q.backlog) == 0 {
+	if f.IsAck() || q.pendingRx() == 0 {
 		return false
 	}
 	last := q.backlog[len(q.backlog)-1]
@@ -566,17 +634,13 @@ func (q *rxQueue) maybeInterrupt() {
 	if q.napi {
 		return // NAPI already scheduled/running; it will see the backlog
 	}
-	if len(q.backlog) >= q.nic.cfg.ModerationFrames {
+	if q.pendingRx() >= q.nic.cfg.ModerationFrames {
 		q.modTimer.Stop()
 		q.fireIRQ()
 		return
 	}
 	if !q.modTimer.Pending() {
-		q.modTimer = q.nic.eng.After(q.nic.cfg.ModerationDelay, func() {
-			if !q.napi && len(q.backlog) > 0 {
-				q.fireIRQ()
-			}
-		})
+		q.modTimer = q.nic.eng.After(q.nic.cfg.ModerationDelay, q.modFn)
 	}
 }
 
@@ -588,7 +652,7 @@ func (q *rxQueue) fireIRQ() {
 }
 
 func (q *rxQueue) scheduleNAPI() {
-	q.nic.sys.Core(q.core).RaiseSoftirq(q.poll)
+	q.nic.sys.Core(q.core).RaiseSoftirq(q.pollFn)
 }
 
 // poll is the NAPI handler: drain up to NAPIWeight frames, build skbs,
@@ -605,18 +669,18 @@ func (q *rxQueue) poll(ctx *exec.Ctx) {
 	ctx.Charge(cpumodel.Netdev, costs.NAPIPollBase)
 
 	budget := n.cfg.NAPIWeight
-	if budget > len(q.backlog) {
-		budget = len(q.backlog)
+	if budget > q.pendingRx() {
+		budget = q.pendingRx()
 	}
-	batch := q.backlog[:budget]
-	q.backlog = q.backlog[budget:]
+	batch := q.backlog[q.bhead : q.bhead+budget]
+	q.bhead += budget
 
 	useGRO := n.cfg.GRO && !n.cfg.LRO
 	if useGRO && q.gro == nil {
 		q.gro = skb.NewGROPooled(costs, n.skbPool, n.framePool)
 	}
 	consumed := 0
-	var out []*skb.SKB
+	out := q.out[:0]
 	for _, f := range batch {
 		f.Born = ctx.Now()
 		ctx.SetFlowTag(int32(f.Flow))
@@ -626,7 +690,7 @@ func (q *rxQueue) poll(ctx *exec.Ctx) {
 		ctx.Charge(cpumodel.Memory, costs.SKBAlloc)
 		n.alloc.DMAUnmap(ctx, len(f.Pages))
 		if useGRO {
-			out = append(out, q.gro.Receive(ctx, f)...)
+			out = q.gro.Receive(ctx, f, out)
 		} else {
 			s := n.skbPool.Get(f)
 			if n.skbPool != nil {
@@ -637,7 +701,7 @@ func (q *rxQueue) poll(ctx *exec.Ctx) {
 		}
 	}
 	if useGRO {
-		out = append(out, q.gro.Flush()...)
+		out = q.gro.Flush(out)
 	}
 	if n.tracer != nil && len(out) > 0 {
 		var bytes int64
@@ -656,25 +720,34 @@ func (q *rxQueue) poll(ctx *exec.Ctx) {
 		n.stats.RxDelivered += s.Len
 		n.deliver(ctx, s)
 	}
+	for i := range out {
+		out[i] = nil // delivered SKBs are recycled downstream; don't retain
+	}
+	q.out = out[:0]
 	ctx.SetFlowTag(0)
 
 	// Replenish: re-post the descriptors consumed since the last poll and
 	// restock exactly the pages DMA took from the stash.
 	if consumed > 0 {
 		if q.stashDeficit > 0 {
-			newPages := n.alloc.Alloc(ctx, q.core, q.stashDeficit)
-			n.alloc.DMAMap(ctx, len(newPages))
-			q.stash = append(q.stash, newPages...)
+			q.stash = n.alloc.AppendAlloc(ctx, q.core, q.stashDeficit, q.stash)
+			n.alloc.DMAMap(ctx, q.stashDeficit)
 			q.stashDeficit = 0
 		}
 		q.posted += q.descDeficit
 		q.descDeficit = 0
 	}
 
-	if len(q.backlog) > 0 {
+	for i := range batch {
+		batch[i] = nil // frames recycled (or owned by GRO/SKBs) — don't retain
+	}
+	if q.pendingRx() > 0 {
 		// More arrived than budget: stay in softirq (no new IRQ).
 		q.scheduleNAPI()
 		return
 	}
+	// Drained: rewind so the backing array is reused from the front.
+	q.backlog = q.backlog[:0]
+	q.bhead = 0
 	q.napi = false // napi_complete: re-arm interrupts
 }

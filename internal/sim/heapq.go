@@ -1,0 +1,93 @@
+package sim
+
+// heapSched is the reference scheduler: a hand-rolled binary min-heap
+// ordered by (at, seq). O(log n) per operation. It exists as the simple,
+// obviously-correct implementation the wheel is differentially tested
+// against (SchedHeap), and costs nothing when unused.
+type heapSched struct {
+	q []*event
+}
+
+func (h *heapSched) len() int { return len(h.q) }
+
+func (h *heapSched) less(i, j int) bool {
+	a, b := h.q[i], h.q[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *heapSched) swap(i, j int) {
+	h.q[i], h.q[j] = h.q[j], h.q[i]
+	h.q[i].idx = int32(i)
+	h.q[j].idx = int32(j)
+}
+
+func (h *heapSched) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *heapSched) down(i int) {
+	n := len(h.q)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && h.less(right, left) {
+			least = right
+		}
+		if !h.less(least, i) {
+			return
+		}
+		h.swap(i, least)
+		i = least
+	}
+}
+
+func (h *heapSched) schedule(ev *event) {
+	ev.loc = locHeap
+	ev.idx = int32(len(h.q))
+	h.q = append(h.q, ev)
+	h.up(len(h.q) - 1)
+}
+
+func (h *heapSched) unschedule(ev *event) {
+	i := int(ev.idx)
+	last := len(h.q) - 1
+	if i != last {
+		h.swap(i, last)
+	}
+	h.q[last] = nil
+	h.q = h.q[:last]
+	if i != last {
+		h.down(i)
+		h.up(i)
+	}
+	ev.loc = locNone
+}
+
+func (h *heapSched) popBefore(limit Time) *event {
+	if len(h.q) == 0 || h.q[0].at >= limit {
+		return nil
+	}
+	ev := h.q[0]
+	last := len(h.q) - 1
+	if last > 0 {
+		h.swap(0, last)
+	}
+	h.q[last] = nil
+	h.q = h.q[:last]
+	h.down(0)
+	ev.loc = locNone
+	return ev
+}

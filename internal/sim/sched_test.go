@@ -1,0 +1,343 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// schedKinds enumerates the scheduler implementations under test. Every
+// behavioral test in this file runs against all of them: the heap is the
+// reference, the wheel must be indistinguishable from it.
+var schedKinds = []string{SchedHeap, SchedWheel}
+
+func forEachSched(t *testing.T, f func(t *testing.T, kind string)) {
+	t.Helper()
+	for _, kind := range schedKinds {
+		t.Run(kind, func(t *testing.T) { f(t, kind) })
+	}
+}
+
+// TestTimerEdgeCases is the shared table of Timer.Stop/Reset corner
+// semantics: both schedulers must agree on every row.
+func TestTimerEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T, e *Engine)
+	}{
+		{"stop after fire reports false", func(t *testing.T, e *Engine) {
+			tm := e.At(5, func() {})
+			e.Run(10)
+			if tm.Stop() {
+				t.Error("Stop after firing should report false")
+			}
+			if tm.Pending() {
+				t.Error("fired timer should not be pending")
+			}
+		}},
+		{"stop twice reports false second time", func(t *testing.T, e *Engine) {
+			tm := e.At(5, func() {})
+			if !tm.Stop() || tm.Stop() {
+				t.Error("Stop must report true then false")
+			}
+		}},
+		{"reset to past panics", func(t *testing.T, e *Engine) {
+			tm := e.At(100, func() {})
+			e.At(50, func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("Reset before now should panic")
+					}
+				}()
+				tm.Reset(10)
+			})
+			e.Run(1000)
+		}},
+		{"reset to same tick moves to back of FIFO", func(t *testing.T, e *Engine) {
+			var order []string
+			x := e.At(100, func() { order = append(order, "x") })
+			e.At(100, func() { order = append(order, "y") })
+			if !x.Reset(100) {
+				t.Fatal("Reset to the same time should succeed")
+			}
+			e.Run(1000)
+			if len(order) != 2 || order[0] != "y" || order[1] != "x" {
+				t.Errorf("fire order = %v, want [y x]", order)
+			}
+		}},
+		{"reset to current tick from inside a callback", func(t *testing.T, e *Engine) {
+			var order []string
+			var tm Timer
+			e.At(100, func() {
+				order = append(order, "a")
+				// tm is pending at 200; pull it into the tick being
+				// dispatched right now. It must join the back of this
+				// tick's batch.
+				tm.Reset(100)
+			})
+			tm = e.At(200, func() { order = append(order, "b") })
+			e.At(100, func() { order = append(order, "c") })
+			e.Run(1000)
+			if len(order) != 3 || order[0] != "a" || order[1] != "c" || order[2] != "b" {
+				t.Errorf("fire order = %v, want [a c b]", order)
+			}
+		}},
+		{"stop same-tick sibling from inside a callback", func(t *testing.T, e *Engine) {
+			var order []string
+			var victim Timer
+			e.At(100, func() {
+				order = append(order, "a")
+				if !victim.Stop() {
+					t.Error("stopping a pending same-tick sibling should succeed")
+				}
+			})
+			victim = e.At(100, func() { order = append(order, "victim") })
+			e.At(100, func() { order = append(order, "b") })
+			e.Run(1000)
+			if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+				t.Errorf("fire order = %v, want [a b]", order)
+			}
+		}},
+		{"reset far future then near", func(t *testing.T, e *Engine) {
+			fired := Time(-1)
+			tm := e.At(10, func() { fired = e.Now() })
+			// Far past the wheel span (forces the overflow ladder), then
+			// back near.
+			if !tm.Reset(Time(1) << 50) {
+				t.Fatal("Reset to far future should succeed")
+			}
+			if !tm.Reset(77) {
+				t.Fatal("Reset back near should succeed")
+			}
+			e.Run(1000)
+			if fired != 77 {
+				t.Errorf("timer fired at %v, want 77", fired)
+			}
+		}},
+		{"stale handle after recycle", func(t *testing.T, e *Engine) {
+			stale := e.At(10, func() {})
+			e.Run(20)
+			fresh := e.At(30, func() {})
+			if stale.Pending() || stale.Stop() || stale.Reset(40) {
+				t.Error("stale handle must not touch the recycled event")
+			}
+			if !fresh.Pending() {
+				t.Error("fresh timer lost its schedule to a stale handle")
+			}
+		}},
+		{"zero timer is inert", func(t *testing.T, e *Engine) {
+			var tm Timer
+			if tm.Pending() || tm.Stop() || tm.Reset(10) {
+				t.Error("zero Timer must be permanently inert")
+			}
+		}},
+	}
+	forEachSched(t, func(t *testing.T, kind string) {
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				tc.run(t, NewEngineSched(1, kind))
+			})
+		}
+	})
+}
+
+// traceRec is one dispatched event: when it fired and which logical event
+// it was. Equal traces mean equal dispatch order.
+type traceRec struct {
+	at Time
+	id int
+}
+
+// dispatchTrace drives one engine through a randomized workload derived
+// deterministically from seed — mixed timescales (same-tick collisions
+// through overflow-ladder far futures), Stop/Reset churn from inside
+// callbacks, and multiple Run segments with non-decreasing horizons — and
+// records the (time, id) dispatch sequence. The RNG is consumed inside
+// callbacks too, so the streams only stay aligned between two engines if
+// their dispatch orders are identical; any divergence cascades into an
+// obvious trace mismatch.
+func dispatchTrace(kind string, seed int64) ([]traceRec, int) {
+	e := NewEngineSched(seed, kind)
+	rng := rand.New(rand.NewSource(seed))
+	var trace []traceRec
+	var timers []Timer
+	nextID := 0
+	var schedule func(depth int)
+	schedule = func(depth int) {
+		id := nextID
+		nextID++
+		var d Time
+		switch rng.Intn(8) {
+		case 0:
+			d = 0 // same tick
+		case 1:
+			d = Time(rng.Intn(64)) // level 0/1
+		case 2:
+			d = Time(rng.Intn(10_000))
+		case 3:
+			d = Time(rng.Intn(1_000_000))
+		case 4:
+			d = Time(rng.Intn(1_000_000_000)) // RTO-ish
+		case 5:
+			d = wheelSpan + Time(rng.Intn(1_000_000)) // overflow ladder
+		default:
+			d = Time(rng.Intn(4096))
+		}
+		tm := e.At(e.Now()+d, func() {
+			trace = append(trace, traceRec{e.Now(), id})
+			if depth >= 3 {
+				return
+			}
+			switch rng.Intn(5) {
+			case 0, 1: // schedule more from inside the dispatch
+				schedule(depth + 1)
+			case 2: // stop a random timer (possibly a same-tick sibling)
+				timers[rng.Intn(len(timers))].Stop()
+			case 3: // reset a random timer (possibly to this very tick)
+				timers[rng.Intn(len(timers))].Reset(e.Now() + Time(rng.Intn(1000)))
+			case 4: // no churn
+			}
+		})
+		timers = append(timers, tm)
+	}
+	horizon := Time(0)
+	for seg := 0; seg < 6; seg++ {
+		for i := 0; i < 50; i++ {
+			schedule(0)
+		}
+		horizon += Time(rng.Intn(2_000_000) + 1)
+		e.Run(horizon)
+	}
+	// Final drain far enough to pull the overflow ladder in.
+	e.Run(horizon + 2*wheelSpan)
+	return trace, e.Pending()
+}
+
+// TestSchedulerEquivalence cross-checks the wheel against the heap on
+// randomized workloads: identical dispatch sequences (times, identities,
+// same-tick FIFO order) and identical leftover counts.
+func TestSchedulerEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		wt, wp := dispatchTrace(SchedWheel, seed)
+		ht, hp := dispatchTrace(SchedHeap, seed)
+		if len(wt) != len(ht) {
+			t.Fatalf("seed %d: wheel fired %d events, heap %d", seed, len(wt), len(ht))
+		}
+		for i := range wt {
+			if wt[i] != ht[i] {
+				t.Fatalf("seed %d: dispatch %d diverged: wheel %+v, heap %+v",
+					seed, i, wt[i], ht[i])
+			}
+		}
+		if wp != hp {
+			t.Fatalf("seed %d: pending after drain: wheel %d, heap %d", seed, wp, hp)
+		}
+	}
+}
+
+// runScript interprets data as a deterministic op stream against one
+// engine: schedule (with a delta whose shift can reach the overflow
+// ladder), stop, reset, and run-to-horizon. Returns the dispatch trace and
+// the leftover pending count.
+func runScript(kind string, data []byte) ([]traceRec, int) {
+	e := NewEngineSched(1, kind)
+	var trace []traceRec
+	var timers []Timer
+	id := 0
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	for pos < len(data) {
+		switch next() % 4 {
+		case 0: // schedule at now + (b << s), s up to 44 to reach overflow
+			b, s := Time(next()), uint(next())%45
+			myID := id
+			id++
+			timers = append(timers, e.At(e.Now()+(b<<s), func() {
+				trace = append(trace, traceRec{e.Now(), myID})
+			}))
+		case 1: // stop
+			if len(timers) > 0 {
+				timers[int(next())%len(timers)].Stop()
+			}
+		case 2: // reset to now + delta (never the past)
+			if len(timers) > 0 {
+				i := int(next()) % len(timers)
+				timers[i].Reset(e.Now() + Time(next()))
+			}
+		case 3: // run forward (horizons are strictly non-decreasing)
+			e.Run(e.Now() + Time(next())*17 + 1)
+		}
+	}
+	e.Run(e.Now() + Time(1)<<21)
+	return trace, e.Pending()
+}
+
+// FuzzScheduler feeds the same op script to both schedulers and requires
+// identical dispatch traces, with the heap as the oracle.
+func FuzzScheduler(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 0, 20, 0, 3, 200})
+	f.Add([]byte{0, 255, 40, 0, 1, 0, 3, 9, 0, 3, 3, 1, 0, 2, 0, 77, 3, 255})
+	f.Add([]byte{0, 1, 0, 0, 1, 0, 0, 1, 0, 2, 0, 0, 3, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			return
+		}
+		wt, wp := runScript(SchedWheel, data)
+		ht, hp := runScript(SchedHeap, data)
+		if len(wt) != len(ht) || wp != hp {
+			t.Fatalf("wheel fired %d (pending %d), heap fired %d (pending %d)",
+				len(wt), wp, len(ht), hp)
+		}
+		for i := range wt {
+			if wt[i] != ht[i] {
+				t.Fatalf("dispatch %d diverged: wheel %+v, heap %+v", i, wt[i], ht[i])
+			}
+		}
+	})
+}
+
+// TestEngineDefaultIsWheel pins the default scheduler choice.
+func TestEngineDefaultIsWheel(t *testing.T) {
+	if _, ok := NewEngine(1).sched.(*wheel); !ok {
+		t.Error("NewEngine should default to the timing wheel")
+	}
+}
+
+// TestNewEngineSchedUnknownPanics pins the constructor's validation.
+func TestNewEngineSchedUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown scheduler kind should panic")
+		}
+	}()
+	NewEngineSched(1, "bogus")
+}
+
+// TestSchedulerEquivalenceLongHaul exercises repeated cascades: sparse
+// timers marching across many wheel slots and levels over a long horizon.
+func TestSchedulerEquivalenceLongHaul(t *testing.T) {
+	for _, kind := range schedKinds {
+		e := NewEngineSched(9, kind)
+		var fired []Time
+		var tick func()
+		tick = func() {
+			fired = append(fired, e.Now())
+			if len(fired) < 500 {
+				// Strides chosen to straddle slot and level boundaries.
+				e.After(time.Duration(63+len(fired)*641), tick)
+			}
+		}
+		e.At(0, tick)
+		e.Run(Time(1) << 40)
+		if len(fired) != 500 {
+			t.Fatalf("%s: fired %d, want 500", kind, len(fired))
+		}
+	}
+}

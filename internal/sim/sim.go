@@ -1,21 +1,30 @@
 // Package sim implements the discrete-event simulation engine at the heart
 // of hostsim.
 //
-// The engine owns a virtual clock (nanosecond resolution), a binary-heap
-// event queue, and a seeded random source. Everything in a simulation —
-// packet arrivals, CPU work completions, timers — is an event. The engine
-// is strictly single-threaded and deterministic: events at the same
+// The engine owns a virtual clock (nanosecond resolution), a pluggable
+// event scheduler, and a seeded random source. Everything in a simulation
+// — packet arrivals, CPU work completions, timers — is an event. The
+// engine is strictly single-threaded and deterministic: events at the same
 // timestamp fire in scheduling order, and all randomness flows from the
 // engine's seed.
 //
+// Two scheduler implementations exist behind one contract (dispatch in
+// (time, scheduling-sequence) order):
+//
+//   - SchedWheel (the default): a hierarchical timing wheel with an
+//     overflow ladder — amortized O(1) schedule/cancel/expire, same-tick
+//     events dispatched as a seq-sorted batch. See wheel.go.
+//   - SchedHeap: the classic binary heap, O(log n) per operation. Kept as
+//     the differential-testing reference; see heapq.go.
+//
 // The scheduling fast path is allocation-free in steady state: fired and
-// stopped events return to a per-engine free list, and Timer.Reset
-// reschedules a pending timer in place via heap.Fix instead of a
-// remove-allocate-push cycle.
+// stopped events return to a per-engine free list, Timer.Reset reschedules
+// a pending timer in place, and the AtArg/AfterArg variants carry a
+// pointer argument into the callback so call sites need no capturing
+// closure.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -25,6 +34,9 @@ import (
 // run.
 type Time int64
 
+// maxTime is the horizon used when no bound applies (Step).
+const maxTime = Time(1<<63 - 1)
+
 // Duration converts t to a time.Duration from the simulation epoch.
 func (t Time) Duration() time.Duration { return time.Duration(t) }
 
@@ -33,15 +45,56 @@ func (t Time) Add(d time.Duration) Time { return t + Time(d) }
 
 func (t Time) String() string { return time.Duration(t).String() }
 
+// Scheduler kinds accepted by NewEngineSched.
+const (
+	SchedWheel = "wheel" // hierarchical timing wheel + overflow ladder (default)
+	SchedHeap  = "heap"  // binary heap (reference implementation)
+)
+
+// location says where a pending event currently lives. Values 0 through
+// numLevels-1 are wheel levels; the named values cover everything else.
+type location int8
+
+const (
+	locNone     location = -1            // not pending: fired, stopped, or never scheduled
+	locOverflow location = numLevels     // wheel overflow ladder
+	locBatch    location = numLevels + 1 // wheel same-tick dispatch batch
+	locHeap     location = numLevels + 2 // binary-heap queue
+)
+
 // An event is a callback scheduled at a time. seq breaks timestamp ties in
 // FIFO order so the simulation is deterministic; it also doubles as the
 // generation guard that keeps stale Timer handles from touching a pooled
 // event after it has been recycled for a new schedule.
+//
+// An event carries either fn (niladic) or fnA+arg (one-argument): the
+// argument form lets hot paths schedule a prebound function with a pointer
+// payload instead of allocating a capturing closure per event.
 type event struct {
-	at    Time
-	seq   uint64
-	fn    func()
-	index int // heap index; -1 once popped or cancelled
+	at  Time
+	seq uint64
+	fn  func()
+	fnA func(any)
+	arg any
+	loc location // where the event lives; locNone once popped or cancelled
+	idx int32    // index within its container (heap, bucket, batch, or overflow)
+}
+
+// scheduler is the pending-event store. Both implementations dispatch in
+// strictly ascending (at, seq) order; the engine owns now, seq assignment
+// and the free list.
+type scheduler interface {
+	schedule(*event)   // insert a pending event (at, seq set)
+	unschedule(*event) // remove a pending event (Stop, Reset)
+	// popBefore removes and returns the earliest pending event by
+	// (at, seq), or nil if the queue is empty or the earliest event is at
+	// or past limit. The wheel implementation relies on limit for
+	// correctness: it never advances its internal clock floor past a
+	// returned limit, which keeps every future schedule (at >= now) ahead
+	// of the floor. Consequently Run horizons must not move backward
+	// across calls; hostsim's warmup-then-measure horizons are monotone.
+	popBefore(limit Time) *event
+	len() int
 }
 
 // Timer is a handle to a scheduled event that may be cancelled or
@@ -56,7 +109,7 @@ type Timer struct {
 // valid reports whether the handle still refers to its own live event
 // (pending in the queue, not fired, not recycled).
 func (t *Timer) valid() bool {
-	return t != nil && t.e != nil && t.e.seq == t.seq && t.e.index >= 0
+	return t != nil && t.e != nil && t.e.seq == t.seq && t.e.loc != locNone
 }
 
 // Stop cancels the timer. It reports whether the timer was pending (false
@@ -71,7 +124,7 @@ func (t *Timer) Stop() bool {
 		t.e = nil
 		return false
 	}
-	heap.Remove(&t.eng.q, t.e.index)
+	t.eng.sched.unschedule(t.e)
 	t.eng.release(t.e)
 	t.e = nil
 	return true
@@ -90,11 +143,10 @@ func (t *Timer) When() Time {
 }
 
 // Reset reschedules a pending timer to fire at absolute time at, keeping
-// its callback. The event is moved in place with heap.Fix — no allocation,
-// no queue churn. Like a fresh schedule, the reset timer moves to the back
-// of the FIFO tie-break order at its new timestamp. Reset reports whether
-// the timer was pending; a fired or stopped timer cannot be revived —
-// schedule a new one instead.
+// its callback. The event is re-placed without allocation. Like a fresh
+// schedule, the reset timer moves to the back of the FIFO tie-break order
+// at its new timestamp. Reset reports whether the timer was pending; a
+// fired or stopped timer cannot be revived — schedule a new one instead.
 func (t *Timer) Reset(at Time) bool {
 	if !t.valid() {
 		return false
@@ -104,57 +156,45 @@ func (t *Timer) Reset(at Time) bool {
 		panic(fmt.Sprintf("sim: resetting timer to %v before now %v", at, eng.now))
 	}
 	ev := t.e
+	eng.sched.unschedule(ev)
 	ev.at = at
 	ev.seq = eng.seq
 	eng.seq++
 	t.seq = ev.seq
-	heap.Fix(&eng.q, ev.index)
+	eng.sched.schedule(ev)
 	return true
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
 }
 
 // Engine drives a simulation run.
 type Engine struct {
 	now    Time
-	q      eventQueue
 	seq    uint64
 	rng    *rand.Rand
 	fired  uint64
 	halted bool
+	sched  scheduler
 	free   []*event // recycled event structs (steady-state scheduling is allocation-free)
 }
 
-// NewEngine returns an engine whose random source is seeded with seed.
-func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+// NewEngine returns an engine whose random source is seeded with seed,
+// using the default wheel scheduler.
+func NewEngine(seed int64) *Engine { return NewEngineSched(seed, SchedWheel) }
+
+// NewEngineSched returns an engine using the named scheduler kind
+// (SchedWheel or SchedHeap). The two kinds dispatch any workload in an
+// identical order; heap is retained as the differential-testing reference.
+// Unknown kinds panic.
+func NewEngineSched(seed int64, kind string) *Engine {
+	e := &Engine{rng: rand.New(rand.NewSource(seed))}
+	switch kind {
+	case SchedWheel:
+		e.sched = newWheel()
+	case SchedHeap:
+		e.sched = &heapSched{}
+	default:
+		panic(fmt.Sprintf("sim: unknown scheduler kind %q", kind))
+	}
+	return e
 }
 
 // Now returns the current simulated time.
@@ -164,7 +204,7 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // Pending returns the number of scheduled events.
-func (e *Engine) Pending() int { return len(e.q) }
+func (e *Engine) Pending() int { return e.sched.len() }
 
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
@@ -176,34 +216,52 @@ func (e *Engine) alloc() *event {
 		e.free = e.free[:n-1]
 		return ev
 	}
-	return &event{}
+	return &event{loc: locNone}
 }
 
 // release returns a fired or cancelled event to the free list. The seq it
 // carries stays in place until the struct is reused, so stale Timer
-// handles see index == -1 (not pending) now and a mismatched seq later.
+// handles see locNone (not pending) now and a mismatched seq later.
 func (e *Engine) release(ev *event) {
 	ev.fn = nil
-	ev.index = -1
+	ev.fnA = nil
+	ev.arg = nil
+	ev.loc = locNone
 	e.free = append(e.free, ev)
 }
 
-// At schedules fn at absolute time t and returns a cancellable Timer.
-// Scheduling in the past panics: it always indicates a logic error.
-func (e *Engine) At(t Time, fn func()) Timer {
+func (e *Engine) scheduleAt(t Time, fn func(), fnA func(any), arg any) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
-	}
-	if fn == nil {
-		panic("sim: scheduling nil event")
 	}
 	ev := e.alloc()
 	ev.at = t
 	ev.seq = e.seq
 	ev.fn = fn
+	ev.fnA = fnA
+	ev.arg = arg
 	e.seq++
-	heap.Push(&e.q, ev)
+	e.sched.schedule(ev)
 	return Timer{e: ev, eng: e, seq: ev.seq}
+}
+
+// At schedules fn at absolute time t and returns a cancellable Timer.
+// Scheduling in the past panics: it always indicates a logic error.
+func (e *Engine) At(t Time, fn func()) Timer {
+	if fn == nil {
+		panic("sim: scheduling nil event")
+	}
+	return e.scheduleAt(t, fn, nil, nil)
+}
+
+// AtArg schedules fn(arg) at absolute time t. It is At for hot paths: the
+// callback is typically a prebound method value stored once per object, so
+// scheduling allocates nothing (a pointer-shaped arg boxes for free).
+func (e *Engine) AtArg(t Time, fn func(any), arg any) Timer {
+	if fn == nil {
+		panic("sim: scheduling nil event")
+	}
+	return e.scheduleAt(t, nil, fn, arg)
 }
 
 // After schedules fn after delay d.
@@ -212,6 +270,14 @@ func (e *Engine) After(d time.Duration, fn func()) Timer {
 		d = 0
 	}
 	return e.At(e.now.Add(d), fn)
+}
+
+// AfterArg schedules fn(arg) after delay d.
+func (e *Engine) AfterArg(d time.Duration, fn func(any), arg any) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.AtArg(e.now.Add(d), fn, arg)
 }
 
 // Halt stops the run loop after the current event returns.
@@ -225,20 +291,15 @@ func (e *Engine) Halt() { e.halted = true }
 // not run, so a run to horizon H observes the half-open interval [0, H).
 func (e *Engine) Run(horizon Time) Time {
 	e.halted = false
-	for len(e.q) > 0 && !e.halted {
-		next := e.q[0]
-		if next.at >= horizon {
+	for e.sched.len() > 0 && !e.halted {
+		ev := e.sched.popBefore(horizon)
+		if ev == nil {
 			e.now = horizon
 			return e.now
 		}
-		heap.Pop(&e.q)
-		e.now = next.at
-		e.fired++
-		fn := next.fn
-		e.release(next)
-		fn()
+		e.dispatch(ev)
 	}
-	if e.now < horizon && len(e.q) == 0 {
+	if e.now < horizon && e.sched.len() == 0 {
 		// Queue drained before the horizon: time still advances to it so
 		// rate metrics divide by the full window.
 		e.now = horizon
@@ -248,14 +309,25 @@ func (e *Engine) Run(horizon Time) Time {
 
 // Step executes the single next event, if any, and reports whether one ran.
 func (e *Engine) Step() bool {
-	if len(e.q) == 0 {
+	ev := e.sched.popBefore(maxTime)
+	if ev == nil {
 		return false
 	}
-	next := heap.Pop(&e.q).(*event)
-	e.now = next.at
-	e.fired++
-	fn := next.fn
-	e.release(next)
-	fn()
+	e.dispatch(ev)
 	return true
+}
+
+// dispatch advances the clock to ev, recycles the record, and runs the
+// callback. The callback fields are read out first: the event struct may
+// be reused for a schedule performed inside the callback itself.
+func (e *Engine) dispatch(ev *event) {
+	e.now = ev.at
+	e.fired++
+	fn, fnA, arg := ev.fn, ev.fnA, ev.arg
+	e.release(ev)
+	if fnA != nil {
+		fnA(arg)
+	} else {
+		fn()
+	}
 }

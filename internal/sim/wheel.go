@@ -1,0 +1,337 @@
+package sim
+
+import (
+	"math/bits"
+	"slices"
+)
+
+// wheel is the default scheduler: a hierarchical timing wheel with an
+// overflow ladder, tuned to the simulator's event-time distribution —
+// dense near-future NIC/softirq/wire events at nanosecond granularity,
+// sparse far-future RTO and application timers.
+//
+// # Geometry
+//
+// Seven levels of 64 slots each. A level-k slot spans 64^k ns, so the
+// wheel proper covers 64^7 ns = 2^42 ns (≈73 simulated minutes) past the
+// wheel's base time; anything farther sits in the overflow ladder (a flat
+// list, scanned only when the wheel would otherwise run dry or the
+// ladder's head comes due — both rare, since runs last milliseconds).
+//
+// An event at absolute time `at` lives at the level of the highest bit
+// block in which `at` differs from base (Linux-timer-wheel style), in slot
+// (at >> 6k) & 63. Two consequences make the wheel exact rather than
+// approximate:
+//
+//   - every event in a level-0 slot shares the identical timestamp (the
+//     slot IS the tick), and
+//   - a slot never mixes laps: all events in a level-k slot share their
+//     address bits above 6k with base, so per-level occupancy bitmaps give
+//     find-next-slot in O(1) with no empty-slot scans.
+//
+// Advancing to the next event repeatedly takes the earliest occupied slot
+// across levels (one TrailingZeros64 per level); a level-0 slot is an
+// exact tick, a higher-level slot is cascaded: its events re-place into
+// strictly lower levels after base advances to the slot start. Each event
+// cascades at most numLevels-1 times over its lifetime, so schedule +
+// expire is amortized O(1).
+//
+// # Determinism contract
+//
+// Dispatch order is identical to the binary heap's: strictly ascending
+// (at, seq). Same-tick events are dispatched as a batch — the level-0
+// slot is drained and sorted by scheduling sequence (stable FIFO), and
+// events scheduled AT the current tick from inside a batch callback join
+// the back of the same tick's dispatch (they land in the just-emptied
+// slot, which is re-drained when the batch exhausts; their seq is higher
+// than everything already dispatched, preserving FIFO). Timer.Stop and
+// Timer.Reset work mid-batch: batch entries are nilled in place, and a
+// reset re-places the event under its new (at, seq).
+type wheel struct {
+	base Time // wheel time floor: base <= at for every pending event
+	n    int  // pending events, everywhere (levels + overflow + batch)
+
+	occ  [numLevels]uint64             // per-level slot occupancy bitmaps
+	slot [numLevels][numSlots][]*event // slot buckets; backing arrays are reused
+
+	overflow []*event // the ladder: events ≥ wheelSpan past base
+	ovfMin   Time     // lower bound on the earliest overflow event (exact after migrate)
+
+	batch     []*event // current tick's dispatch batch, seq-sorted; nil = cancelled
+	batchPos  int      // next batch entry to dispatch
+	batchLive int      // non-nil entries remaining in batch[batchPos:]
+	batchTick Time
+}
+
+const (
+	slotBits  = 6
+	numSlots  = 1 << slotBits
+	slotMask  = numSlots - 1
+	numLevels = 7
+	// wheelSpan is how far past base the wheel proper reaches; beyond it
+	// events go to the overflow ladder.
+	wheelSpan = Time(1) << (slotBits * numLevels)
+)
+
+func newWheel() *wheel { return &wheel{} }
+
+func (w *wheel) len() int { return w.n }
+
+// levelOf returns the level for an event at absolute time at (>= base):
+// the block index of the highest bit in which at differs from base.
+// Returns numLevels for times past the wheel span (overflow).
+func (w *wheel) levelOf(at Time) int {
+	x := uint64(at ^ w.base)
+	if x == 0 {
+		return 0
+	}
+	lvl := (bits.Len64(x) - 1) / slotBits
+	if lvl > numLevels {
+		lvl = numLevels
+	}
+	return lvl
+}
+
+func (w *wheel) schedule(ev *event) {
+	w.n++
+	w.place(ev)
+}
+
+// place inserts ev into the level/slot (or overflow) addressed by ev.at
+// relative to the current base. Pending-count bookkeeping is the caller's.
+func (w *wheel) place(ev *event) {
+	if ev.at < w.base {
+		// Unreachable under the popBefore contract (base never passes a
+		// Run horizon, and schedules happen at >= now). A hit means a Run
+		// horizon moved backward across calls.
+		panic("sim: scheduling below wheel base; Run horizons must not decrease")
+	}
+	lvl := w.levelOf(ev.at)
+	if lvl >= numLevels {
+		ev.loc = locOverflow
+		ev.idx = int32(len(w.overflow))
+		if len(w.overflow) == 0 || ev.at < w.ovfMin {
+			w.ovfMin = ev.at
+		}
+		w.overflow = append(w.overflow, ev)
+		return
+	}
+	s := int(ev.at>>(uint(lvl)*slotBits)) & slotMask
+	b := w.slot[lvl][s]
+	ev.loc = location(lvl)
+	ev.idx = int32(len(b))
+	w.slot[lvl][s] = append(b, ev)
+	w.occ[lvl] |= 1 << uint(s)
+}
+
+func (w *wheel) unschedule(ev *event) {
+	switch ev.loc {
+	case locBatch:
+		w.batch[ev.idx] = nil
+		w.batchLive--
+	case locOverflow:
+		last := len(w.overflow) - 1
+		moved := w.overflow[last]
+		w.overflow[ev.idx] = moved
+		moved.idx = ev.idx
+		w.overflow[last] = nil
+		w.overflow = w.overflow[:last]
+		// ovfMin may now be stale-low; that only costs a spurious rescan
+		// in migrate, never a missed event.
+	default: // a wheel level
+		lvl := int(ev.loc)
+		s := int(ev.at>>(uint(lvl)*slotBits)) & slotMask
+		b := w.slot[lvl][s]
+		last := len(b) - 1
+		moved := b[last]
+		b[ev.idx] = moved
+		moved.idx = ev.idx
+		b[last] = nil
+		w.slot[lvl][s] = b[:last]
+		if last == 0 {
+			w.occ[lvl] &^= 1 << uint(s)
+		}
+	}
+	ev.loc = locNone
+	w.n--
+}
+
+// popBefore returns the earliest pending event if its time is below limit,
+// else nil. The limit is load-bearing: base only ever advances toward a
+// target (tick, cascade start, or ladder head) already proven < limit, so
+// base never passes the engine clock the caller is about to settle on —
+// which is what keeps every future schedule (at >= now > base) addressable
+// by the wheel.
+func (w *wheel) popBefore(limit Time) *event {
+	for {
+		if w.batchLive > 0 {
+			if w.batchTick >= limit {
+				return nil
+			}
+			for w.batchPos < len(w.batch) {
+				ev := w.batch[w.batchPos]
+				w.batch[w.batchPos] = nil
+				w.batchPos++
+				if ev == nil {
+					continue // stopped (or reset away) mid-batch
+				}
+				w.batchLive--
+				w.n--
+				ev.loc = locNone
+				return ev
+			}
+		}
+		if w.n == 0 {
+			return nil
+		}
+		var best Time
+		bestLvl, bestSlot := -1, 0
+		for lvl := 0; lvl < numLevels; lvl++ {
+			occ := w.occ[lvl]
+			if occ == 0 {
+				continue
+			}
+			shift := uint(lvl) * slotBits
+			cur := int(w.base>>shift) & slotMask
+			m := occ &^ (1<<uint(cur) - 1)
+			if m == 0 {
+				panic("sim: wheel occupancy behind cursor")
+			}
+			s := bits.TrailingZeros64(m)
+			lap := w.base &^ (Time(1)<<(shift+slotBits) - 1)
+			start := lap | Time(s)<<shift
+			// A tie prefers the higher level: its slot is a range that may
+			// contain events at this very tick, so it must cascade first.
+			if bestLvl < 0 || start <= best {
+				best, bestLvl, bestSlot = start, lvl, s
+			}
+		}
+		if len(w.overflow) > 0 && (bestLvl < 0 || w.ovfMin <= best) {
+			// The ladder head might be due before the wheel's candidate;
+			// pin it down exactly (ovfMin can be stale-low after removals).
+			head := w.overflow[0].at
+			for _, ev := range w.overflow[1:] {
+				if ev.at < head {
+					head = ev.at
+				}
+			}
+			w.ovfMin = head
+			if bestLvl < 0 || head <= best {
+				if head >= limit {
+					return nil
+				}
+				w.migrate(head)
+				continue
+			}
+		}
+		if bestLvl < 0 {
+			return nil
+		}
+		if best >= limit {
+			// Everything pending lies at or past limit: the candidate slot's
+			// start is a lower bound on its contents. Crucially base does NOT
+			// advance, so events the caller schedules in [now, limit) remain
+			// ahead of base.
+			return nil
+		}
+		if bestLvl == 0 {
+			w.startBatch(best)
+			continue
+		}
+		w.cascade(bestLvl, bestSlot, best)
+	}
+}
+
+// cascade advances base to the start of a higher-level slot and re-places
+// its events; each lands at a strictly lower level.
+func (w *wheel) cascade(lvl, s int, start Time) {
+	b := w.slot[lvl][s]
+	w.slot[lvl][s] = b[:0]
+	w.occ[lvl] &^= 1 << uint(s)
+	w.base = start
+	for i, ev := range b {
+		b[i] = nil
+		w.place(ev)
+	}
+}
+
+// migrate jumps the wheel to the overflow ladder's head time and pulls
+// every now-in-span ladder event into the wheel. Safe: head <= every
+// occupied slot start, so no pending event is left behind the base.
+func (w *wheel) migrate(head Time) {
+	w.base = head
+	keep := w.overflow[:0]
+	for _, ev := range w.overflow {
+		if w.levelOf(ev.at) < numLevels {
+			w.place(ev)
+		} else {
+			ev.idx = int32(len(keep))
+			keep = append(keep, ev)
+		}
+	}
+	for i := len(keep); i < len(w.overflow); i++ {
+		w.overflow[i] = nil
+	}
+	w.overflow = keep
+	w.ovfMin = 0
+	for i, ev := range keep {
+		if i == 0 || ev.at < w.ovfMin {
+			w.ovfMin = ev.at
+		}
+	}
+}
+
+// startBatch drains the level-0 slot for tick t into the dispatch batch,
+// sorted by scheduling sequence — the documented stable-FIFO same-tick
+// order, byte-identical to the heap's (at, seq) dispatch.
+func (w *wheel) startBatch(t Time) {
+	s := int(t) & slotMask
+	b := w.slot[0][s]
+	w.slot[0][s] = b[:0]
+	w.occ[0] &^= 1 << uint(s)
+	w.base = t
+	w.batch = w.batch[:0]
+	w.batchPos = 0
+	w.batchTick = t
+	for i, ev := range b {
+		b[i] = nil
+		ev.loc = locBatch
+		w.batch = append(w.batch, ev)
+	}
+	sortEventsBySeq(w.batch)
+	for i, ev := range w.batch {
+		ev.idx = int32(i)
+	}
+	w.batchLive = len(w.batch)
+}
+
+// sortEventsBySeq orders a same-tick batch by scheduling sequence.
+// Batches are almost always tiny (1–4 events), so insertion sort wins;
+// large fan-ins fall back to pdqsort.
+func sortEventsBySeq(b []*event) {
+	if len(b) < 2 {
+		return
+	}
+	if len(b) <= 16 {
+		for i := 1; i < len(b); i++ {
+			ev := b[i]
+			j := i - 1
+			for j >= 0 && b[j].seq > ev.seq {
+				b[j+1] = b[j]
+				j--
+			}
+			b[j+1] = ev
+		}
+		return
+	}
+	slices.SortFunc(b, func(a, c *event) int {
+		switch {
+		case a.seq < c.seq:
+			return -1
+		case a.seq > c.seq:
+			return 1
+		default:
+			return 0
+		}
+	})
+}

@@ -216,9 +216,39 @@ func (p *Pool) Outstanding() int64 {
 // *FramePool allocates plainly.
 type FramePool struct {
 	free []*Frame
+	acks []*AckInfo // recycled AckInfo records (see GetAck)
 	// Gets/Puts count frames handed out and returned.
 	Gets int64
 	Puts int64
+}
+
+// GetAck returns a zeroed AckInfo, reusing a recycled record (and its SACK
+// slice capacity) when available. AckInfos are born on one host's ACK
+// path and die on the other's, so like frames they pool pair-wide.
+func (p *FramePool) GetAck() *AckInfo {
+	if p == nil {
+		return &AckInfo{}
+	}
+	if n := len(p.acks); n > 0 {
+		a := p.acks[n-1]
+		p.acks[n-1] = nil
+		p.acks = p.acks[:n-1]
+		return a
+	}
+	return &AckInfo{}
+}
+
+// PutAck recycles a consumed AckInfo. The caller must not touch a (or its
+// SACK slice) afterwards.
+func (p *FramePool) PutAck(a *AckInfo) {
+	if p == nil || a == nil {
+		return
+	}
+	a.Cum = 0
+	a.Window = 0
+	a.SACK = a.SACK[:0]
+	a.ECNEcho = false
+	p.acks = append(p.acks, a)
 }
 
 // Get returns a zeroed frame (possibly retaining page-slice capacity from
@@ -276,23 +306,24 @@ func (p *FramePool) Outstanding() int64 {
 // SegmentSizes returns the wire-frame payload sizes produced by cutting
 // total bytes into mss-sized chunks (the GSO/TSO split).
 func SegmentSizes(total, mss units.Bytes) []units.Bytes {
+	return AppendSegmentSizes(nil, total, mss)
+}
+
+// AppendSegmentSizes is SegmentSizes appending into dst, so hot callers
+// can reuse a scratch slice across transmissions.
+func AppendSegmentSizes(dst []units.Bytes, total, mss units.Bytes) []units.Bytes {
 	if mss <= 0 {
 		panic("skb: non-positive mss")
 	}
-	if total <= 0 {
-		return nil
-	}
-	n := int((total + mss - 1) / mss)
-	out := make([]units.Bytes, 0, n)
 	for total > 0 {
 		c := mss
 		if total < c {
 			c = total
 		}
-		out = append(out, c)
+		dst = append(dst, c)
 		total -= c
 	}
-	return out
+	return dst
 }
 
 // GRO is the generic receive offload engine: one per NIC Rx queue. It
@@ -330,17 +361,17 @@ func NewGROPooled(costs *cpumodel.Costs, skbs *Pool, fp *FramePool) *GRO {
 	return g
 }
 
-// Receive offers one frame to GRO, charging CPU work to ch. It returns
-// any SKBs flushed as a side effect (a completed 64KB aggregate, a
-// non-mergeable predecessor, or an evicted flow). Pure ACKs bypass
-// aggregation and are returned immediately.
-func (g *GRO) Receive(ch cpumodel.Charger, f *Frame) []*SKB {
+// Receive offers one frame to GRO, charging CPU work to ch. Any SKBs
+// flushed as a side effect (a completed 64KB aggregate, a non-mergeable
+// predecessor, or an evicted flow) are appended to dst, which is returned.
+// Pure ACKs bypass aggregation and are appended immediately.
+func (g *GRO) Receive(ch cpumodel.Charger, f *Frame, dst []*SKB) []*SKB {
 	if f.IsAck() {
 		s := g.skbs.Get(f)
 		g.fp.Put(f)
-		return []*SKB{s}
+		return append(dst, s)
 	}
-	var out []*SKB
+	out := dst
 	idx := -1
 	for i, e := range g.entries {
 		if e.Flow == f.Flow {
@@ -379,16 +410,19 @@ func (g *GRO) Receive(ch cpumodel.Charger, f *Frame) []*SKB {
 	return out
 }
 
-// Flush drains all held entries (called at the end of a NAPI poll).
-func (g *GRO) Flush() []*SKB {
+// Flush drains all held entries into dst (called at the end of a NAPI
+// poll) and returns the extended slice.
+func (g *GRO) Flush(dst []*SKB) []*SKB {
 	if len(g.entries) == 0 {
-		return nil
+		return dst
 	}
-	out := make([]*SKB, len(g.entries))
-	copy(out, g.entries)
+	g.Flushed += int64(len(g.entries))
+	dst = append(dst, g.entries...)
+	for i := range g.entries {
+		g.entries[i] = nil
+	}
 	g.entries = g.entries[:0]
-	g.Flushed += int64(len(out))
-	return out
+	return dst
 }
 
 // Held returns the number of in-progress entries.

@@ -15,10 +15,10 @@ func BenchmarkGROSingleFlow(b *testing.B) {
 	b.ReportAllocs()
 	var seq int64
 	for i := 0; i < b.N; i++ {
-		g.Receive(ch, &Frame{Flow: 1, Seq: seq, Len: 8934})
+		g.Receive(ch, &Frame{Flow: 1, Seq: seq, Len: 8934}, nil)
 		seq += 8934
 		if i%64 == 63 {
-			g.Flush()
+			g.Flush(nil)
 		}
 	}
 }
@@ -32,10 +32,10 @@ func BenchmarkGROInterleaved(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		fl := FlowID(i % 24)
-		g.Receive(ch, &Frame{Flow: fl, Seq: seqs[fl], Len: 8934})
+		g.Receive(ch, &Frame{Flow: fl, Seq: seqs[fl], Len: 8934}, nil)
 		seqs[fl] += 8934
 		if i%64 == 63 {
-			g.Flush()
+			g.Flush(nil)
 		}
 	}
 }
@@ -61,11 +61,11 @@ func BenchmarkGROPooledSingleFlow(b *testing.B) {
 		f := frames.Get()
 		f.Flow, f.Seq, f.Len = 1, seq, 8934
 		seq += 8934
-		for _, s := range g.Receive(ch, f) {
+		for _, s := range g.Receive(ch, f, nil) {
 			skbs.Put(s)
 		}
 		if i%64 == 63 {
-			for _, s := range g.Flush() {
+			for _, s := range g.Flush(nil) {
 				skbs.Put(s)
 			}
 		}

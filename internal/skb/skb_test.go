@@ -78,13 +78,13 @@ func TestFrameWireSize(t *testing.T) {
 func TestGROMergesContiguousSameFlow(t *testing.T) {
 	g := NewGRO(cpumodel.Default())
 	ch := cpumodel.Discard{}
-	if out := g.Receive(ch, frame(1, 0, 9000)); len(out) != 0 {
+	if out := g.Receive(ch, frame(1, 0, 9000), nil); len(out) != 0 {
 		t.Fatalf("first frame should be held, got %d skbs", len(out))
 	}
-	if out := g.Receive(ch, frame(1, 9000, 9000)); len(out) != 0 {
+	if out := g.Receive(ch, frame(1, 9000, 9000), nil); len(out) != 0 {
 		t.Fatalf("contiguous frame should merge, got %d skbs", len(out))
 	}
-	flushed := g.Flush()
+	flushed := g.Flush(nil)
 	if len(flushed) != 1 {
 		t.Fatalf("Flush returned %d skbs, want 1", len(flushed))
 	}
@@ -100,9 +100,9 @@ func TestGROMergesContiguousSameFlow(t *testing.T) {
 func TestGRODoesNotMergeAcrossFlows(t *testing.T) {
 	g := NewGRO(cpumodel.Default())
 	ch := cpumodel.Discard{}
-	g.Receive(ch, frame(1, 0, 1500))
-	g.Receive(ch, frame(2, 0, 1500))
-	flushed := g.Flush()
+	g.Receive(ch, frame(1, 0, 1500), nil)
+	g.Receive(ch, frame(2, 0, 1500), nil)
+	flushed := g.Flush(nil)
 	if len(flushed) != 2 {
 		t.Fatalf("want 2 separate skbs, got %d", len(flushed))
 	}
@@ -116,12 +116,12 @@ func TestGRODoesNotMergeAcrossFlows(t *testing.T) {
 func TestGROFlushesOnGap(t *testing.T) {
 	g := NewGRO(cpumodel.Default())
 	ch := cpumodel.Discard{}
-	g.Receive(ch, frame(1, 0, 1500))
-	out := g.Receive(ch, frame(1, 3000, 1500)) // gap: 1500..3000 missing
+	g.Receive(ch, frame(1, 0, 1500), nil)
+	out := g.Receive(ch, frame(1, 3000, 1500), nil) // gap: 1500..3000 missing
 	if len(out) != 1 || out[0].Len != 1500 || out[0].Seq != 0 {
 		t.Fatalf("gap should flush the old entry, got %v", out)
 	}
-	flushed := g.Flush()
+	flushed := g.Flush(nil)
 	if len(flushed) != 1 || flushed[0].Seq != 3000 {
 		t.Fatalf("new entry should hold the post-gap frame, got %v", flushed)
 	}
@@ -134,7 +134,7 @@ func TestGROCapsAt64KB(t *testing.T) {
 	var seq int64
 	// 16 frames of 4096B = 64KB exactly: the 16th completes the aggregate.
 	for i := 0; i < 16; i++ {
-		done = append(done, g.Receive(ch, frame(1, seq, 4096))...)
+		done = append(done, g.Receive(ch, frame(1, seq, 4096), nil)...)
 		seq += 4096
 	}
 	if len(done) != 1 {
@@ -156,13 +156,13 @@ func TestGROOverflowStartsNewEntry(t *testing.T) {
 	// 9000B jumbo frames: 7*9000=63000; the 8th would exceed 65536 so the
 	// 63000 entry flushes and a fresh one starts.
 	for i := 0; i < 8; i++ {
-		out = append(out, g.Receive(ch, frame(1, seq, 9000))...)
+		out = append(out, g.Receive(ch, frame(1, seq, 9000), nil)...)
 		seq += 9000
 	}
 	if len(out) != 1 || out[0].Len != 63000 || out[0].Frames != 7 {
 		t.Fatalf("expected flushed 63000B skb, got %v", out)
 	}
-	rest := g.Flush()
+	rest := g.Flush(nil)
 	if len(rest) != 1 || rest[0].Len != 9000 {
 		t.Fatalf("remainder = %v", rest)
 	}
@@ -172,11 +172,11 @@ func TestGROEvictsOldestFlowBeyondCapacity(t *testing.T) {
 	g := NewGRO(cpumodel.Default())
 	ch := cpumodel.Discard{}
 	for fl := FlowID(0); fl < MaxGROFlows; fl++ {
-		if out := g.Receive(ch, frame(fl, 0, 1500)); len(out) != 0 {
+		if out := g.Receive(ch, frame(fl, 0, 1500), nil); len(out) != 0 {
 			t.Fatalf("flow %d should be held", fl)
 		}
 	}
-	out := g.Receive(ch, frame(99, 0, 1500))
+	out := g.Receive(ch, frame(99, 0, 1500), nil)
 	if len(out) != 1 || out[0].Flow != 0 {
 		t.Fatalf("9th flow should evict flow 0, got %v", out)
 	}
@@ -188,9 +188,9 @@ func TestGROEvictsOldestFlowBeyondCapacity(t *testing.T) {
 func TestGROPureAckBypasses(t *testing.T) {
 	g := NewGRO(cpumodel.Default())
 	ch := cpumodel.Discard{}
-	g.Receive(ch, frame(1, 0, 1500))
+	g.Receive(ch, frame(1, 0, 1500), nil)
 	ack := &Frame{Flow: 1, Ack: &AckInfo{Cum: 100, Window: 1000}}
-	out := g.Receive(ch, ack)
+	out := g.Receive(ch, ack, nil)
 	if len(out) != 1 || out[0].Ack == nil {
 		t.Fatalf("ACK should pass straight through, got %v", out)
 	}
@@ -202,8 +202,8 @@ func TestGROPureAckBypasses(t *testing.T) {
 func TestGROChargesNetdev(t *testing.T) {
 	g := NewGRO(cpumodel.Default())
 	var ch tally
-	g.Receive(&ch, frame(1, 0, 1500))
-	g.Receive(&ch, frame(1, 1500, 1500))
+	g.Receive(&ch, frame(1, 0, 1500), nil)
+	g.Receive(&ch, frame(1, 1500, 1500), nil)
 	if ch.got[cpumodel.Netdev] == 0 {
 		t.Error("GRO work should charge Netdev")
 	}
@@ -212,11 +212,11 @@ func TestGROChargesNetdev(t *testing.T) {
 func TestGROCEPropagates(t *testing.T) {
 	g := NewGRO(cpumodel.Default())
 	ch := cpumodel.Discard{}
-	g.Receive(ch, frame(1, 0, 1500))
+	g.Receive(ch, frame(1, 0, 1500), nil)
 	f := frame(1, 1500, 1500)
 	f.CE = true
-	g.Receive(ch, f)
-	out := g.Flush()
+	g.Receive(ch, f, nil)
+	out := g.Flush(nil)
 	if len(out) != 1 || !out[0].CE {
 		t.Error("CE mark should survive merging")
 	}
@@ -244,9 +244,9 @@ func TestPropertyGROConservation(t *testing.T) {
 			nextSeq[fl] += int64(l)
 			inBytes[fl] += l
 			inFrames++
-			outs = append(outs, g.Receive(ch, fr)...)
+			outs = append(outs, g.Receive(ch, fr, nil)...)
 		}
-		outs = append(outs, g.Flush()...)
+		outs = append(outs, g.Flush(nil)...)
 		outBytes := map[FlowID]units.Bytes{}
 		outFrames := 0
 		for _, s := range outs {
@@ -282,13 +282,13 @@ func TestInterleavingShrinksAggregates(t *testing.T) {
 		var outs []*SKB
 		for round := 0; round < 240; round++ {
 			fl := round % nflows
-			outs = append(outs, g.Receive(ch, frame(FlowID(fl), seq[fl], 4096))...)
+			outs = append(outs, g.Receive(ch, frame(FlowID(fl), seq[fl], 4096), nil)...)
 			seq[fl] += 4096
 			if round%16 == 15 { // NAPI poll boundary every 16 frames
-				outs = append(outs, g.Flush()...)
+				outs = append(outs, g.Flush(nil)...)
 			}
 		}
-		outs = append(outs, g.Flush()...)
+		outs = append(outs, g.Flush(nil)...)
 		var total units.Bytes
 		for _, s := range outs {
 			total += s.Len
@@ -397,11 +397,11 @@ func TestGROPooledRecyclesFrames(t *testing.T) {
 		f := frames.Get()
 		f.Flow, f.Seq, f.Len = 1, seq, 8934
 		seq += 8934
-		for _, s := range g.Receive(ch, f) {
+		for _, s := range g.Receive(ch, f, nil) {
 			skbs.Put(s)
 		}
 	}
-	for _, s := range g.Flush() {
+	for _, s := range g.Flush(nil) {
 		skbs.Put(s)
 	}
 	// Each Receive recycles the frame and the next Get reuses it, so a
@@ -414,7 +414,7 @@ func TestGROPooledRecyclesFrames(t *testing.T) {
 		f := frames.Get()
 		f.Flow, f.Seq, f.Len = 1, seq, 8934
 		seq += 8934
-		for _, s := range g.Receive(ch, f) {
+		for _, s := range g.Receive(ch, f, nil) {
 			skbs.Put(s)
 		}
 	})
@@ -454,18 +454,18 @@ func TestGROPooledMatchesUnpooled(t *testing.T) {
 			fl := FlowID(i % 11) // > MaxGROFlows: exercises eviction
 			f := &Frame{Flow: fl, Seq: seqs[fl], Len: 4000}
 			if !pooled {
-				emit(g.Receive(ch, f))
+				emit(g.Receive(ch, f, nil))
 			} else {
 				pf := fp.Get()
 				pf.Flow, pf.Seq, pf.Len = f.Flow, f.Seq, f.Len
-				emit(g.Receive(ch, pf))
+				emit(g.Receive(ch, pf, nil))
 			}
 			seqs[fl] += 4000
 			if i%40 == 39 {
-				emit(g.Flush())
+				emit(g.Flush(nil))
 			}
 		}
-		emit(g.Flush())
+		emit(g.Flush(nil))
 		return out
 	}
 	a, b := run(false), run(true)

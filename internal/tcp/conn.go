@@ -97,6 +97,10 @@ type Hooks struct {
 	// (pure ACKs, probes, duplicates) so the host can return them to its
 	// receive-path pool. Optional.
 	Recycle func(s *skb.SKB)
+	// NewAck, if non-nil, supplies AckInfo records for outgoing ACKs
+	// (typically a pool shared with the peer, where the records die).
+	// Optional; nil means plain allocation.
+	NewAck func() *skb.AckInfo
 }
 
 // Stats tracks a connection's protocol activity.
@@ -134,9 +138,10 @@ type Conn struct {
 	// ---- transmit state.
 	sndUna        int64
 	sndNxt        int64
-	appLimit      int64 // bytes the application has committed to the stream
-	rightEdge     int64 // sndUna + peer window (flow-control limit)
-	chunks        []sentChunk
+	appLimit      int64       // bytes the application has committed to the stream
+	rightEdge     int64       // sndUna + peer window (flow-control limit)
+	chunks        []sentChunk // live entries are chunks[chHead:]
+	chHead        int
 	sacked        []skb.Range
 	retxNext      int64 // next hole byte to retransmit within recovery
 	dupAcks       int
@@ -156,7 +161,8 @@ type Conn struct {
 	rcvBuf      units.Bytes
 	ooo         []*skb.SKB // sorted by Seq, non-overlapping
 	oooBytes    units.Bytes
-	recvQ       []*skb.SKB
+	recvQ       []*skb.SKB // live entries are recvQ[rqHead:]
+	rqHead      int
 	recvQBytes  units.Bytes
 	unacked     units.Bytes // delivered bytes since last ack
 	lastAdvWnd  units.Bytes
@@ -169,6 +175,16 @@ type Conn struct {
 
 	stats Stats
 	probe ProbeFunc // nil = congestion tracing off
+
+	// Hot-path scratch and once-allocated timer callbacks: armed timers and
+	// per-ack page releases run millions of times per run, so their
+	// closures/slices are created once here and reused.
+	rtoFn     func()
+	persistFn func()
+	delAckFn  func()
+	freed     []mem.Page   // releaseAcked scratch
+	slabFree  [][]mem.Page // released chunk page slabs, for PageSlab
+	readOut   []*skb.SKB   // Read result scratch; valid until the next Read
 }
 
 // New builds a connection endpoint for flow, transmitting via hooks and
@@ -204,6 +220,12 @@ func New(eng *sim.Engine, costs *cpumodel.Costs, cfg Config, flow skb.FlowID,
 		wndClamp:  -1,
 	}
 	c.lastAdvWnd = cfg.RcvBuf
+	// Bind the timer handlers once: the timer callback and the softirq body
+	// are both stored so re-arming (and firing) never allocates.
+	onRTO, persist, delAck := c.onRTO, c.persistBody, c.delAckBody
+	c.rtoFn = func() { c.hooks.Softirq(onRTO) }
+	c.persistFn = func() { c.hooks.Softirq(persist) }
+	c.delAckFn = func() { c.hooks.Softirq(delAck) }
 	cc.Init(c)
 	return c
 }
@@ -236,7 +258,7 @@ func (c *Conn) AppLimit() int64 { return c.appLimit }
 func (c *Conn) RcvNxt() int64 { return c.rcvNxt }
 
 // RecvQLen returns the number of skbs queued for the application.
-func (c *Conn) RecvQLen() int { return len(c.recvQ) }
+func (c *Conn) RecvQLen() int { return len(c.recvQ) - c.rqHead }
 
 // OOOLen returns the number of out-of-order skbs held.
 func (c *Conn) OOOLen() int { return len(c.ooo) }
@@ -260,7 +282,7 @@ func (c *Conn) CheckInvariants(fail func(format string, args ...any)) {
 			c.flow, c.stats.DeliveredBytes, c.rcvNxt)
 	}
 	var rq units.Bytes
-	for _, s := range c.recvQ {
+	for _, s := range c.recvQ[c.rqHead:] {
 		rq += s.Len
 	}
 	if rq != c.recvQBytes {
@@ -279,25 +301,26 @@ func (c *Conn) CheckInvariants(fail func(format string, args ...any)) {
 	if ob != c.oooBytes {
 		fail("tcp flow %d: oooBytes %d but queue holds %d", c.flow, c.oooBytes, ob)
 	}
-	if len(c.chunks) == 0 {
+	chunks := c.chunks[c.chHead:]
+	if len(chunks) == 0 {
 		if c.appLimit != c.sndUna {
 			fail("tcp flow %d: no send chunks but appLimit %d != sndUna %d",
 				c.flow, c.appLimit, c.sndUna)
 		}
 	} else {
-		if c.chunks[0].endSeq <= c.sndUna {
+		if chunks[0].endSeq <= c.sndUna {
 			fail("tcp flow %d: acked chunk (end %d <= sndUna %d) not released",
-				c.flow, c.chunks[0].endSeq, c.sndUna)
+				c.flow, chunks[0].endSeq, c.sndUna)
 		}
 		prevEnd := int64(-1)
-		for i, ch := range c.chunks {
+		for i, ch := range chunks {
 			if ch.endSeq <= prevEnd {
 				fail("tcp flow %d: chunk[%d] end %d not ascending (prev %d)",
 					c.flow, i, ch.endSeq, prevEnd)
 			}
 			prevEnd = ch.endSeq
 		}
-		if last := c.chunks[len(c.chunks)-1].endSeq; last != c.appLimit {
+		if last := chunks[len(chunks)-1].endSeq; last != c.appLimit {
 			fail("tcp flow %d: last chunk end %d != appLimit %d", c.flow, last, c.appLimit)
 		}
 	}
@@ -344,7 +367,7 @@ func (c *Conn) SendData(ctx *exec.Ctx, n units.Bytes, pages []mem.Page) {
 // outgoing frames; chunks live until cumulatively acked, so any sequence
 // being (re)transmitted still has its chunk.
 func (c *Conn) WriteTimeOf(seq int64) sim.Time {
-	for i := range c.chunks {
+	for i := c.chHead; i < len(c.chunks); i++ {
 		if c.chunks[i].endSeq > seq {
 			return c.chunks[i].at
 		}
@@ -517,16 +540,43 @@ func (c *Conn) onAck(ctx *exec.Ctx, a *skb.AckInfo) {
 	c.emitProbe(ctx.Now(), ProbeAck, units.Bytes(newlyAcked))
 }
 
-// releaseAcked frees page chunks fully below sndUna.
+// releaseAcked frees page chunks fully below sndUna. The released chunks'
+// page slabs are kept for PageSlab, so the Write -> ack -> Write cycle
+// recycles its slices instead of allocating fresh ones.
 func (c *Conn) releaseAcked(ctx *exec.Ctx) {
-	var freed []mem.Page
-	for len(c.chunks) > 0 && c.chunks[0].endSeq <= c.sndUna {
-		freed = append(freed, c.chunks[0].pages...)
-		c.chunks = c.chunks[1:]
+	freed := c.freed[:0]
+	for c.chHead < len(c.chunks) && c.chunks[c.chHead].endSeq <= c.sndUna {
+		ch := &c.chunks[c.chHead]
+		freed = append(freed, ch.pages...)
+		if cap(ch.pages) > 0 {
+			c.slabFree = append(c.slabFree, ch.pages[:0])
+		}
+		*ch = sentChunk{}
+		c.chHead++
+	}
+	if c.chHead == len(c.chunks) {
+		// Drained: rewind so the backing array is reused from the front.
+		c.chunks = c.chunks[:0]
+		c.chHead = 0
 	}
 	if len(freed) > 0 && c.hooks.OnAckedPages != nil {
 		c.hooks.OnAckedPages(ctx, c, freed)
 	}
+	c.freed = freed[:0]
+}
+
+// PageSlab returns a recycled zero-length page slice from previously acked
+// chunks (nil when none is available). Callers append the pages backing
+// their next SendData into it; the slab returns here once those bytes are
+// acknowledged.
+func (c *Conn) PageSlab() []mem.Page {
+	if k := len(c.slabFree); k > 0 {
+		s := c.slabFree[k-1]
+		c.slabFree[k-1] = nil
+		c.slabFree = c.slabFree[:k-1]
+		return s
+	}
+	return nil
 }
 
 func (c *Conn) rttSample(rtt time.Duration) {
@@ -566,9 +616,7 @@ func (c *Conn) armRTO() {
 	if c.rtoTimer.Reset(c.eng.Now().Add(c.RTO())) {
 		return
 	}
-	c.rtoTimer = c.eng.After(c.RTO(), func() {
-		c.hooks.Softirq(func(ctx *exec.Ctx) { c.onRTO(ctx) })
-	})
+	c.rtoTimer = c.eng.After(c.RTO(), c.rtoFn)
 }
 
 func (c *Conn) onRTO(ctx *exec.Ctx) {
@@ -715,16 +763,17 @@ func (c *Conn) maybePersist() {
 	if c.persistTimer.Pending() {
 		return
 	}
-	c.persistTimer = c.eng.After(c.cfg.PersistTime, func() {
-		c.hooks.Softirq(func(ctx *exec.Ctx) {
-			if c.sndNxt < c.appLimit && c.sndNxt >= c.rightEdge {
-				c.stats.Probes++
-				ctx.Charge(cpumodel.Etc, c.costs.TimerFire)
-				c.hooks.SendProbe(ctx, c)
-				c.maybePersist()
-			}
-		})
-	})
+	c.persistTimer = c.eng.After(c.cfg.PersistTime, c.persistFn)
+}
+
+// persistBody is the zero-window probe timer handler (softirq context).
+func (c *Conn) persistBody(ctx *exec.Ctx) {
+	if c.sndNxt < c.appLimit && c.sndNxt >= c.rightEdge {
+		c.stats.Probes++
+		ctx.Charge(cpumodel.Etc, c.costs.TimerFire)
+		c.hooks.SendProbe(ctx, c)
+		c.maybePersist()
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -790,17 +839,18 @@ func (c *Conn) acceptInOrder(ctx *exec.Ctx, s *skb.SKB) {
 	} else if !c.delAckTimer.Pending() {
 		// Trailing-edge delayed ACK so the final sub-threshold bytes of a
 		// burst are still acknowledged.
-		c.delAckTimer = c.eng.After(c.cfg.DelAckTime, func() {
-			c.hooks.Softirq(func(ctx *exec.Ctx) {
-				if c.unacked > 0 {
-					ctx.Charge(cpumodel.Etc, c.costs.TimerFire)
-					c.sendAck(ctx, false)
-				}
-			})
-		})
+		c.delAckTimer = c.eng.After(c.cfg.DelAckTime, c.delAckFn)
 	}
 	if c.hooks.OnReadable != nil {
 		c.hooks.OnReadable(ctx, c)
+	}
+}
+
+// delAckBody is the delayed-ACK timer handler (softirq context).
+func (c *Conn) delAckBody(ctx *exec.Ctx) {
+	if c.unacked > 0 {
+		ctx.Charge(cpumodel.Etc, c.costs.TimerFire)
+		c.sendAck(ctx, false)
 	}
 }
 
@@ -855,14 +905,19 @@ func (c *Conn) SetWindowClamp(ctx *exec.Ctx, clamp units.Bytes) {
 func (c *Conn) sendAck(ctx *exec.Ctx, dup bool) {
 	c.delAckTimer.Stop()
 	ctx.Charge(cpumodel.TCPIP, c.costs.ACKGenerate)
-	info := &skb.AckInfo{
-		Cum:     c.rcvNxt,
-		Window:  c.advertisedWindow(),
-		ECNEcho: c.ecnPending,
+	var info *skb.AckInfo
+	if c.hooks.NewAck != nil {
+		info = c.hooks.NewAck()
+	} else {
+		info = &skb.AckInfo{}
 	}
+	info.Cum = c.rcvNxt
+	info.Window = c.advertisedWindow()
+	info.ECNEcho = c.ecnPending
 	c.ecnPending = false
-	// Up to 3 SACK ranges from the OOO queue (coalesced).
-	var ranges []skb.Range
+	// Up to 3 SACK ranges from the OOO queue (coalesced), reusing the
+	// record's SACK capacity.
+	ranges := info.SACK[:0]
 	for _, q := range c.ooo {
 		if n := len(ranges); n > 0 && ranges[n-1].End == q.Seq {
 			ranges[n-1].End = q.End()
@@ -909,16 +964,25 @@ func (c *Conn) Readable() units.Bytes { return c.recvQBytes }
 // Read pops up to max bytes of whole skbs from the receive queue. The
 // caller (application layer) performs the data copy and frees the pages.
 // A window-update ACK is sent when the window reopens significantly.
+// The returned slice is scratch owned by the connection: it is valid only
+// until the next Read call.
 func (c *Conn) Read(ctx *exec.Ctx, max units.Bytes) []*skb.SKB {
-	var out []*skb.SKB
+	out := c.readOut[:0]
 	var taken units.Bytes
-	for len(c.recvQ) > 0 && taken < max {
-		s := c.recvQ[0]
-		c.recvQ = c.recvQ[1:]
+	for c.rqHead < len(c.recvQ) && taken < max {
+		s := c.recvQ[c.rqHead]
+		c.recvQ[c.rqHead] = nil
+		c.rqHead++
 		c.recvQBytes -= s.Len
 		taken += s.Len
 		out = append(out, s)
 	}
+	if c.rqHead == len(c.recvQ) {
+		// Drained: rewind so the backing array is reused from the front.
+		c.recvQ = c.recvQ[:0]
+		c.rqHead = 0
+	}
+	c.readOut = out
 	if len(out) == 0 {
 		return nil
 	}

@@ -43,6 +43,7 @@ type Link struct {
 	nextFree     sim.Time
 	stats        Stats
 	tap          func(f *skb.Frame, dropped bool) // nil = capture off
+	deliverEv    func(any)                        // bound deliverFrame, allocated once
 
 	// Frames past the switch but not yet delivered (serializing or
 	// propagating). Audited by the conservation checker.
@@ -61,7 +62,9 @@ func NewLink(eng *sim.Engine, rate units.BitRate, delay time.Duration, deliver f
 	if delay < 0 {
 		panic("wire: negative delay")
 	}
-	return &Link{eng: eng, rate: rate, delay: delay, deliver: deliver}
+	l := &Link{eng: eng, rate: rate, delay: delay, deliver: deliver}
+	l.deliverEv = l.deliverFrame
+	return l
 }
 
 // SetLossRate configures the switch's Bernoulli drop probability.
@@ -143,15 +146,20 @@ func (l *Link) Send(f *skb.Frame) {
 		l.stats.DroppedPayload += f.Len
 		return // consumed wire time, then died at the switch
 	}
-	pl := f.Len // captured now: the receiver may recycle f before we log it
 	l.inflightFrames++
-	l.inflightPayload += pl
-	deliverAt := l.nextFree.Add(l.delay)
-	l.eng.At(deliverAt, func() {
-		l.stats.Delivered++
-		l.stats.DeliveredPayload += pl
-		l.inflightFrames--
-		l.inflightPayload -= pl
-		l.deliver(f)
-	})
+	l.inflightPayload += f.Len
+	l.eng.AtArg(l.nextFree.Add(l.delay), l.deliverEv, f)
+}
+
+// deliverFrame is the wire-delivery event. In-flight frames are immutable
+// (only the receiver mutates frames, after delivery), so f.Len here equals
+// its value at Send — but it is read before l.deliver, which may recycle f.
+func (l *Link) deliverFrame(a any) {
+	f := a.(*skb.Frame)
+	pl := f.Len
+	l.stats.Delivered++
+	l.stats.DeliveredPayload += pl
+	l.inflightFrames--
+	l.inflightPayload -= pl
+	l.deliver(f)
 }

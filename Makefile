@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench bench-runner bench-profile bench-inspect bench-mtrace bench-engine profile-smoke inspect-smoke mtrace-smoke engine-smoke fuzz-smoke figures figures-golden
+.PHONY: all build test check fmt vet race bench bench-runner bench-profile bench-inspect bench-mtrace bench-engine profile-smoke inspect-smoke mtrace-smoke engine-smoke fuzz-smoke figures figures-golden validate validate-smoke validate-sensitivity
 
 all: build
 
@@ -111,3 +111,24 @@ figures:
 # testdata/golden/ after a deliberate model change.
 figures-golden:
 	$(GO) test -run TestFiguresGolden -update .
+
+# validate regenerates the committed FINDINGS baselines: the full
+# hypothesis set evaluated over freshly regenerated figure tables, with
+# the invariant checker armed. Exit code 1 if any gate hypothesis fails.
+# Run after a deliberate model change, together with figures-golden.
+validate:
+	$(GO) run ./cmd/validate -out FINDINGS.md -json findings.json
+
+# validate-smoke is the CI fidelity gate: evaluate the gate-severity
+# hypotheses against freshly regenerated tables and fail on any
+# out-of-band paper claim. The report lands in /tmp for artifact upload.
+validate-smoke:
+	$(GO) run ./cmd/validate -severity gate \
+		-out /tmp/hostsim-findings.md -json /tmp/hostsim-findings.json
+
+# validate-sensitivity runs the one-factor cost-model sweeps over the
+# headline knobs, classifying paper claims as fragile or robust. Slow
+# (dozens of full table regenerations) — not part of CI.
+validate-sensitivity:
+	$(GO) run ./cmd/validate -sens headline \
+		-sens-out SENSITIVITY.md -json sensitivity.json

@@ -5,12 +5,17 @@
 // Benchmarks appearing in only one capture are listed separately. With a
 // single argument it just prints that capture as a table.
 //
-// Usage: benchdiff <old.json> [<new.json>]
+// With -threshold <pct> (and two captures) benchdiff becomes a CI gate:
+// it exits non-zero when any paired benchmark regresses by more than
+// <pct> percent in ns/op or allocs/op, listing the offenders on stderr.
+//
+// Usage: benchdiff [-threshold <pct>] <old.json> [<new.json>]
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
@@ -110,29 +115,64 @@ func delta(old, new float64) string {
 	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
 }
 
+// regressions returns the paired benchmarks whose ns/op or allocs/op
+// grew by more than threshold percent, in old-capture order.
+func regressions(old, new_ map[string]bench, order []string, threshold float64) []string {
+	grew := func(o, n float64) bool {
+		return o > 0 && (n-o)/o*100 > threshold
+	}
+	var out []string
+	for _, name := range order {
+		o := old[name]
+		n, ok := new_[name]
+		if !ok {
+			continue
+		}
+		switch {
+		case grew(o.nsOp, n.nsOp):
+			out = append(out, fmt.Sprintf("%s: ns/op %.0f -> %.0f (%s)", name, o.nsOp, n.nsOp, delta(o.nsOp, n.nsOp)))
+		case grew(o.allocsOp, n.allocsOp):
+			out = append(out, fmt.Sprintf("%s: allocs/op %.0f -> %.0f (%s)", name, o.allocsOp, n.allocsOp, delta(o.allocsOp, n.allocsOp)))
+		}
+	}
+	return out
+}
+
 func main() {
-	if len(os.Args) != 2 && len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff <old.json> [<new.json>]")
+	threshold := flag.Float64("threshold", -1,
+		"fail (exit 1) when any benchmark regresses more than this percent in ns/op or allocs/op (< 0 = report only)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold <pct>] <old.json> [<new.json>]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) != 1 && len(args) != 2 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	old, order, err := parseCapture(os.Args[1])
+	if *threshold >= 0 && len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "benchdiff: -threshold needs two captures to compare")
+		os.Exit(2)
+	}
+	old, order, err := parseCapture(args[0])
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(1)
 	}
 	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
 
-	if len(os.Args) == 2 {
+	if len(args) == 1 {
 		fmt.Fprintf(w, "%-40s %14s %14s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op")
 		for _, name := range order {
 			b := old[name]
 			fmt.Fprintf(w, "%-40s %14.0f %14.0f %12.0f\n", name, b.nsOp, b.bOp, b.allocsOp)
 		}
+		w.Flush()
 		return
 	}
 
-	new_, newOrder, err := parseCapture(os.Args[2])
+	new_, newOrder, err := parseCapture(args[1])
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(1)
@@ -159,9 +199,21 @@ func main() {
 	sort.Strings(onlyOld)
 	sort.Strings(onlyNew)
 	if len(onlyOld) > 0 {
-		fmt.Fprintf(w, "only in %s: %s\n", os.Args[1], strings.Join(onlyOld, ", "))
+		fmt.Fprintf(w, "only in %s: %s\n", args[0], strings.Join(onlyOld, ", "))
 	}
 	if len(onlyNew) > 0 {
-		fmt.Fprintf(w, "only in %s: %s\n", os.Args[2], strings.Join(onlyNew, ", "))
+		fmt.Fprintf(w, "only in %s: %s\n", args[1], strings.Join(onlyNew, ", "))
+	}
+	w.Flush()
+
+	if *threshold >= 0 {
+		if regs := regressions(old, new_, order, *threshold); len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond %.1f%%:\n", len(regs), *threshold)
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: no regression beyond %.1f%%\n", *threshold)
 	}
 }

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeCapture(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseCapturePlainText(t *testing.T) {
+	path := writeCapture(t, "bench.txt", strings.Join([]string{
+		"goos: linux",
+		"BenchmarkEngine-8   193   6034160 ns/op   728385 B/op   2346 allocs/op",
+		"BenchmarkWheel-8    500   2000000 ns/op",
+		"PASS",
+	}, "\n"))
+	got, order, err := parseCapture(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "BenchmarkEngine" || order[1] != "BenchmarkWheel" {
+		t.Fatalf("order = %v", order)
+	}
+	b := got["BenchmarkEngine"]
+	if b.nsOp != 6034160 || b.bOp != 728385 || b.allocsOp != 2346 {
+		t.Errorf("BenchmarkEngine = %+v", b)
+	}
+	if got["BenchmarkWheel"].allocsOp != 0 {
+		t.Errorf("missing allocs should parse as 0: %+v", got["BenchmarkWheel"])
+	}
+}
+
+func TestParseCaptureJSONStream(t *testing.T) {
+	// test2json splits the name and measurements across output events.
+	path := writeCapture(t, "bench.json", strings.Join([]string{
+		`{"Action":"output","Output":"BenchmarkEngine-8   "}`,
+		`{"Action":"output","Output":"100\t5000000 ns/op\t100 B/op\t7 allocs/op\n"}`,
+		`{"Action":"run","Test":"BenchmarkEngine"}`,
+	}, "\n"))
+	got, _, err := parseCapture(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := got["BenchmarkEngine"]; b.nsOp != 5000000 || b.allocsOp != 7 {
+		t.Errorf("BenchmarkEngine = %+v", b)
+	}
+}
+
+func TestRegressions(t *testing.T) {
+	old := map[string]bench{
+		"BenchmarkA":    {nsOp: 1000, allocsOp: 10},
+		"BenchmarkB":    {nsOp: 1000, allocsOp: 10},
+		"BenchmarkC":    {nsOp: 1000, allocsOp: 10},
+		"BenchmarkGone": {nsOp: 1000},
+	}
+	new_ := map[string]bench{
+		"BenchmarkA":   {nsOp: 1040, allocsOp: 10}, // +4% ns/op: inside threshold
+		"BenchmarkB":   {nsOp: 1200, allocsOp: 10}, // +20% ns/op: regression
+		"BenchmarkC":   {nsOp: 1000, allocsOp: 12}, // +20% allocs/op: regression
+		"BenchmarkNew": {nsOp: 9999},               // unpaired: ignored
+	}
+	order := []string{"BenchmarkA", "BenchmarkB", "BenchmarkC", "BenchmarkGone"}
+	regs := regressions(old, new_, order, 5)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want 2 entries", regs)
+	}
+	if !strings.Contains(regs[0], "BenchmarkB") || !strings.Contains(regs[0], "ns/op") {
+		t.Errorf("regs[0] = %q", regs[0])
+	}
+	if !strings.Contains(regs[1], "BenchmarkC") || !strings.Contains(regs[1], "allocs/op") {
+		t.Errorf("regs[1] = %q", regs[1])
+	}
+	if regs := regressions(old, new_, order, 25); len(regs) != 0 {
+		t.Errorf("threshold 25%% should pass, got %v", regs)
+	}
+}

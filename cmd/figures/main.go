@@ -6,6 +6,7 @@
 //
 //	figures                 # regenerate everything, in paper order
 //	figures -fig fig3a      # one figure
+//	figures -only fig3a,fig4,table2   # a subset, in paper order
 //	figures -list           # list available experiments
 //	figures -dur 50ms       # longer measurement window
 //	figures -jobs 1         # serial regeneration (default: all CPUs)
@@ -21,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"hostsim/internal/figures"
@@ -29,6 +31,7 @@ import (
 func main() {
 	var (
 		fig    = flag.String("fig", "", "experiment id to run (empty = all)")
+		only   = flag.String("only", "", "comma-separated experiment ids to run, in paper order (empty = all)")
 		list   = flag.Bool("list", false, "list experiments and exit")
 		dur    = flag.Duration("dur", 25*time.Millisecond, "measurement window (simulated)")
 		warmup = flag.Duration("warmup", 15*time.Millisecond, "warm-up (simulated, excluded)")
@@ -55,13 +58,43 @@ func main() {
 
 	rc := figures.RunConfig{Seed: *seed, Warmup: *warmup, Duration: *dur, Jobs: *jobs, Check: *chk}
 	exps := figures.All()
+	if *fig != "" && *only != "" {
+		fmt.Fprintln(os.Stderr, "figures: -fig and -only are mutually exclusive")
+		os.Exit(2)
+	}
 	if *fig != "" {
 		e, ok := figures.ByID(*fig)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "figures: unknown experiment %q (try -list)\n", *fig)
+			fmt.Fprintf(os.Stderr, "figures: unknown experiment %q; valid ids: %s\n",
+				*fig, strings.Join(figures.IDs(), " "))
 			os.Exit(2)
 		}
 		exps = []figures.Experiment{e}
+	}
+	if *only != "" {
+		want := map[string]bool{}
+		for _, id := range strings.Split(*only, ",") {
+			if id = strings.TrimSpace(id); id == "" {
+				continue
+			}
+			if _, ok := figures.ByID(id); !ok {
+				fmt.Fprintf(os.Stderr, "figures: unknown experiment %q in -only; valid ids: %s\n",
+					id, strings.Join(figures.IDs(), " "))
+				os.Exit(2)
+			}
+			want[id] = true
+		}
+		if len(want) == 0 {
+			fmt.Fprintln(os.Stderr, "figures: -only selected no experiments")
+			os.Exit(2)
+		}
+		var sel []figures.Experiment
+		for _, e := range exps { // keep paper order regardless of list order
+			if want[e.ID] {
+				sel = append(sel, e)
+			}
+		}
+		exps = sel
 	}
 	start := time.Now()
 	tables, err := figures.RunAll(rc, exps)

@@ -1,0 +1,168 @@
+// Command validate is the hypothesis engine's CLI: it regenerates the
+// figure tables the selected paper-claim hypotheses reference, evaluates
+// them, and writes a deterministic FINDINGS report (markdown) plus a
+// machine-readable JSON twin. Gate hypotheses failing => exit code 1, so
+// `make validate` doubles as the fidelity gate.
+//
+// Usage:
+//
+//	validate                          # all hypotheses -> stdout
+//	validate -out FINDINGS.md -json findings.json
+//	validate -severity gate           # gate subset only (CI smoke)
+//	validate -only fig3a-ladder,fig4-numa-penalty
+//	validate -list                    # list hypotheses and exit
+//	validate -scale CopyHit=3         # evaluate under a perturbed cost model
+//	validate -sens headline           # one-factor sensitivity sweeps
+//	validate -sens CopyHit,TCPRxPerSKB -factors 0.5,2 -sens-out SENSITIVITY.md
+//
+// Output is byte-identical at any -jobs value.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"hostsim/internal/figures"
+	"hostsim/internal/validate"
+)
+
+func fail(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "validate: "+format+"\n", args...)
+	os.Exit(code)
+}
+
+// parseScale parses "Knob=Factor,Knob=Factor" into a CostScale map.
+func parseScale(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -scale entry %q (want Knob=Factor)", part)
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -scale factor in %q: %v", part, err)
+		}
+		out[k] = f
+	}
+	return out, nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func writeOut(path string, data []byte) {
+	if path == "" || path == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fail(1, "%v", err)
+	}
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "-", "markdown report destination (- = stdout)")
+		jsonOut  = flag.String("json", "", "also write the machine-readable report here")
+		severity = flag.String("severity", "all", "evaluate hypotheses of this severity: all, gate, advisory")
+		only     = flag.String("only", "", "comma-separated hypothesis ids (empty = all selected by -severity)")
+		list     = flag.Bool("list", false, "list hypotheses and exit")
+		dur      = flag.Duration("dur", 25*time.Millisecond, "measurement window (simulated)")
+		warmup   = flag.Duration("warmup", 15*time.Millisecond, "warm-up (simulated, excluded)")
+		seed     = flag.Int64("seed", 7, "simulation seed")
+		jobs     = flag.Int("jobs", runtime.NumCPU(), "simulations run concurrently (1 = serial)")
+		chk      = flag.Bool("check", true, "arm the conservation-law invariant checker")
+		scale    = flag.String("scale", "", "perturb the cost model: Knob=Factor,... (see hostsim.CostNames)")
+		sens     = flag.String("sens", "", "sensitivity mode: 'headline' or comma-separated cost knobs")
+		factors  = flag.String("factors", "", "sensitivity factors (default 0.5,0.8,1.25,2)")
+		sensOut  = flag.String("sens-out", "-", "sensitivity report destination (- = stdout)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, h := range validate.Hypotheses {
+			fmt.Printf("%-28s %-8s [%s]\n  %s\n", h.ID, h.Severity, strings.Join(h.Sources, " "), h.Claim)
+		}
+		return
+	}
+
+	hyps, err := validate.Filter(validate.Hypotheses, *severity, splitList(*only))
+	if err != nil {
+		fail(2, "%v", err)
+	}
+	costScale, err := parseScale(*scale)
+	if err != nil {
+		fail(2, "%v", err)
+	}
+	rc := figures.RunConfig{Seed: *seed, Warmup: *warmup, Duration: *dur,
+		Jobs: *jobs, Check: *chk, CostScale: costScale}
+
+	start := time.Now()
+	if *sens != "" {
+		var knobs []string
+		if *sens != "headline" {
+			knobs = splitList(*sens)
+		}
+		var fs []float64
+		for _, f := range splitList(*factors) {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				fail(2, "bad -factors entry %q: %v", f, err)
+			}
+			fs = append(fs, v)
+		}
+		sw, err := validate.Sweep(hyps, rc, knobs, fs)
+		if err != nil {
+			fail(1, "%v", err)
+		}
+		writeOut(*sensOut, []byte(sw.Markdown()))
+		if *jsonOut != "" {
+			b, err := sw.JSON()
+			if err != nil {
+				fail(1, "encoding sweep: %v", err)
+			}
+			writeOut(*jsonOut, b)
+		}
+		fmt.Fprintf(os.Stderr, "validate: %d sweep points, %d fragile / %d robust hypotheses in %v\n",
+			len(sw.Points), len(sw.Fragile), len(sw.Robust), time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	rep, err := validate.Run(hyps, rc)
+	if err != nil {
+		fail(1, "%v", err)
+	}
+	writeOut(*out, []byte(rep.Markdown()))
+	if *jsonOut != "" {
+		b, err := rep.JSON()
+		if err != nil {
+			fail(1, "encoding report: %v", err)
+		}
+		writeOut(*jsonOut, b)
+	}
+	fmt.Fprintf(os.Stderr, "validate: %d hypotheses over %d tables in %v (gate %d/%d, advisory %d/%d)\n",
+		len(rep.Hypotheses), len(rep.Tables), time.Since(start).Round(time.Millisecond),
+		rep.GatePass, rep.GatePass+rep.GateFail, rep.AdvisoryPass, rep.AdvisoryPass+rep.AdvisoryFail)
+	if !rep.GateOK() {
+		os.Exit(1)
+	}
+}

@@ -23,6 +23,7 @@ package hostsim
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"hostsim/internal/check"
@@ -144,8 +145,16 @@ type Tuning struct {
 
 // Config describes one simulation run.
 type Config struct {
-	Stack     Stack
-	Tuning    *Tuning       // nil = calibrated defaults
+	Stack  Stack
+	Tuning *Tuning // nil = calibrated defaults
+
+	// CostScale multiplies individual per-operation cycle costs of the
+	// calibrated model (internal/cpumodel) by the given factors, keyed by
+	// cost-table field name (see CostNames). Absent knobs keep their
+	// calibrated defaults; unknown names are an error. This is the lever
+	// for sensitivity analysis: cmd/validate sweeps one knob at a time
+	// and re-checks every paper claim at each point.
+	CostScale map[string]float64
 	LinkGbps  int           // access link bandwidth; 0 = the testbed's 100
 	LossRate  float64       // random drop probability at the switch
 	ECNMarkKB int           // ECN marking threshold in KB (0 = off; for DCTCP)
@@ -692,6 +701,13 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 	}
 	eng := sim.NewEngineSched(cfg.Seed, sched)
 	costs := cpumodel.Default()
+	// Apply cost scales in sorted-key order so a bad map reports the
+	// same first error on every run.
+	for _, name := range sortedKeys(cfg.CostScale) {
+		if err := costs.Scale(name, cfg.CostScale[name]); err != nil {
+			return nil, fmt.Errorf("hostsim: %w", err)
+		}
+	}
 	spec := topology.Default()
 	if cfg.LinkGbps < 0 {
 		return nil, fmt.Errorf("hostsim: negative LinkGbps")
@@ -904,6 +920,22 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// CostNames lists the valid Config.CostScale keys: every scalar knob of
+// the calibrated per-operation cycle-cost model, sorted.
+func CostNames() []string { return cpumodel.CostNames() }
+
+func sortedKeys(m map[string]float64) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // guardFailure runs fn, converting a fail-fast invariant panic into the

@@ -15,7 +15,14 @@
 // intuition behind its magnitude.
 package cpumodel
 
-import "hostsim/internal/units"
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+
+	"hostsim/internal/units"
+)
 
 // Category is one bucket of the paper's Table-1 CPU usage taxonomy.
 type Category int
@@ -214,6 +221,48 @@ func Default() *Costs {
 		SyscallBase: 1200,
 		TimerFire:   500,
 	}
+}
+
+// CostNames lists every scalar knob of the cost table in sorted order —
+// the Costs struct field names. These are the valid keys for Scale and
+// for the public CostScale configuration.
+func CostNames() []string {
+	t := reflect.TypeOf(Costs{})
+	out := make([]string, 0, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		out = append(out, t.Field(i).Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsCostName reports whether name is a Costs field.
+func IsCostName(name string) bool {
+	_, ok := reflect.TypeOf(Costs{}).FieldByName(name)
+	return ok
+}
+
+// Scale multiplies the named cost by factor. Per-byte costs scale
+// exactly; per-op cycle costs round to the nearest whole cycle. Unknown
+// names and non-finite or negative factors are errors, so a sensitivity
+// sweep cannot silently perturb nothing.
+func (c *Costs) Scale(name string, factor float64) error {
+	if math.IsNaN(factor) || math.IsInf(factor, 0) || factor < 0 {
+		return fmt.Errorf("cpumodel: cost scale %q = %v (want a finite factor >= 0)", name, factor)
+	}
+	f := reflect.ValueOf(c).Elem().FieldByName(name)
+	if !f.IsValid() {
+		return fmt.Errorf("cpumodel: unknown cost %q (valid: %v)", name, CostNames())
+	}
+	switch v := f.Interface().(type) {
+	case units.PerByte:
+		f.Set(reflect.ValueOf(units.PerByte(float64(v) * factor)))
+	case units.Cycles:
+		f.Set(reflect.ValueOf(units.Cycles(math.Round(float64(v) * factor))))
+	default:
+		return fmt.Errorf("cpumodel: cost %q has unsupported type %T", name, v)
+	}
+	return nil
 }
 
 // Breakdown is a per-category cycle tally.

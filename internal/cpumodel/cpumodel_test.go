@@ -150,3 +150,56 @@ func TestBreakdownMerge(t *testing.T) {
 		t.Errorf("merge = %v", a)
 	}
 }
+
+func TestCostNamesCoverEveryField(t *testing.T) {
+	names := CostNames()
+	if len(names) == 0 {
+		t.Fatal("CostNames returned nothing")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("CostNames not sorted: %q before %q", names[i-1], names[i])
+		}
+	}
+	for _, n := range names {
+		if !IsCostName(n) {
+			t.Errorf("IsCostName(%q) = false for a listed name", n)
+		}
+	}
+	if IsCostName("NotACost") {
+		t.Error("IsCostName accepted an unknown name")
+	}
+}
+
+func TestScale(t *testing.T) {
+	c := Default()
+	if err := c.Scale("CopyHit", 2); err != nil {
+		t.Fatal(err)
+	}
+	if want := units.PerByte(0.32); c.CopyHit != want {
+		t.Errorf("CopyHit after x2 = %v, want %v", c.CopyHit, want)
+	}
+	if err := c.Scale("TCPRxPerSKB", 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if want := units.Cycles(5100); c.TCPRxPerSKB != want {
+		t.Errorf("TCPRxPerSKB after x1.5 = %v, want %v", c.TCPRxPerSKB, want)
+	}
+	// Unchanged fields keep the calibrated defaults.
+	if def := Default(); c.ContextSwitch != def.ContextSwitch {
+		t.Errorf("ContextSwitch moved to %v without being scaled", c.ContextSwitch)
+	}
+	if err := c.Scale("NoSuchKnob", 2); err == nil {
+		t.Error("unknown cost name accepted")
+	}
+	if err := c.Scale("CopyHit", -1); err == nil {
+		t.Error("negative factor accepted")
+	}
+	// Every listed knob is scalable.
+	fresh := Default()
+	for _, n := range CostNames() {
+		if err := fresh.Scale(n, 1.25); err != nil {
+			t.Errorf("Scale(%q) failed: %v", n, err)
+		}
+	}
+}

@@ -31,6 +31,12 @@ type RunConfig struct {
 	// checker armed (fail-fast). Audits are pure reads, so checked runs
 	// produce byte-identical tables.
 	Check bool
+	// CostScale perturbs individual per-operation cycle costs (see
+	// hostsim.Config.CostScale); the validate sensitivity sweeps use it
+	// to regenerate tables under a perturbed cost model. The run memo
+	// keys on the rendered config, so runs at different scales never
+	// alias.
+	CostScale map[string]float64
 }
 
 // checkOpts is the one CheckOptions value shared by every checked run.
@@ -52,7 +58,8 @@ func Default() RunConfig {
 }
 
 func (rc RunConfig) config(s hostsim.Stack) hostsim.Config {
-	cfg := hostsim.Config{Stack: s, Seed: rc.Seed, Warmup: rc.Warmup, Duration: rc.Duration}
+	cfg := hostsim.Config{Stack: s, Seed: rc.Seed, Warmup: rc.Warmup, Duration: rc.Duration,
+		CostScale: rc.CostScale}
 	if rc.Check {
 		cfg.Check = checkOpts
 	}
@@ -163,6 +170,10 @@ func All() []Experiment {
 	return out
 }
 
+// Less reports whether id a sorts before id b in paper order; consumers
+// (validate) use it to keep derived id lists in the same order as All().
+func Less(a, b string) bool { return less(a, b) }
+
 // less orders figure ids naturally (fig3a < fig3e < fig10a < table2).
 func less(a, b string) bool {
 	na, sa := splitID(a)
@@ -198,6 +209,16 @@ func splitID(id string) (int, string) {
 		n += 400 // appendix breakdowns last
 	}
 	return n, suffix
+}
+
+// IDs lists every registered experiment id in paper order.
+func IDs() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, e := range all {
+		out[i] = e.ID
+	}
+	return out
 }
 
 // ByID finds an experiment.

@@ -1,0 +1,634 @@
+package validate
+
+import "math"
+
+// This file is the claim inventory: every figure and table of the
+// paper's evaluation (Figs. 3-13, Table 2) plus the repo's extension,
+// ablation and appendix experiments is pinned by at least one
+// hypothesis. Bands are set against the committed calibration (the
+// golden tables) with enough slack that a correct refactor passes but a
+// bent cost model does not; shape predicates (ladders, orderings,
+// dominance) carry no pinned numbers and survive recalibration.
+//
+// Three advisory hypotheses encode claims of the paper that the model is
+// KNOWN not to reproduce (see EXPERIMENTS.md); they fail by design and
+// keep the divergences visible in every FINDINGS report.
+
+// colMax returns the largest parsed value of a column (NaN on error).
+func colMax(e *E, tbl, col string) float64 {
+	t := e.Table(tbl)
+	if t == nil {
+		return math.NaN()
+	}
+	vals, err := t.Column(col)
+	if err != nil {
+		e.errf("%v", err)
+		return math.NaN()
+	}
+	out := math.Inf(-1)
+	for _, v := range vals {
+		if v > out {
+			out = v
+		}
+	}
+	return out
+}
+
+// colMin returns the smallest parsed value of a column (NaN on error).
+func colMin(e *E, tbl, col string) float64 {
+	t := e.Table(tbl)
+	if t == nil {
+		return math.NaN()
+	}
+	vals, err := t.Column(col)
+	if err != nil {
+		e.errf("%v", err)
+		return math.NaN()
+	}
+	out := math.Inf(1)
+	for _, v := range vals {
+		if v < out {
+			out = v
+		}
+	}
+	return out
+}
+
+// ladderRows is Fig. 3's incremental optimization order.
+var ladderRows = []string{"No Opt.", "+TSO/GRO", "+Jumbo", "+aRFS (all)"}
+
+func column(e *E, tbl, col string, keys ...string) []float64 {
+	out := make([]float64, len(keys))
+	for i, k := range keys {
+		out[i] = e.V(tbl, col, k)
+	}
+	return out
+}
+
+// Hypotheses is the full claim inventory, in paper order.
+var Hypotheses = []Hypothesis{
+	// ------------------------------------------------------------- Fig. 3
+	{
+		ID: "fig3a-ladder", Sources: []string{"fig3a"}, Severity: Gate,
+		Claim: "Each optimization step raises single-flow throughput-per-core; all optimizations reach >8x the unoptimized stack (§3.1, Fig. 3a).",
+		Eval: func(e *E) {
+			tpc := column(e, "fig3a", "thpt-per-core", ladderRows...)
+			e.MonotoneUp("tpc over optimization ladder", tpc...)
+			e.AtLeast("all-opt / no-opt tpc ratio", tpc[3]/tpc[0], 8)
+		},
+	},
+	{
+		ID: "fig3a-headline", Sources: []string{"fig3a"}, Severity: Gate,
+		Claim: "With all optimizations a single flow sustains ~42 Gbps per core (§3.1).",
+		Eval: func(e *E) {
+			e.Within("all-opt tpc (Gbps)", e.V("fig3a", "thpt-per-core", "+aRFS (all)"), 42, 0.15)
+		},
+	},
+	{
+		ID: "fig3a-ablations", Sources: []string{"fig3a"}, Severity: Gate,
+		Claim: "Removing TSO/GRO or jumbo frames each costs a large fraction of the optimized throughput (§3.1, Fig. 3a).",
+		Eval: func(e *E) {
+			all := e.V("fig3a", "thpt-per-core", "All Opt.")
+			e.AtMost("w/o TSO/GRO tpc fraction of all-opt", e.V("fig3a", "thpt-per-core", "w/o TSO/GRO")/all, 0.75)
+			e.AtMost("w/o Jumbo tpc fraction of all-opt", e.V("fig3a", "thpt-per-core", "w/o Jumbo")/all, 0.75)
+		},
+	},
+	{
+		ID: "fig3b-receiver-bound", Sources: []string{"fig3b"}, Severity: Gate,
+		Claim: "Receiver-side CPU always exceeds sender-side CPU; aRFS roughly halves receiver utilization (§3.1, Fig. 3b).",
+		Eval: func(e *E) {
+			for _, row := range ladderRows {
+				e.AtLeast("receiver-sender cpu gap @ "+row,
+					e.V("fig3b", "receiver-cpu", row)-e.V("fig3b", "sender-cpu", row), 0)
+			}
+			e.Band("aRFS / +TSO-GRO receiver cpu ratio",
+				e.V("fig3b", "receiver-cpu", "+aRFS (all)")/e.V("fig3b", "receiver-cpu", "+TSO/GRO"), 0.4, 0.65)
+		},
+	},
+	{
+		ID: "fig3c-sender-copy-dominates", Sources: []string{"fig3c"}, Severity: Gate,
+		Claim: "With all optimizations, data copy is the sender's largest CPU category (§3.1, Fig. 3c).",
+		Eval: func(e *E) {
+			e.DominantCategory("all-opt sender", "fig3c", "data_copy", "+aRFS (all)")
+			e.Band("all-opt sender data_copy share", e.V("fig3c", "data_copy", "+aRFS (all)"), 0.4, 0.6)
+		},
+	},
+	{
+		ID: "fig3d-receiver-copy-half", Sources: []string{"fig3d"}, Severity: Gate,
+		Claim: "With all optimizations, data copy consumes about half of receiver cycles (§3.1, Fig. 3d).",
+		Eval: func(e *E) {
+			e.DominantCategory("all-opt receiver", "fig3d", "data_copy", "+aRFS (all)")
+			e.Band("all-opt receiver data_copy share", e.V("fig3d", "data_copy", "+aRFS (all)"), 0.45, 0.65)
+		},
+	},
+	{
+		ID: "fig3e-ring-buffer-tradeoff", Sources: []string{"fig3e"}, Severity: Gate,
+		Claim: "Cache miss rate rises with ring size; a 3200KB buffer with the smallest ring is the throughput optimum (§3.1, Fig. 3e).",
+		Eval: func(e *E) {
+			rings := []string{"128", "256", "512", "1024", "2048", "4096", "8192"}
+			miss := make([]float64, len(rings))
+			for i, r := range rings {
+				miss[i] = e.V("fig3e", "miss-rate", "3200KB", r)
+			}
+			e.MonotoneUp("3200KB miss rate over ring sizes", miss...)
+			best := e.V("fig3e", "thpt-gbps", "3200KB", "128")
+			e.AtLeast("3200KB/128 margin over best alternative", best-colMax(e, "fig3e", "thpt-gbps"), 0)
+			e.Within("3200KB/128 thpt (Gbps)", best, 55, 0.15)
+		},
+	},
+	{
+		ID: "fig3f-latency-blowup", Sources: []string{"fig3f"}, Severity: Gate,
+		Claim: "NAPI-to-copy latency grows monotonically with Rx buffer size and reaches milliseconds beyond 1600KB (§3.1, Fig. 3f).",
+		Eval: func(e *E) {
+			bufs := []string{"100", "200", "400", "800", "1600", "3200", "6400", "12800"}
+			avg := make([]float64, len(bufs))
+			for i, b := range bufs {
+				avg[i] = e.V("fig3f", "avg-latency", b)
+			}
+			e.MonotoneUp("avg latency over buffer sizes", avg...)
+			e.AtLeast("3200KB / 800KB avg latency ratio",
+				e.V("fig3f", "avg-latency", "3200")/e.V("fig3f", "avg-latency", "800"), 5)
+			e.AtLeast("p99 latency at 12800KB (s)", e.V("fig3f", "p99-latency", "12800"), 1e-3)
+		},
+	},
+	// ------------------------------------------------------------- Fig. 4
+	{
+		ID: "fig4-numa-penalty", Sources: []string{"fig4"}, Severity: Gate,
+		Claim: "NIC-remote NUMA placement costs roughly a fifth of throughput-per-core and drives the cache miss rate to ~100% (§3.1, Fig. 4).",
+		Eval: func(e *E) {
+			local := e.V("fig4", "thpt-per-core", "NIC-local NUMA")
+			remote := e.V("fig4", "thpt-per-core", "NIC-remote NUMA")
+			e.Band("remote tpc drop fraction", 1-remote/local, 0.08, 0.30)
+			e.AtLeast("remote miss rate", e.V("fig4", "miss-rate", "NIC-remote NUMA"), 0.95)
+			e.AtMost("local miss rate", e.V("fig4", "miss-rate", "NIC-local NUMA"), 0.8)
+		},
+	},
+	// ------------------------------------------------------------- Fig. 5
+	{
+		ID: "fig5a-tpc-decay", Sources: []string{"fig5a"}, Severity: Gate,
+		Claim: "One-to-one throughput-per-core falls ~64% from 1 to 24 flows even with one flow per core; the link saturates from 8 flows (§3.2, Fig. 5a).",
+		Eval: func(e *E) {
+			tpc := column(e, "fig5a", "+arfs", "1", "8", "16", "24")
+			e.MonotoneDown("aRFS tpc over flow counts", tpc...)
+			e.Band("tpc drop fraction 1->24", 1-tpc[3]/tpc[0], 0.45, 0.75)
+			e.AtLeast("total thpt @ 8 flows (Gbps)", e.V("fig5a", "total-thpt(all)", "8"), 95)
+		},
+	},
+	{
+		ID: "fig5b-sender-sched-rises", Sources: []string{"fig5b"}, Severity: Gate,
+		Claim: "As flows multiply, the sender's data-copy share falls and its scheduling share rises (§3.2, Fig. 5b).",
+		Eval: func(e *E) {
+			e.AtLeast("sched share growth 1->24", e.V("fig5b", "sched", "24")/e.V("fig5b", "sched", "1"), 1.3)
+			e.AtMost("data_copy share ratio 24/1", e.V("fig5b", "data_copy", "24")/e.V("fig5b", "data_copy", "1"), 0.7)
+		},
+	},
+	{
+		ID: "fig5c-receiver-shares-shift", Sources: []string{"fig5c"}, Severity: Gate,
+		Claim: "On the receiver, memory-management share falls (page recycling) while scheduling share rises with flow count (§3.2, Fig. 5c).",
+		Eval: func(e *E) {
+			e.AtMost("memory share ratio 24/1", e.V("fig5c", "memory", "24")/e.V("fig5c", "memory", "1"), 0.7)
+			e.AtLeast("sched share growth 1->24", e.V("fig5c", "sched", "24")/e.V("fig5c", "sched", "1"), 2)
+			e.AtMost("data_copy share ratio 24/1", e.V("fig5c", "data_copy", "24")/e.V("fig5c", "data_copy", "1"), 0.7)
+		},
+	},
+	// ------------------------------------------------------------- Fig. 6
+	{
+		ID: "fig6a-incast-drop", Sources: []string{"fig6a"}, Severity: Gate,
+		Claim: "Incast costs ~19% throughput-per-core at 8 flows versus a single flow (§3.2, Fig. 6a).",
+		Eval: func(e *E) {
+			tpc1, tpc8 := e.V("fig6a", "thpt-per-core", "1"), e.V("fig6a", "thpt-per-core", "8")
+			e.Band("tpc drop fraction 1->8", 1-tpc8/tpc1, 0.10, 0.30)
+			e.AtMost("tpc @ 16 vs @ 8", e.V("fig6a", "thpt-per-core", "16")-tpc8, 0)
+			e.AtLeast("tpc floor @ 24", e.V("fig6a", "thpt-per-core", "24"), 30)
+		},
+	},
+	{
+		ID: "fig6a-monotone-paper", Sources: []string{"fig6a"}, Severity: Advisory,
+		Claim: "Paper: incast throughput-per-core decreases monotonically with flow count. Model diverges: tpc rebounds slightly at 24 flows (see EXPERIMENTS.md).",
+		Eval: func(e *E) {
+			e.MonotoneDown("incast tpc over flow counts",
+				column(e, "fig6a", "thpt-per-core", "1", "8", "16", "24")...)
+		},
+	},
+	{
+		ID: "fig6b-breakdown-stable", Sources: []string{"fig6b"}, Severity: Gate,
+		Claim: "Under incast the receiver breakdown shows no categorical shift: data copy stays dominant at every flow count (§3.2, Fig. 6b).",
+		Eval: func(e *E) {
+			for _, f := range []string{"1", "8", "16", "24"} {
+				e.DominantCategory("incast receiver @ "+f+" flows", "fig6b", "data_copy", f)
+			}
+		},
+	},
+	{
+		ID: "fig6c-miss-climbs", Sources: []string{"fig6c"}, Severity: Gate,
+		Claim: "The incast cache miss rate climbs sharply from 1 to 8 flows, tracking the throughput-per-core loss (§3.2, Fig. 6c).",
+		Eval: func(e *E) {
+			m1 := e.V("fig6c", "miss-rate", "1")
+			e.AtLeast("miss rate growth 1->8", e.V("fig6c", "miss-rate", "8")-m1, 0.2)
+			e.Band("single-flow miss rate", m1, 0.5, 0.75)
+		},
+	},
+	// ------------------------------------------------------------- Fig. 7
+	{
+		ID: "fig7a-outcast-pipeline", Sources: []string{"fig7a", "fig6a"}, Severity: Gate,
+		Claim: "The sender pipeline reaches ~89 Gbps per core at 8 outcast flows, about twice the incast receiver's efficiency (§3.2, Fig. 7a).",
+		Eval: func(e *E) {
+			out8 := e.V("fig7a", "+arfs", "8")
+			e.Within("outcast tpc @ 8 flows (Gbps)", out8, 89, 0.15)
+			e.AtLeast("outcast/incast tpc ratio @ 8", out8/e.V("fig6a", "thpt-per-core", "8"), 1.8)
+		},
+	},
+	{
+		ID: "fig7b-sender-copy-dominant", Sources: []string{"fig7b"}, Severity: Gate,
+		Claim: "Data copy remains the sender's dominant consumer at every outcast flow count (§3.2, Fig. 7b).",
+		Eval: func(e *E) {
+			for _, f := range []string{"1", "8", "16", "24"} {
+				e.DominantCategory("outcast sender @ "+f+" flows", "fig7b", "data_copy", f)
+			}
+		},
+	},
+	{
+		ID: "fig7c-sender-saturates", Sources: []string{"fig7c"}, Severity: Gate,
+		Claim: "The outcast sender core is underutilized at 1 flow and saturated from 8 flows on (§3.2, Fig. 7c).",
+		Eval: func(e *E) {
+			e.Band("sender cpu @ 1 flow", e.V("fig7c", "sender-cpu", "1"), 0.35, 0.7)
+			for _, f := range []string{"8", "16", "24"} {
+				e.AtLeast("sender cpu @ "+f+" flows", e.V("fig7c", "sender-cpu", f), 0.99)
+			}
+		},
+	},
+	// ------------------------------------------------------------- Fig. 8
+	{
+		ID: "fig8a-alltoall-collapse", Sources: []string{"fig8a"}, Severity: Gate,
+		Claim: "All-to-all throughput-per-core decreases monotonically with grid size, losing ~67% from 1x1 to 24x24 (§3.2, Fig. 8a).",
+		Eval: func(e *E) {
+			tpc := column(e, "fig8a", "thpt-per-core", "1x1", "8x8", "16x16", "24x24")
+			e.MonotoneDown("tpc over grid sizes", tpc...)
+			e.Band("tpc drop fraction 1x1->24x24", 1-tpc[3]/tpc[0], 0.5, 0.8)
+		},
+	},
+	{
+		ID: "fig8b-category-shift", Sources: []string{"fig8b"}, Severity: Gate,
+		Claim: "All-to-all shifts receiver cycles from memory into TCP/IP (smaller skbs) and scheduling (§3.2, Fig. 8b).",
+		Eval: func(e *E) {
+			e.AtLeast("tcp/ip share growth 1x1->24x24", e.V("fig8b", "tcp/ip", "24x24")/e.V("fig8b", "tcp/ip", "1x1"), 1.8)
+			e.AtMost("memory share ratio 24x24/1x1", e.V("fig8b", "memory", "24x24")/e.V("fig8b", "memory", "1x1"), 0.7)
+			e.AtLeast("sched share growth 1x1->24x24", e.V("fig8b", "sched", "24x24")/e.V("fig8b", "sched", "1x1"), 3)
+		},
+	},
+	{
+		ID: "fig8c-skb-collapse", Sources: []string{"fig8c"}, Severity: Gate,
+		Claim: "The 64KB post-GRO skb share collapses to zero and average skb size falls monotonically as the grid grows (§3.2, Fig. 8c).",
+		Eval: func(e *E) {
+			e.AtLeast("64KB share @ 1x1", e.V("fig8c", "64KB-share", "1x1"), 0.6)
+			for _, g := range []string{"8x8", "16x16", "24x24"} {
+				e.AtMost("64KB share @ "+g, e.V("fig8c", "64KB-share", g), 0.05)
+			}
+			e.MonotoneDown("avg skb size over grid sizes",
+				column(e, "fig8c", "avg-skb-KB", "1x1", "8x8", "16x16", "24x24")...)
+		},
+	},
+	// ------------------------------------------------------------- Fig. 9
+	{
+		ID: "fig9a-retransmits", Sources: []string{"fig9a"}, Severity: Gate,
+		Claim: "Retransmissions grow monotonically with the loss rate, and heavy loss costs total throughput (§3.3, Fig. 9a).",
+		Eval: func(e *E) {
+			e.MonotoneUp("retransmits over loss rates",
+				column(e, "fig9a", "retransmits", "0", "1.5e-04", "1.5e-03", "1.5e-02")...)
+			e.AtLeast("retransmits @ 1.5e-02", e.V("fig9a", "retransmits", "1.5e-02"), 100)
+			e.AtMost("total thpt ratio @ 1.5e-02 vs lossless",
+				e.V("fig9a", "total-thpt", "1.5e-02")/e.V("fig9a", "total-thpt", "0"), 0.95)
+		},
+	},
+	{
+		ID: "fig9a-tpc-paper", Sources: []string{"fig9a"}, Severity: Advisory,
+		Claim: "Paper: throughput-per-core drops ~24% at 0.015 loss. Model diverges: simulated cache-hit relief outweighs protocol overheads, so tpc does not fall (see EXPERIMENTS.md).",
+		Eval: func(e *E) {
+			e.AtMost("tpc ratio @ 1.5e-02 vs lossless",
+				e.V("fig9a", "thpt-per-core", "1.5e-02")/e.V("fig9a", "thpt-per-core", "0"), 0.9)
+		},
+	},
+	{
+		ID: "fig9b-loss-relieves-receiver", Sources: []string{"fig9b"}, Severity: Gate,
+		Claim: "At heavy loss the receiver drops below saturation and its cache miss rate collapses (§3.3, Fig. 9b).",
+		Eval: func(e *E) {
+			e.AtLeast("receiver cpu @ lossless", e.V("fig9b", "receiver-cpu", "0"), 0.99)
+			e.AtMost("receiver cpu @ 1.5e-02", e.V("fig9b", "receiver-cpu", "1.5e-02"), 0.8)
+			e.AtMost("miss rate @ 1.5e-02", e.V("fig9b", "miss-rate", "1.5e-02"), 0.2)
+		},
+	},
+	{
+		ID: "fig9c-sender-loss-overheads", Sources: []string{"fig9c"}, Severity: Gate,
+		Claim: "Loss inflates the sender's netdev and TCP/IP shares (retransmissions, ACK processing) (§3.3, Fig. 9c).",
+		Eval: func(e *E) {
+			e.AtLeast("netdev share growth lossless->1.5e-02", e.V("fig9c", "netdev", "1.5e-02")/e.V("fig9c", "netdev", "0"), 1.2)
+			e.AtLeast("tcp/ip share growth lossless->1.5e-02", e.V("fig9c", "tcp/ip", "1.5e-02")/e.V("fig9c", "tcp/ip", "0"), 1.03)
+		},
+	},
+	{
+		ID: "fig9d-dupack-tcp-share", Sources: []string{"fig9d"}, Severity: Gate,
+		Claim: "Dup-ACK generation raises the receiver's TCP/IP share substantially at 0.015 loss (paper: 4.9x; model: ~1.7x) (§3.3, Fig. 9d).",
+		Eval: func(e *E) {
+			e.Band("tcp/ip share growth lossless->1.5e-02",
+				e.V("fig9d", "tcp/ip", "1.5e-02")/e.V("fig9d", "tcp/ip", "0"), 1.3, 2.5)
+		},
+	},
+	{
+		ID: "fig9d-tcp-growth-paper", Sources: []string{"fig9d"}, Severity: Advisory,
+		Claim: "Paper: the receiver TCP/IP share grows 4.9x at 0.015 loss. Model diverges: growth is ~1.7x because simulated dup-ACK costs are milder (see EXPERIMENTS.md).",
+		Eval: func(e *E) {
+			e.AtLeast("tcp/ip share growth lossless->1.5e-02",
+				e.V("fig9d", "tcp/ip", "1.5e-02")/e.V("fig9d", "tcp/ip", "0"), 4)
+		},
+	},
+	// ------------------------------------------------------------ Fig. 10
+	{
+		ID: "fig10a-rpc-scaling", Sources: []string{"fig10a"}, Severity: Gate,
+		Claim: "RPC throughput-per-core grows with RPC size (~6 Gbps/core one-way at 4KB) while the RPC rate falls (§3.4, Fig. 10a).",
+		Eval: func(e *E) {
+			sizes := []string{"4", "16", "32", "64"}
+			e.MonotoneUp("tpc over RPC sizes", column(e, "fig10a", "thpt-per-core", sizes...)...)
+			e.MonotoneDown("RPC rate over RPC sizes", column(e, "fig10a", "rpcs-per-sec", sizes...)...)
+			e.Within("tpc @ 4KB (Gbps)", e.V("fig10a", "thpt-per-core", "4"), 6, 0.25)
+		},
+	},
+	{
+		ID: "fig10b-small-rpc-not-copy", Sources: []string{"fig10b"}, Severity: Gate,
+		Claim: "At 4KB RPCs data copy is NOT the dominant overhead (TCP/IP and scheduling are); by 64KB it is (§3.4, Fig. 10b).",
+		Eval: func(e *E) {
+			copy4 := e.V("fig10b", "data_copy", "4")
+			e.AtLeast("tcp/ip margin over copy @ 4KB", e.V("fig10b", "tcp/ip", "4")-copy4, 0.1)
+			e.AtLeast("sched margin over copy @ 4KB", e.V("fig10b", "sched", "4")-copy4, 0.05)
+			e.DominantCategory("RPC server @ 64KB", "fig10b", "data_copy", "64")
+		},
+	},
+	{
+		ID: "fig10c-rpc-numa-insensitive", Sources: []string{"fig10c", "fig4"}, Severity: Gate,
+		Claim: "Unlike long flows, 4KB RPC throughput barely changes on NIC-remote NUMA (§3.4, Fig. 10c).",
+		Eval: func(e *E) {
+			rpcDrop := 1 - e.V("fig10c", "thpt-per-core", "NIC-remote NUMA")/e.V("fig10c", "thpt-per-core", "NIC-local NUMA")
+			longDrop := 1 - e.V("fig4", "thpt-per-core", "NIC-remote NUMA")/e.V("fig4", "thpt-per-core", "NIC-local NUMA")
+			e.AtMost("RPC remote tpc drop fraction", rpcDrop, 0.15)
+			e.AtLeast("long-flow drop minus RPC drop", longDrop-rpcDrop, 0.03)
+		},
+	},
+	// ------------------------------------------------------------ Fig. 11
+	{
+		ID: "fig11a-mixed-degradation", Sources: []string{"fig11a"}, Severity: Gate,
+		Claim: "Colocated short flows progressively starve the long flow; 16 shorts cost ~43% of per-core throughput (§3.4, Fig. 11a).",
+		Eval: func(e *E) {
+			shorts := []string{"0", "1", "4", "16"}
+			e.MonotoneDown("long-flow Gbps over short counts", column(e, "fig11a", "long-flow-gbps", shorts...)...)
+			e.MonotoneUp("short-flow Gbps over short counts", column(e, "fig11a", "short-gbps(one-way)", shorts...)...)
+			e.Band("tpc drop fraction 0->16 shorts",
+				1-e.V("fig11a", "thpt-per-core", "16")/e.V("fig11a", "thpt-per-core", "0"), 0.3, 0.55)
+		},
+	},
+	{
+		ID: "fig11b-shares-shift", Sources: []string{"fig11b"}, Severity: Gate,
+		Claim: "Copy stays the receiver's largest category under mixed load, but TCP/IP and scheduling shares grow with the short-flow count (§3.4, Fig. 11b).",
+		Eval: func(e *E) {
+			e.DominantCategory("mixed receiver @ 16 shorts", "fig11b", "data_copy", "16")
+			e.AtLeast("sched share growth 0->16", e.V("fig11b", "sched", "16")/e.V("fig11b", "sched", "0"), 3)
+			e.AtLeast("tcp/ip share growth 0->16", e.V("fig11b", "tcp/ip", "16")/e.V("fig11b", "tcp/ip", "0"), 1.5)
+		},
+	},
+	// ------------------------------------------------------------ Fig. 12
+	{
+		ID: "fig12a-dca-iommu-penalties", Sources: []string{"fig12a"}, Severity: Gate,
+		Claim: "Disabling DCA costs ~19% of throughput-per-core and enabling the IOMMU ~26% (§3.5, Fig. 12a).",
+		Eval: func(e *E) {
+			e.Band("DCA-disabled tpc delta", e.V("fig12a", "vs-default", "DCA Disabled"), -0.30, -0.08)
+			e.Band("IOMMU-enabled tpc delta", e.V("fig12a", "vs-default", "IOMMU Enabled"), -0.40, -0.15)
+		},
+	},
+	{
+		ID: "fig12b-iommu-sender-memory", Sources: []string{"fig12b"}, Severity: Gate,
+		Claim: "The IOMMU inflates the sender's memory-management share past every other category (§3.5, Fig. 12b).",
+		Eval: func(e *E) {
+			e.AtLeast("IOMMU/default memory share ratio",
+				e.V("fig12b", "memory", "IOMMU Enabled")/e.V("fig12b", "memory", "Default"), 2.5)
+			e.DominantCategory("IOMMU sender", "fig12b", "memory", "IOMMU Enabled")
+		},
+	},
+	{
+		ID: "fig12c-iommu-receiver-memory", Sources: []string{"fig12c"}, Severity: Gate,
+		Claim: "With the IOMMU, memory management reaches ~30% of receiver cycles (§3.5, Fig. 12c).",
+		Eval: func(e *E) {
+			e.Band("IOMMU receiver memory share", e.V("fig12c", "memory", "IOMMU Enabled"), 0.25, 0.45)
+			e.AtLeast("IOMMU/default memory share ratio",
+				e.V("fig12c", "memory", "IOMMU Enabled")/e.V("fig12c", "memory", "Default"), 2.5)
+		},
+	},
+	// ------------------------------------------------------------ Fig. 13
+	{
+		ID: "fig13a-cc-insensitive", Sources: []string{"fig13a"}, Severity: Gate,
+		Claim: "Congestion control choice barely moves single-flow throughput-per-core: the bottleneck is the receiver's host stack (§3.6, Fig. 13a).",
+		Eval: func(e *E) {
+			hi, lo := colMax(e, "fig13a", "thpt-per-core"), colMin(e, "fig13a", "thpt-per-core")
+			e.AtMost("tpc spread across protocols", (hi-lo)/hi, 0.05)
+		},
+	},
+	{
+		ID: "fig13b-bbr-pacing-sched", Sources: []string{"fig13b"}, Severity: Gate,
+		Claim: "BBR pays extra scheduling cycles for pacing-timer wakeups on the sender (§3.6, Fig. 13b).",
+		Eval: func(e *E) {
+			e.AtLeast("bbr/cubic sender sched share ratio",
+				e.V("fig13b", "sched", "bbr")/e.V("fig13b", "sched", "cubic"), 1.5)
+		},
+	},
+	{
+		ID: "fig13c-receiver-identical", Sources: []string{"fig13c"}, Severity: Gate,
+		Claim: "Receiver-side breakdowns are nearly identical across congestion control protocols (§3.6, Fig. 13c).",
+		Eval: func(e *E) {
+			for _, col := range []string{"data_copy", "tcp/ip", "sched"} {
+				e.AtMost("|bbr-cubic| "+col+" share gap",
+					math.Abs(e.V("fig13c", col, "bbr")-e.V("fig13c", col, "cubic")), 0.01)
+			}
+		},
+	},
+	// ------------------------------------------------------------ Table 2
+	{
+		ID: "table2-steering", Sources: []string{"table2"}, Severity: Gate,
+		Claim: "RSS hashes the 4-tuple onto an arbitrary core while aRFS always selects the application's core (§2.1, Table 2).",
+		Eval: func(e *E) {
+			for _, flow := range []string{"1", "2", "3", "4"} {
+				e.True("aRFS matches app core, flow "+flow, e.Cell("table2", "aRFS==app", flow) == "true")
+				e.True("RSS differs from app core, flow "+flow,
+					e.Cell("table2", "RSS(hash)", flow) != e.Cell("table2", "app-core", flow))
+				e.True("worst-case pin is a fixed core, flow "+flow, e.Cell("table2", "worst-case pin", flow) == "6")
+			}
+		},
+	},
+	// ---------------------------------------------------------- Extensions
+	{
+		ID: "ext1-arfs-wins-per-core", Sources: []string{"ext1"}, Severity: Gate,
+		Claim: "aRFS wins per-core efficiency (one warm core does IRQ+TCP+app); plain RSS pipelines across cores for higher total but lower per-core throughput (§2.1).",
+		Eval: func(e *E) {
+			arfs := e.V("ext1", "thpt-per-core", "arfs")
+			e.AtLeast("arfs margin over best alternative", arfs-colMax(e, "ext1", "thpt-per-core"), 0)
+			e.AtLeast("worst-pin deficit to minimum", colMin(e, "ext1", "thpt-per-core")-e.V("ext1", "thpt-per-core", "worst"), 0)
+			e.Band("arfs receiver busy cores", e.V("ext1", "rcv-busy-cores", "arfs"), 0.99, 1.01)
+			e.AtLeast("rss total-thpt margin over arfs", e.V("ext1", "total-thpt", "rss")-e.V("ext1", "total-thpt", "arfs"), 10)
+		},
+	},
+	{
+		ID: "ext2-zerocopy-asymmetry", Sources: []string{"ext2"}, Severity: Gate,
+		Claim: "Sender-side zero-copy halves sender CPU but cannot raise a receiver-bound flow's throughput; receiver-side zero-copy removes the dominant overhead (§4).",
+		Eval: func(e *E) {
+			base := e.V("ext2", "thpt-per-core", "baseline (copies)")
+			e.AtMost("tx-ZC tpc deviation from baseline",
+				math.Abs(e.V("ext2", "thpt-per-core", "MSG_ZEROCOPY (tx)")-base)/base, 0.05)
+			e.AtMost("tx-ZC sender busy ratio",
+				e.V("ext2", "snd-busy", "MSG_ZEROCOPY (tx)")/e.V("ext2", "snd-busy", "baseline (copies)"), 0.75)
+			e.AtLeast("rx-ZC tpc gain over baseline", e.V("ext2", "thpt-per-core", "mmap receive (rx)")/base, 1.25)
+			e.AtMost("rx-ZC residual copy share", e.V("ext2", "rcv-copy-share", "mmap receive (rx)"), 0.01)
+		},
+	},
+	{
+		ID: "ext3-segregation-restores", Sources: []string{"ext3"}, Severity: Gate,
+		Claim: "Scheduling long-flow and short-flow applications on separate cores restores each class to near its isolated efficiency (§4).",
+		Eval: func(e *E) {
+			e.AtLeast("segregated/shared long-flow ratio",
+				e.V("ext3", "long-gbps", "segregated cores (§4)")/e.V("ext3", "long-gbps", "shared core (Fig. 11)"), 1.5)
+			e.AtLeast("segregated/shared short-flow ratio",
+				e.V("ext3", "short-gbps(one-way)", "segregated cores (§4)")/e.V("ext3", "short-gbps(one-way)", "shared core (Fig. 11)"), 1.5)
+		},
+	},
+	{
+		ID: "ext4-link-bottleneck-flip", Sources: []string{"ext4"}, Severity: Gate,
+		Claim: "A single core saturates 10-40G links; from 100G on, the host CPU is the bottleneck (§1, §3.1).",
+		Eval: func(e *E) {
+			for _, link := range []string{"10G", "25G", "40G"} {
+				e.Band("link utilization @ "+link, e.V("ext4", "link-utilization", link), 0.95, 1.0)
+				e.True("bottleneck is the link @ "+link, e.Cell("ext4", "bottleneck", link) == "link")
+			}
+			e.AtMost("link utilization @ 100G", e.V("ext4", "link-utilization", "100G"), 0.6)
+			for _, link := range []string{"100G", "200G", "400G"} {
+				e.True("bottleneck is host CPU @ "+link, e.Cell("ext4", "bottleneck", link) == "host CPU")
+			}
+		},
+	},
+	{
+		ID: "ext5-saturated-fairness", Sources: []string{"ext5"}, Severity: Gate,
+		Claim: "At saturation, throughput is shared fairly among flows: Jain's index stays near 1 for every traffic pattern (§3.2).",
+		Eval: func(e *E) {
+			e.AtLeast("minimum fairness index across patterns", colMin(e, "ext5", "fairness"), 0.99)
+		},
+	},
+	{
+		ID: "ext6-dca-aware-autotuning", Sources: []string{"ext6"}, Severity: Gate,
+		Claim: "Capping receive autotuning at the DDIO capacity recovers most of the hand-tuned window's gain without manual parameters (§4).",
+		Eval: func(e *E) {
+			aware := e.V("ext6", "thpt-per-core", "DCA-aware DRS")
+			e.AtLeast("DCA-aware/default tpc ratio", aware/e.V("ext6", "thpt-per-core", "default DRS (to 6MB)"), 1.15)
+			e.AtLeast("DCA-aware fraction of hand-tuned tpc", aware/e.V("ext6", "thpt-per-core", "hand-tuned 3200KB"), 0.85)
+		},
+	},
+	{
+		ID: "ext7-receiver-driven", Sources: []string{"ext7"}, Severity: Gate,
+		Claim: "Receiver-driven scheduling that bounds concurrent senders restores cache hits and per-core throughput under incast (§3.3, §4).",
+		Eval: func(e *E) {
+			plain := e.V("ext7", "thpt-per-core", "none (plain TCP)")
+			e.AtLeast("K=1 / plain-TCP tpc ratio", e.V("ext7", "thpt-per-core", "K=1 active flow")/plain, 1.2)
+			e.AtMost("K=1 minus plain-TCP miss-rate gap", e.V("ext7", "miss-rate", "K=1 active flow")-e.V("ext7", "miss-rate", "none (plain TCP)"), -0.3)
+			e.AtLeast("minimum fairness under rotation", colMin(e, "ext7", "fairness"), 0.98)
+		},
+	},
+	// ----------------------------------------------------------- Ablations
+	{
+		ID: "abl1-cache-hazard", Sources: []string{"abl1"}, Severity: Gate,
+		Claim: "Fig. 3e's ring-size sensitivity requires the cache-occupancy hazard: without it a large ring no longer hurts, and doubling it is catastrophic.",
+		Eval: func(e *E) {
+			e.AtMost("miss rate with hazard off", e.V("abl1", "miss-rate", "off"), 0.1)
+			e.Band("miss rate at default hazard", e.V("abl1", "miss-rate", "default (0.035)"), 0.3, 0.65)
+			e.AtLeast("miss rate at 2x hazard", e.V("abl1", "miss-rate", "2x (0.07)"), 0.75)
+			e.MonotoneDown("throughput over hazard strengths",
+				e.V("abl1", "thpt-gbps", "off"), e.V("abl1", "thpt-gbps", "default (0.035)"), e.V("abl1", "thpt-gbps", "2x (0.07)"))
+		},
+	},
+	{
+		ID: "abl2-tsq-budget", Sources: []string{"abl2"}, Severity: Gate,
+		Claim: "TSQ bounds per-flow egress bursts: growing the budget never shrinks all-to-all skb sizes (§3.2 mechanism).",
+		Eval: func(e *E) {
+			e.MonotoneUp("avg skb size over TSQ budgets",
+				e.V("abl2", "avg-skb-KB", "64KB"), e.V("abl2", "avg-skb-KB", "256KB (default)"), e.V("abl2", "avg-skb-KB", "16MB (effectively off)"))
+			e.AtLeast("16MB minus 64KB tpc gap", e.V("abl2", "thpt-per-core", "16MB (effectively off)")-e.V("abl2", "thpt-per-core", "64KB"), 0)
+		},
+	},
+	{
+		ID: "abl3-irq-moderation", Sources: []string{"abl3"}, Severity: Gate,
+		Claim: "GRO batching depends on IRQ coalescing: tiny moderation delays shrink aggregates and cost throughput-per-core.",
+		Eval: func(e *E) {
+			e.MonotoneUp("tpc over moderation delays",
+				e.V("abl3", "thpt-per-core", "1us"), e.V("abl3", "thpt-per-core", "12us (default)"), e.V("abl3", "thpt-per-core", "50us"))
+			e.AtMost("1us minus default 64KB-share gap",
+				e.V("abl3", "64KB-share", "1us")-e.V("abl3", "64KB-share", "12us (default)"), -0.05)
+		},
+	},
+	{
+		ID: "abl4-sched-granularity", Sources: []string{"abl4"}, Severity: Gate,
+		Claim: "Fig. 11's long/short split hinges on wakeup batching: finer scheduler granularity starves the bulk flow, coarser granularity throttles the RPCs.",
+		Eval: func(e *E) {
+			e.MonotoneUp("long-flow Gbps over granularities",
+				e.V("abl4", "long-gbps", "25us"), e.V("abl4", "long-gbps", "250us (default)"), e.V("abl4", "long-gbps", "1ms"))
+			e.MonotoneDown("short-flow Gbps over granularities",
+				e.V("abl4", "short-gbps", "25us"), e.V("abl4", "short-gbps", "250us (default)"), e.V("abl4", "short-gbps", "1ms"))
+		},
+	},
+	{
+		ID: "abl5-pageset-recycling", Sources: []string{"abl5"}, Severity: Gate,
+		Claim: "Fig. 5c's falling memory share requires per-core pageset recycling; without it every page hits the global allocator and throughput falls.",
+		Eval: func(e *E) {
+			e.AtLeast("disabled/default memory share ratio",
+				e.V("abl5", "rcv-memory-share", "disabled")/e.V("abl5", "rcv-memory-share", "512 pages (default)"), 2)
+			e.AtMost("disabled minus default tpc gap",
+				e.V("abl5", "thpt-per-core", "disabled")-e.V("abl5", "thpt-per-core", "512 pages (default)"), -2)
+		},
+	},
+	// ------------------------------------------------------------ Appendix
+	{
+		ID: "app1-incast-sender", Sources: []string{"app1"}, Severity: Gate,
+		Claim: "The incast sender's breakdown stays copy-dominated at every flow count (Fig. 6 companion, [7]).",
+		Eval: func(e *E) {
+			for _, f := range []string{"1", "8", "16", "24"} {
+				e.DominantCategory("incast sender @ "+f+" flows", "app1", "data_copy", f)
+			}
+		},
+	},
+	{
+		ID: "app2-outcast-receiver", Sources: []string{"app2"}, Severity: Gate,
+		Claim: "The outcast receivers stay copy-dominated; spreading flows raises their memory-management share (Fig. 7 companion, [7]).",
+		Eval: func(e *E) {
+			for _, f := range []string{"1", "8", "16", "24"} {
+				e.DominantCategory("outcast receiver @ "+f+" flows", "app2", "data_copy", f)
+			}
+			e.AtLeast("memory share growth 1->8", e.V("app2", "memory", "8")/e.V("app2", "memory", "1"), 1.5)
+		},
+	},
+	{
+		ID: "app3-client-mirrors-server", Sources: []string{"app3"}, Severity: Gate,
+		Claim: "RPC clients mirror the server's shift from protocol+scheduling overhead to data copy as RPCs grow (Fig. 10 companion, [7]).",
+		Eval: func(e *E) {
+			e.MonotoneUp("client copy share over RPC sizes", column(e, "app3", "data_copy", "4", "16", "32", "64")...)
+			e.AtLeast("tcp/ip margin over copy @ 4KB", e.V("app3", "tcp/ip", "4")-e.V("app3", "data_copy", "4"), 0.1)
+		},
+	},
+	{
+		ID: "app4-client-shift", Sources: []string{"app4"}, Severity: Gate,
+		Claim: "On the mixed workload's client, scheduling share grows and copy share falls as short flows are added (Fig. 11 companion, [7]).",
+		Eval: func(e *E) {
+			shorts := []string{"0", "1", "4", "16"}
+			e.MonotoneUp("client sched share over short counts", column(e, "app4", "sched", shorts...)...)
+			e.MonotoneDown("client copy share over short counts", column(e, "app4", "data_copy", shorts...)...)
+		},
+	},
+	{
+		ID: "app5-alltoall-sender", Sources: []string{"app5"}, Severity: Gate,
+		Claim: "All-to-all senders pay growing scheduling overhead with thread count per core, at the expense of copy share (Fig. 8 companion, [7], §3.5).",
+		Eval: func(e *E) {
+			e.AtLeast("sched share growth 1x1->8x8", e.V("app5", "sched", "8x8")/e.V("app5", "sched", "1x1"), 2.5)
+			e.AtMost("copy share ratio 8x8/1x1", e.V("app5", "data_copy", "8x8")/e.V("app5", "data_copy", "1x1"), 0.7)
+		},
+	},
+}

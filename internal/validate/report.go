@@ -1,0 +1,184 @@
+package validate
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Report is one full validation run: provenance, per-hypothesis results
+// and the verdict tally. It renders deterministically — no timestamps,
+// no map-order dependence — so the committed FINDINGS baseline can be
+// compared byte-for-byte in CI.
+type Report struct {
+	Seed      int64              `json:"seed"`
+	Warmup    string             `json:"warmup"`
+	Duration  string             `json:"duration"`
+	Checked   bool               `json:"checked"`
+	CostScale map[string]float64 `json:"cost_scale,omitempty"`
+
+	Tables     []string           `json:"tables"`
+	Hypotheses []HypothesisResult `json:"hypotheses"`
+
+	GatePass     int `json:"gate_pass"`
+	GateFail     int `json:"gate_fail"`
+	AdvisoryPass int `json:"advisory_pass"`
+	AdvisoryFail int `json:"advisory_fail"`
+}
+
+// GateOK reports whether every gate hypothesis passed.
+func (r *Report) GateOK() bool { return r.GateFail == 0 }
+
+// jsonFloat drops non-finite values to null so the report marshals.
+func jsonFloat(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+// MarshalJSON sanitizes the band endpoints (one-sided checks carry
+// ±Inf, shape checks carry NaN expectations) into nulls.
+func (c Check) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Name     string   `json:"name"`
+		Observed *float64 `json:"observed"`
+		Lo       *float64 `json:"lo"`
+		Hi       *float64 `json:"hi"`
+		Want     *float64 `json:"want"`
+		Consumed float64  `json:"consumed"`
+		Pass     bool     `json:"pass"`
+	}{c.Name, jsonFloat(c.Observed), jsonFloat(c.Lo), jsonFloat(c.Hi),
+		jsonFloat(c.Want), c.Consumed(), c.Pass})
+}
+
+// JSON renders the machine-readable report.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+func verdict(pass bool) string {
+	if pass {
+		return "PASS"
+	}
+	return "FAIL"
+}
+
+// fnum renders a float compactly and deterministically for the report.
+func fnum(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "n/a"
+	case math.IsInf(v, 1):
+		return "+inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	}
+	s := fmt.Sprintf("%.4g", v)
+	// %.4g can emit exponents for tiny values; keep them, they are
+	// deterministic.
+	return s
+}
+
+func bandString(c Check) string {
+	loInf, hiInf := math.IsInf(c.Lo, -1), math.IsInf(c.Hi, 1)
+	switch {
+	case loInf && hiInf:
+		return "any"
+	case hiInf:
+		return ">= " + fnum(c.Lo)
+	case loInf:
+		return "<= " + fnum(c.Hi)
+	case c.Lo == c.Hi:
+		return "= " + fnum(c.Lo)
+	default:
+		return "[" + fnum(c.Lo) + ", " + fnum(c.Hi) + "]"
+	}
+}
+
+// Markdown renders the FINDINGS report: provenance, a verdict summary,
+// the per-hypothesis table with error magnitudes, then per-hypothesis
+// evidence sections (every check with its observed value and band).
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	b.WriteString("# FINDINGS: paper-claim validation\n\n")
+	b.WriteString("Machine-checked hypotheses over the regenerated figure tables\n")
+	b.WriteString("(`go run ./cmd/validate` regenerates this report; see README\n")
+	b.WriteString("\"Fidelity & calibration\").\n\n")
+
+	b.WriteString("## Provenance\n\n")
+	fmt.Fprintf(&b, "- seed %d, warmup %s, measurement window %s\n", r.Seed, r.Warmup, r.Duration)
+	fmt.Fprintf(&b, "- invariant checker armed: %v\n", r.Checked)
+	if len(r.CostScale) > 0 {
+		keys := make([]string, 0, len(r.CostScale))
+		for k := range r.CostScale {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = fmt.Sprintf("%s x%s", k, fnum(r.CostScale[k]))
+		}
+		fmt.Fprintf(&b, "- PERTURBED cost model: %s\n", strings.Join(parts, ", "))
+	} else {
+		b.WriteString("- cost model: default calibration (internal/cpumodel)\n")
+	}
+	fmt.Fprintf(&b, "- %d hypotheses over %d regenerated tables: %s\n\n",
+		len(r.Hypotheses), len(r.Tables), strings.Join(r.Tables, ", "))
+
+	b.WriteString("## Verdict\n\n")
+	fmt.Fprintf(&b, "| severity | pass | fail |\n|---|---|---|\n")
+	fmt.Fprintf(&b, "| gate | %d | %d |\n", r.GatePass, r.GateFail)
+	fmt.Fprintf(&b, "| advisory | %d | %d |\n\n", r.AdvisoryPass, r.AdvisoryFail)
+	if r.GateOK() {
+		b.WriteString("**GATE: PASS** — every gate hypothesis holds.\n")
+	} else {
+		b.WriteString("**GATE: FAIL** — at least one gate hypothesis is out of band.\n")
+	}
+	if r.AdvisoryFail > 0 {
+		fmt.Fprintf(&b, "%d advisory hypotheses fail; these document known "+
+			"model-vs-paper divergences (see EXPERIMENTS.md).\n", r.AdvisoryFail)
+	}
+	b.WriteByte('\n')
+
+	b.WriteString("## Hypotheses\n\n")
+	b.WriteString("err = largest fraction of a check's accepted band consumed (1.0 = on the edge);\n")
+	b.WriteString("MAPE = mean abs. % error over checks pinning a paper value.\n\n")
+	b.WriteString("| id | severity | sources | verdict | err | MAPE |\n|---|---|---|---|---|---|\n")
+	for _, h := range r.Hypotheses {
+		mape := "-"
+		if h.MAPE != nil {
+			mape = fnum(*h.MAPE) + "%"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s |\n",
+			h.ID, h.Severity, strings.Join(h.Sources, " "), verdict(h.Pass), fnum(h.ErrMag), mape)
+	}
+	b.WriteByte('\n')
+
+	b.WriteString("## Evidence\n\n")
+	for _, h := range r.Hypotheses {
+		fmt.Fprintf(&b, "### %s (%s) — %s\n\n", h.ID, h.Severity, verdict(h.Pass))
+		fmt.Fprintf(&b, "%s\n\n", h.Claim)
+		if len(h.Checks) > 0 {
+			b.WriteString("| check | observed | accepted | err | verdict |\n|---|---|---|---|---|\n")
+			for _, c := range h.Checks {
+				fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n",
+					c.Name, fnum(c.Observed), bandString(c), fnum(c.Consumed()), verdict(c.Pass))
+			}
+			b.WriteByte('\n')
+		}
+		for _, err := range h.Errors {
+			fmt.Fprintf(&b, "- error: %s\n", err)
+		}
+		if len(h.Errors) > 0 {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

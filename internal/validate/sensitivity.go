@@ -1,0 +1,203 @@
+package validate
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"hostsim/internal/cpumodel"
+	"hostsim/internal/figures"
+)
+
+// Sensitivity mode: one-factor-at-a-time sweeps over per-operation
+// cycle-cost knobs. Every sweep point regenerates the hypotheses'
+// source tables under a perturbed cost model (hostsim.Config.CostScale)
+// and re-evaluates the full hypothesis set; hypotheses whose verdict
+// differs from the baseline at that point have "flipped". Claims that
+// flip under mild perturbations are fragile — they genuinely depend on
+// the calibrated constant — while claims that never flip are robust
+// structural properties of the model.
+
+// HeadlineKnobs are the cost-model constants most likely to move paper
+// claims: the data-copy path, per-skb protocol costs, batching, and the
+// scheduling/allocation costs behind the multi-flow figures.
+var HeadlineKnobs = []string{
+	"ACKProcess",
+	"ContextSwitch",
+	"CopyHit",
+	"CopyMissLocal",
+	"GROMergeFrame",
+	"IRQEntry",
+	"PageAllocGlobal",
+	"SockLockContended",
+	"SyscallBase",
+	"TCPRxPerSKB",
+}
+
+// DefaultFactors bracket each knob at mild and strong perturbations in
+// both directions.
+var DefaultFactors = []float64{0.5, 0.8, 1.25, 2}
+
+// SweepPoint is one (knob, factor) evaluation.
+type SweepPoint struct {
+	Knob     string  `json:"knob"`
+	Factor   float64 `json:"factor"`
+	GateFail int     `json:"gate_fail"`
+	// Flipped lists hypotheses whose verdict differs from baseline at
+	// this point, in declaration order.
+	Flipped []string `json:"flipped,omitempty"`
+	Err     string   `json:"err,omitempty"`
+}
+
+// Sensitivity is a full one-factor sweep result.
+type Sensitivity struct {
+	Seed     int64     `json:"seed"`
+	Warmup   string    `json:"warmup"`
+	Duration string    `json:"duration"`
+	Knobs    []string  `json:"knobs"`
+	Factors  []float64 `json:"factors"`
+
+	// Baseline maps hypothesis id -> verdict at factor 1.
+	Baseline map[string]bool `json:"baseline"`
+	Points   []SweepPoint    `json:"points"`
+
+	// Fragile lists hypotheses that flipped at >= 1 sweep point;
+	// Robust lists those that never flipped. Declaration order.
+	Fragile []string `json:"fragile"`
+	Robust  []string `json:"robust"`
+}
+
+// Sweep runs the one-factor sensitivity analysis. The baseline is rc as
+// given; each point overlays one knob's factor on rc.CostScale. Points
+// run serially (each already fans out rc.Jobs simulations); the memoized
+// run cache is cleared after each perturbed point so a long sweep does
+// not hold every perturbed simulation in memory.
+func Sweep(hyps []Hypothesis, rc figures.RunConfig, knobs []string, factors []float64) (*Sensitivity, error) {
+	if len(knobs) == 0 {
+		knobs = HeadlineKnobs
+	}
+	if len(factors) == 0 {
+		factors = DefaultFactors
+	}
+	for _, k := range knobs {
+		if !cpumodel.IsCostName(k) {
+			return nil, fmt.Errorf("validate: unknown cost knob %q (see CostNames)", k)
+		}
+	}
+	for _, f := range factors {
+		if math.IsNaN(f) || math.IsInf(f, 0) || f <= 0 {
+			return nil, fmt.Errorf("validate: invalid sweep factor %v", f)
+		}
+	}
+
+	base, err := Run(hyps, rc)
+	if err != nil {
+		return nil, fmt.Errorf("validate: baseline sweep run: %w", err)
+	}
+	s := &Sensitivity{
+		Seed: rc.Seed, Warmup: rc.Warmup.String(), Duration: rc.Duration.String(),
+		Knobs: knobs, Factors: factors, Baseline: map[string]bool{},
+	}
+	for _, h := range base.Hypotheses {
+		s.Baseline[h.ID] = h.Pass
+	}
+
+	flipped := map[string]bool{}
+	for _, knob := range knobs {
+		for _, f := range factors {
+			if f == 1 {
+				continue
+			}
+			prc := rc
+			prc.CostScale = map[string]float64{}
+			for k, v := range rc.CostScale {
+				prc.CostScale[k] = v
+			}
+			if prev, ok := rc.CostScale[knob]; ok {
+				prc.CostScale[knob] = prev * f // compose with a pre-scaled baseline
+			} else {
+				prc.CostScale[knob] = f
+			}
+			pt := SweepPoint{Knob: knob, Factor: f}
+			rep, err := Run(hyps, prc)
+			if err != nil {
+				pt.Err = err.Error()
+			} else {
+				pt.GateFail = rep.GateFail
+				for _, h := range rep.Hypotheses {
+					if h.Pass != s.Baseline[h.ID] {
+						pt.Flipped = append(pt.Flipped, h.ID)
+						flipped[h.ID] = true
+					}
+				}
+			}
+			s.Points = append(s.Points, pt)
+			figures.ClearCache()
+		}
+	}
+	for _, h := range base.Hypotheses {
+		if flipped[h.ID] {
+			s.Fragile = append(s.Fragile, h.ID)
+		} else {
+			s.Robust = append(s.Robust, h.ID)
+		}
+	}
+	return s, nil
+}
+
+// JSON renders the machine-readable sweep report.
+func (s *Sensitivity) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Markdown renders the sweep as a deterministic report section.
+func (s *Sensitivity) Markdown() string {
+	var b strings.Builder
+	b.WriteString("# Sensitivity: one-factor cost-model sweeps\n\n")
+	fmt.Fprintf(&b, "Seed %d, warmup %s, window %s. Each point scales ONE cost knob and\n",
+		s.Seed, s.Warmup, s.Duration)
+	fmt.Fprintf(&b, "re-evaluates all %d hypotheses; 'flipped' lists verdicts that differ\n",
+		len(s.Baseline))
+	b.WriteString("from the unperturbed baseline.\n\n")
+
+	factors := make([]string, len(s.Factors))
+	for i, f := range s.Factors {
+		factors[i] = fnum(f)
+	}
+	fmt.Fprintf(&b, "Knobs: %s\nFactors: x%s\n\n", strings.Join(s.Knobs, ", "), strings.Join(factors, ", x"))
+
+	b.WriteString("## Sweep points\n\n")
+	b.WriteString("| knob | factor | gate fails | flipped hypotheses |\n|---|---|---|---|\n")
+	for _, pt := range s.Points {
+		cell := "-"
+		if pt.Err != "" {
+			cell = "error: " + pt.Err
+		} else if len(pt.Flipped) > 0 {
+			cell = strings.Join(pt.Flipped, ", ")
+		}
+		fmt.Fprintf(&b, "| %s | x%s | %d | %s |\n", pt.Knob, fnum(pt.Factor), pt.GateFail, cell)
+	}
+	b.WriteByte('\n')
+
+	b.WriteString("## Classification\n\n")
+	fmt.Fprintf(&b, "Fragile (flip under >=1 perturbation): %d\n\n", len(s.Fragile))
+	for _, id := range s.Fragile {
+		fmt.Fprintf(&b, "- %s\n", id)
+	}
+	if len(s.Fragile) > 0 {
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "Robust (never flip): %d\n\n", len(s.Robust))
+	for _, id := range s.Robust {
+		fmt.Fprintf(&b, "- %s\n", id)
+	}
+	if len(s.Robust) > 0 {
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

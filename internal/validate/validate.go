@@ -1,0 +1,444 @@
+// Package validate is the hypothesis-driven fidelity observatory: every
+// claim the paper makes about Figs. 3-13 and Table 2 is encoded as a
+// falsifiable, machine-checkable hypothesis over the regenerated figure
+// tables — shape predicates (monotone ladders, orderings between
+// configurations, ratio bands) and value predicates (tolerance bands
+// around pinned expectations). The runner regenerates exactly the tables
+// the selected hypotheses reference (through the figures fan-out, so
+// shared scenarios run once), evaluates each hypothesis, computes its
+// error magnitude (band slack consumed, MAPE against expectations), and
+// renders a deterministic FINDINGS report plus machine-readable JSON.
+//
+// Gate-severity hypotheses are the CI fidelity gate: a refactor that
+// bends a paper claim out of band fails `make validate`. Advisory
+// hypotheses document softer expectations — including the model's known
+// divergences from the paper — without blocking.
+//
+// The sensitivity mode (sensitivity.go) sweeps one per-operation
+// cycle-cost knob at a time and re-evaluates the hypothesis set at every
+// point, separating fragile claims (they flip under small cost
+// perturbations) from robust ones — turning calibration of the cost
+// model into an observable, repeatable procedure.
+package validate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hostsim/internal/figures"
+)
+
+// Severity says what a failing hypothesis means.
+type Severity int
+
+// Gate hypotheses fail the build; Advisory hypotheses inform.
+const (
+	Advisory Severity = iota
+	Gate
+)
+
+func (s Severity) String() string {
+	if s == Gate {
+		return "gate"
+	}
+	return "advisory"
+}
+
+// Hypothesis is one falsifiable paper claim.
+type Hypothesis struct {
+	ID       string   // e.g. "fig3a-ladder"
+	Sources  []string // figure/table ids the predicate reads
+	Severity Severity
+	Claim    string // the paper's claim, prose
+	Eval     func(e *E)
+}
+
+// TableSet holds regenerated tables keyed by figure id.
+type TableSet map[string]*figures.Table
+
+// Check is one predicate evaluation with its evidence: the observed
+// value and the accepted band [Lo, Hi] (either side may be infinite).
+// Want is the pinned expectation for tolerance-band checks (NaN when the
+// check is a pure shape predicate).
+type Check struct {
+	Name     string
+	Observed float64
+	Lo, Hi   float64
+	Want     float64
+	Pass     bool
+}
+
+// maxConsumed caps the error magnitude so failed checks stay finite in
+// reports and JSON.
+const maxConsumed = 99
+
+// Consumed reports how much of the accepted band the observation used:
+// 0 = dead center (or comfortably inside a one-sided bound), 1 = on the
+// edge, >1 = outside the band. Capped at maxConsumed.
+func (c Check) Consumed() float64 {
+	v := c.Observed
+	if math.IsNaN(v) {
+		return maxConsumed
+	}
+	loInf := math.IsInf(c.Lo, -1)
+	hiInf := math.IsInf(c.Hi, 1)
+	cap99 := func(x float64) float64 {
+		if math.IsNaN(x) || x > maxConsumed {
+			return maxConsumed
+		}
+		if x < 0 {
+			return 0
+		}
+		return x
+	}
+	switch {
+	case loInf && hiInf:
+		return 0
+	case hiInf: // v >= Lo
+		if c.Lo <= 0 {
+			if v >= c.Lo {
+				return 0
+			}
+			return maxConsumed
+		}
+		if v <= 0 {
+			return maxConsumed
+		}
+		return cap99(c.Lo / v)
+	case loInf: // v <= Hi
+		if c.Hi <= 0 {
+			if v <= c.Hi {
+				return 0
+			}
+			return maxConsumed
+		}
+		if v < 0 {
+			return 0
+		}
+		return cap99(v / c.Hi)
+	default:
+		half := (c.Hi - c.Lo) / 2
+		mid := (c.Lo + c.Hi) / 2
+		if half <= 0 {
+			if v == mid {
+				return 0
+			}
+			return maxConsumed
+		}
+		return cap99(math.Abs(v-mid) / half)
+	}
+}
+
+// E collects a hypothesis's evidence: table lookups (error-recording)
+// and predicate checks.
+type E struct {
+	ts     TableSet
+	Checks []Check
+	Errors []string
+}
+
+func (e *E) errf(format string, args ...any) {
+	e.Errors = append(e.Errors, fmt.Sprintf(format, args...))
+}
+
+// Table returns a regenerated source table; a miss records an error.
+func (e *E) Table(id string) *figures.Table {
+	t, ok := e.ts[id]
+	if !ok {
+		e.errf("table %s was not regenerated", id)
+		return nil
+	}
+	return t
+}
+
+// V reads one numeric cell (see figures.ParseValue); failures record an
+// error and poison downstream checks with NaN.
+func (e *E) V(tbl, col string, key ...string) float64 {
+	t := e.Table(tbl)
+	if t == nil {
+		return math.NaN()
+	}
+	v, err := t.Value(col, key...)
+	if err != nil {
+		e.errf("%v", err)
+		return math.NaN()
+	}
+	return v
+}
+
+// Cell reads one raw cell; failures record an error and return "".
+func (e *E) Cell(tbl, col string, key ...string) string {
+	t := e.Table(tbl)
+	if t == nil {
+		return ""
+	}
+	c, err := t.Cell(col, key...)
+	if err != nil {
+		e.errf("%v", err)
+		return ""
+	}
+	return c
+}
+
+func (e *E) add(c Check) { e.Checks = append(e.Checks, c) }
+
+// Band asserts lo <= v <= hi.
+func (e *E) Band(name string, v, lo, hi float64) {
+	e.add(Check{Name: name, Observed: v, Lo: lo, Hi: hi, Want: math.NaN(),
+		Pass: !math.IsNaN(v) && v >= lo && v <= hi})
+}
+
+// AtLeast asserts v >= lo.
+func (e *E) AtLeast(name string, v, lo float64) {
+	e.add(Check{Name: name, Observed: v, Lo: lo, Hi: math.Inf(1), Want: math.NaN(),
+		Pass: !math.IsNaN(v) && v >= lo})
+}
+
+// AtMost asserts v <= hi.
+func (e *E) AtMost(name string, v, hi float64) {
+	e.add(Check{Name: name, Observed: v, Lo: math.Inf(-1), Hi: hi, Want: math.NaN(),
+		Pass: !math.IsNaN(v) && v <= hi})
+}
+
+// Within asserts v is inside ±tol (a fraction) of the pinned expectation
+// want; the relative error feeds the hypothesis's MAPE.
+func (e *E) Within(name string, v, want, tol float64) {
+	lo, hi := want*(1-tol), want*(1+tol)
+	if lo > hi { // negative expectations flip the band
+		lo, hi = hi, lo
+	}
+	e.add(Check{Name: name, Observed: v, Lo: lo, Hi: hi, Want: want,
+		Pass: !math.IsNaN(v) && v >= lo && v <= hi})
+}
+
+// True asserts an arbitrary condition (string cells, set membership);
+// it renders as a 0/1 observation.
+func (e *E) True(name string, cond bool) {
+	v := 0.0
+	if cond {
+		v = 1
+	}
+	e.add(Check{Name: name, Observed: v, Lo: 1, Hi: 1, Want: math.NaN(), Pass: cond})
+}
+
+// worstAdverseStep returns the largest move against the wanted direction
+// (up: a drop; down: a rise), normalized by the series' range, so the
+// magnitude is comparable across series with different scales. A
+// perfectly monotone series scores <= 0.
+func worstAdverseStep(vals []float64, up bool) float64 {
+	if len(vals) < 2 {
+		return math.NaN()
+	}
+	lo, hi := vals[0], vals[0]
+	worst := math.Inf(-1)
+	for i := 1; i < len(vals); i++ {
+		if math.IsNaN(vals[i]) || math.IsNaN(vals[i-1]) {
+			return math.NaN()
+		}
+		step := vals[i] - vals[i-1]
+		if !up {
+			step = -step
+		}
+		if -step > worst {
+			worst = -step // adverse when the step goes the wrong way
+		}
+		if vals[i] < lo {
+			lo = vals[i]
+		}
+		if vals[i] > hi {
+			hi = vals[i]
+		}
+	}
+	if r := hi - lo; r > 0 {
+		return worst / r
+	}
+	if worst <= 0 {
+		return 0 // constant series: trivially monotone
+	}
+	return worst
+}
+
+// MonotoneUp asserts the series never decreases (beyond float jitter).
+func (e *E) MonotoneUp(name string, vals ...float64) {
+	e.AtMost(name+" worst adverse step", worstAdverseStep(vals, true), 1e-9)
+}
+
+// MonotoneDown asserts the series never increases (beyond float jitter).
+func (e *E) MonotoneDown(name string, vals ...float64) {
+	e.AtMost(name+" worst adverse step", worstAdverseStep(vals, false), 1e-9)
+}
+
+// DominantCategory asserts the named breakdown column holds the largest
+// share in the row identified by key: the margin over the runner-up
+// category must be non-negative.
+func (e *E) DominantCategory(name, tbl, col string, key ...string) {
+	t := e.Table(tbl)
+	if t == nil {
+		return
+	}
+	v := e.V(tbl, col, key...)
+	runnerUp := math.Inf(-1)
+	for _, c := range t.Columns[1:] {
+		if c == col {
+			continue
+		}
+		if x, err := t.Value(c, key...); err == nil && x > runnerUp {
+			runnerUp = x
+		}
+	}
+	e.AtLeast(fmt.Sprintf("%s: %s margin over runner-up", name, col), v-runnerUp, 0)
+}
+
+// HypothesisResult is one evaluated hypothesis.
+type HypothesisResult struct {
+	ID       string   `json:"id"`
+	Severity string   `json:"severity"`
+	Sources  []string `json:"sources"`
+	Claim    string   `json:"claim"`
+	Pass     bool     `json:"pass"`
+	// ErrMag is the hypothesis's error magnitude: the largest band slack
+	// any of its checks consumed (>1 means out of band).
+	ErrMag float64 `json:"err_mag"`
+	// MAPE is the mean absolute percentage error over the checks that
+	// pin an expectation (nil when the hypothesis has none).
+	MAPE   *float64 `json:"mape,omitempty"`
+	Checks []Check  `json:"checks"`
+	Errors []string `json:"errors,omitempty"`
+}
+
+// Evaluate runs one hypothesis against regenerated tables.
+func Evaluate(h Hypothesis, ts TableSet) HypothesisResult {
+	e := &E{ts: ts}
+	h.Eval(e)
+	res := HypothesisResult{
+		ID: h.ID, Severity: h.Severity.String(), Sources: h.Sources, Claim: h.Claim,
+		Pass: len(e.Errors) == 0 && len(e.Checks) > 0, Checks: e.Checks, Errors: e.Errors,
+	}
+	var mapeSum float64
+	var mapeN int
+	for _, c := range e.Checks {
+		if !c.Pass {
+			res.Pass = false
+		}
+		if con := c.Consumed(); con > res.ErrMag {
+			res.ErrMag = con
+		}
+		if !math.IsNaN(c.Want) && c.Want != 0 && !math.IsNaN(c.Observed) {
+			mapeSum += math.Abs(c.Observed-c.Want) / math.Abs(c.Want) * 100
+			mapeN++
+		}
+	}
+	if len(e.Checks) == 0 && len(e.Errors) == 0 {
+		res.Errors = append(res.Errors, "hypothesis evaluated no checks")
+	}
+	if mapeN > 0 {
+		m := mapeSum / float64(mapeN)
+		res.MAPE = &m
+	}
+	return res
+}
+
+// SourcesOf returns the union of the hypotheses' source table ids,
+// sorted in paper order.
+func SourcesOf(hyps []Hypothesis) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, h := range hyps {
+		for _, s := range h.Sources {
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return figures.Less(out[i], out[j]) })
+	return out
+}
+
+// Run regenerates the tables the hypotheses reference (shared scenarios
+// run once; rc.Jobs simulations in flight) and evaluates every
+// hypothesis, in declaration order. The report is byte-deterministic at
+// any rc.Jobs value because the figures fan-out is.
+func Run(hyps []Hypothesis, rc figures.RunConfig) (*Report, error) {
+	ids := SourcesOf(hyps)
+	exps := make([]figures.Experiment, 0, len(ids))
+	for _, id := range ids {
+		exp, ok := figures.ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("validate: hypothesis references unknown table %q", id)
+		}
+		exps = append(exps, exp)
+	}
+	tables, err := figures.RunAll(rc, exps)
+	if err != nil {
+		return nil, fmt.Errorf("validate: regenerating tables: %w", err)
+	}
+	ts := TableSet{}
+	for i, t := range tables {
+		ts[exps[i].ID] = t
+	}
+	rep := &Report{
+		Seed: rc.Seed, Warmup: rc.Warmup.String(), Duration: rc.Duration.String(),
+		Checked: rc.Check, CostScale: rc.CostScale, Tables: ids,
+	}
+	for _, h := range hyps {
+		hr := Evaluate(h, ts)
+		rep.Hypotheses = append(rep.Hypotheses, hr)
+		switch {
+		case hr.Severity == "gate" && hr.Pass:
+			rep.GatePass++
+		case hr.Severity == "gate":
+			rep.GateFail++
+		case hr.Pass:
+			rep.AdvisoryPass++
+		default:
+			rep.AdvisoryFail++
+		}
+	}
+	return rep, nil
+}
+
+// Filter selects hypotheses by severity ("gate", "advisory", "" = all)
+// and by id set (nil = all). Unknown requested ids are an error so a
+// typo cannot silently validate nothing.
+func Filter(hyps []Hypothesis, severity string, only []string) ([]Hypothesis, error) {
+	switch severity {
+	case "", "all", "gate", "advisory":
+	default:
+		return nil, fmt.Errorf("validate: unknown severity %q (want gate, advisory or all)", severity)
+	}
+	want := map[string]bool{}
+	for _, id := range only {
+		want[id] = true
+	}
+	matched := map[string]bool{}
+	var out []Hypothesis
+	for _, h := range hyps {
+		if severity == "gate" && h.Severity != Gate {
+			continue
+		}
+		if severity == "advisory" && h.Severity != Advisory {
+			continue
+		}
+		if len(want) > 0 && !want[h.ID] {
+			continue
+		}
+		matched[h.ID] = true
+		out = append(out, h)
+	}
+	if len(matched) < len(want) {
+		missing := make([]string, 0, len(want))
+		for id := range want {
+			if !matched[id] {
+				missing = append(missing, id)
+			}
+		}
+		sort.Strings(missing)
+		return nil, fmt.Errorf("validate: unknown hypothesis ids %v (try -list)", missing)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("validate: selection matched no hypotheses")
+	}
+	return out, nil
+}

@@ -1,0 +1,281 @@
+package validate
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"hostsim/internal/figures"
+)
+
+func TestConsumed(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name string
+		c    Check
+		want float64
+	}{
+		{"two-sided center", Check{Observed: 42, Lo: 36, Hi: 48}, 0},
+		{"two-sided edge", Check{Observed: 48, Lo: 36, Hi: 48}, 1},
+		{"two-sided outside", Check{Observed: 54, Lo: 36, Hi: 48}, 2},
+		{"at-least comfortable", Check{Observed: 12, Lo: 8, Hi: inf}, 8.0 / 12},
+		{"at-least violated", Check{Observed: 4, Lo: 8, Hi: inf}, 2},
+		{"at-most comfortable", Check{Observed: 0.2, Lo: -inf, Hi: 0.5}, 0.4},
+		{"at-most violated", Check{Observed: 1, Lo: -inf, Hi: 0.5}, 2},
+		{"at-most zero bound pass", Check{Observed: -1, Lo: -inf, Hi: 0}, 0},
+		{"at-most zero bound fail", Check{Observed: 1, Lo: -inf, Hi: 0}, maxConsumed},
+		{"at-most negative bound pass", Check{Observed: -0.6, Lo: -inf, Hi: -0.3}, 0},
+		{"at-least nonpositive bound pass", Check{Observed: 3, Lo: 0, Hi: inf}, 0},
+		{"nan observed", Check{Observed: math.NaN(), Lo: 0, Hi: 1}, maxConsumed},
+		{"cap", Check{Observed: 1e6, Lo: 1, Hi: 2}, maxConsumed},
+	}
+	for _, c := range cases {
+		if got := c.c.Consumed(); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: Consumed() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestWorstAdverseStep(t *testing.T) {
+	if v := worstAdverseStep([]float64{1, 2, 3}, true); v > 0 {
+		t.Errorf("monotone up series scored %v", v)
+	}
+	if v := worstAdverseStep([]float64{3, 2, 4}, false); math.Abs(v-1) > 1e-12 {
+		t.Errorf("down series with rise 2->4 scored %v, want 1 (range-normalized)", v)
+	}
+	if v := worstAdverseStep([]float64{5, 5, 5}, true); v != 0 {
+		t.Errorf("constant series scored %v, want 0", v)
+	}
+	if !math.IsNaN(worstAdverseStep([]float64{1}, true)) {
+		t.Error("single-element series should be NaN")
+	}
+	if !math.IsNaN(worstAdverseStep([]float64{1, math.NaN()}, true)) {
+		t.Error("NaN element should poison the series")
+	}
+}
+
+func TestEvidenceBuilder(t *testing.T) {
+	ts := TableSet{"sample": {
+		ID:      "sample",
+		Columns: []string{"config", "tpc", "flag"},
+		Rows:    [][]string{{"base", "41.36", "true"}, {"slow", "20.00", "false"}},
+	}}
+	e := &E{ts: ts}
+	e.Within("tpc near 42", e.V("sample", "tpc", "base"), 42, 0.15)
+	e.Band("slow tpc", e.V("sample", "tpc", "slow"), 18, 22)
+	e.AtLeast("base over slow", e.V("sample", "tpc", "base")-e.V("sample", "tpc", "slow"), 10)
+	e.True("flag set", e.Cell("sample", "flag", "base") == "true")
+	e.MonotoneDown("tpc falls", 41.36, 20)
+	for i, c := range e.Checks {
+		if !c.Pass {
+			t.Errorf("check %d (%s) failed: %+v", i, c.Name, c)
+		}
+	}
+	if len(e.Errors) != 0 {
+		t.Errorf("unexpected evidence errors: %v", e.Errors)
+	}
+
+	// Lookup failures poison values with NaN and record errors instead of
+	// panicking.
+	e2 := &E{ts: ts}
+	v := e2.V("sample", "nope", "base")
+	e2.AtLeast("poisoned", v, 0)
+	if !math.IsNaN(v) || len(e2.Errors) == 0 || e2.Checks[0].Pass {
+		t.Errorf("missing column: v=%v errors=%v checks=%+v", v, e2.Errors, e2.Checks)
+	}
+	if v := (&E{ts: ts}).V("missing-table", "tpc", "base"); !math.IsNaN(v) {
+		t.Errorf("missing table returned %v", v)
+	}
+}
+
+func TestEvaluateAggregates(t *testing.T) {
+	ts := TableSet{"s": {ID: "s", Columns: []string{"k", "v"}, Rows: [][]string{{"a", "10"}}}}
+	h := Hypothesis{ID: "x", Sources: []string{"s"}, Severity: Gate, Claim: "c",
+		Eval: func(e *E) {
+			e.Within("v near 8", e.V("s", "v", "a"), 8, 0.5) // passes, 25% error
+			e.AtMost("v small", e.V("s", "v", "a"), 5)       // fails
+		}}
+	res := Evaluate(h, ts)
+	if res.Pass {
+		t.Error("hypothesis with a failing check passed")
+	}
+	if res.MAPE == nil || math.Abs(*res.MAPE-25) > 1e-9 {
+		t.Errorf("MAPE = %v, want 25", res.MAPE)
+	}
+	if res.ErrMag < 1 {
+		t.Errorf("ErrMag = %v, want >= 1 for a failing check", res.ErrMag)
+	}
+
+	empty := Evaluate(Hypothesis{ID: "e", Eval: func(e *E) {}}, ts)
+	if empty.Pass || len(empty.Errors) == 0 {
+		t.Error("hypothesis evaluating no checks must fail with an error")
+	}
+}
+
+func TestRegistrySanity(t *testing.T) {
+	if len(Hypotheses) < 25 {
+		t.Fatalf("only %d hypotheses; the observatory promises >= 25", len(Hypotheses))
+	}
+	seen := map[string]bool{}
+	covered := map[string]bool{}
+	for _, h := range Hypotheses {
+		if h.ID == "" || h.Claim == "" || h.Eval == nil || len(h.Sources) == 0 {
+			t.Errorf("hypothesis %q is missing id/claim/eval/sources", h.ID)
+		}
+		if seen[h.ID] {
+			t.Errorf("duplicate hypothesis id %q", h.ID)
+		}
+		seen[h.ID] = true
+		for _, s := range h.Sources {
+			if _, ok := figures.ByID(s); !ok {
+				t.Errorf("hypothesis %s references unknown table %q", h.ID, s)
+			}
+			covered[s] = true
+		}
+	}
+	// The inventory spans the whole evaluation: every registered figure,
+	// table, extension, ablation and appendix experiment is pinned by at
+	// least one hypothesis.
+	for _, id := range figures.IDs() {
+		if !covered[id] {
+			t.Errorf("experiment %s has no hypothesis", id)
+		}
+	}
+	// The paper's core evaluation carries the gate.
+	gates := 0
+	for _, h := range Hypotheses {
+		if h.Severity == Gate {
+			gates++
+		}
+	}
+	if gates < 25 {
+		t.Errorf("only %d gate hypotheses", gates)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	if _, err := Filter(Hypotheses, "bogus", nil); err == nil {
+		t.Error("bogus severity accepted")
+	}
+	if _, err := Filter(Hypotheses, "all", []string{"no-such-hypothesis"}); err == nil {
+		t.Error("unknown id accepted")
+	}
+	got, err := Filter(Hypotheses, "all", []string{"fig3a-ladder", "fig4-numa-penalty"})
+	if err != nil || len(got) != 2 {
+		t.Fatalf("Filter(only 2 ids) = %d hypotheses, %v", len(got), err)
+	}
+	gate, err := Filter(Hypotheses, "gate", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range gate {
+		if h.Severity != Gate {
+			t.Errorf("severity filter leaked %s", h.ID)
+		}
+	}
+	adv, err := Filter(Hypotheses, "advisory", nil)
+	if err != nil || len(adv)+len(gate) != len(Hypotheses) {
+		t.Errorf("gate (%d) + advisory (%d) != all (%d), err %v", len(gate), len(adv), len(Hypotheses), err)
+	}
+}
+
+// shortRC is a fast window for engine-level tests; the figure values it
+// produces are not the calibrated ones, so these tests exercise shape
+// and determinism only.
+func shortRC(jobs int) figures.RunConfig {
+	return figures.RunConfig{Seed: 7, Warmup: 2 * time.Millisecond,
+		Duration: 5 * time.Millisecond, Jobs: jobs}
+}
+
+func subset(t *testing.T, ids ...string) []Hypothesis {
+	t.Helper()
+	hyps, err := Filter(Hypotheses, "all", ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hyps
+}
+
+func TestReportDeterministicAcrossJobs(t *testing.T) {
+	hyps := subset(t, "fig3a-ladder", "fig3b-receiver-bound", "fig4-numa-penalty", "table2-steering")
+	r1, err := Run(hyps, shortRC(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Run(hyps, shortRC(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Markdown() != r8.Markdown() {
+		t.Error("markdown report differs between -jobs 1 and -jobs 8")
+	}
+	j1, err1 := r1.JSON()
+	j8, err8 := r8.JSON()
+	if err1 != nil || err8 != nil {
+		t.Fatalf("JSON: %v, %v", err1, err8)
+	}
+	if !bytes.Equal(j1, j8) {
+		t.Error("JSON report differs between -jobs 1 and -jobs 8")
+	}
+	// The report must marshal cleanly despite one-sided bands (±Inf) and
+	// shape checks (NaN expectations) in the checks.
+	var decoded map[string]any
+	if err := json.Unmarshal(j1, &decoded); err != nil {
+		t.Fatalf("report JSON does not decode: %v", err)
+	}
+	// Provenance and tally fields are present.
+	md := r1.Markdown()
+	for _, want := range []string{"## Provenance", "## Verdict", "## Hypotheses", "## Evidence", "seed 7"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown report missing %q", want)
+		}
+	}
+}
+
+func TestRunRejectsUnknownSource(t *testing.T) {
+	bad := []Hypothesis{{ID: "x", Sources: []string{"fig99z"}, Claim: "c", Eval: func(e *E) {}}}
+	if _, err := Run(bad, shortRC(1)); err == nil {
+		t.Error("unknown source table accepted")
+	}
+}
+
+func TestSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sensitivity sweep")
+	}
+	hyps := subset(t, "fig3a-ladder", "fig3b-receiver-bound")
+	sw, err := Sweep(hyps, shortRC(8), []string{"CopyHit"}, []float64{0.5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Points) != 2 {
+		t.Fatalf("sweep evaluated %d points, want 2", len(sw.Points))
+	}
+	for _, pt := range sw.Points {
+		if pt.Err != "" {
+			t.Errorf("sweep point %s x%v errored: %s", pt.Knob, pt.Factor, pt.Err)
+		}
+	}
+	if len(sw.Fragile)+len(sw.Robust) != len(hyps) {
+		t.Errorf("fragile (%d) + robust (%d) != hypotheses (%d)", len(sw.Fragile), len(sw.Robust), len(hyps))
+	}
+	md := sw.Markdown()
+	for _, want := range []string{"## Sweep points", "## Classification", "CopyHit"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("sweep markdown missing %q", want)
+		}
+	}
+	if _, err := sw.JSON(); err != nil {
+		t.Errorf("sweep JSON: %v", err)
+	}
+
+	if _, err := Sweep(hyps, shortRC(1), []string{"NoSuchKnob"}, nil); err == nil {
+		t.Error("unknown knob accepted")
+	}
+	if _, err := Sweep(hyps, shortRC(1), []string{"CopyHit"}, []float64{-1}); err == nil {
+		t.Error("negative factor accepted")
+	}
+}

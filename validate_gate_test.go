@@ -1,0 +1,146 @@
+package hostsim_test
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"hostsim/internal/figures"
+	"hostsim/internal/validate"
+)
+
+// validateRC is the configuration the committed FINDINGS baseline was
+// generated with: the standard measurement window, invariant checker
+// armed — identical (up to Jobs, which never changes output) to
+// TestFiguresGolden's, so the two tests share every simulation through
+// the figures run memo.
+func validateRC() figures.RunConfig {
+	rc := figures.Default()
+	rc.Jobs = runtime.NumCPU()
+	rc.Check = true
+	return rc
+}
+
+// TestGoldenTablesAllHypothesized is the meta-test tying the golden
+// corpus to the claim inventory: every golden figure table is referenced
+// by at least one hypothesis, so no figure can silently drift out of the
+// observatory's coverage.
+func TestGoldenTablesAllHypothesized(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := map[string]bool{}
+	for _, h := range validate.Hypotheses {
+		for _, s := range h.Sources {
+			sources[s] = true
+		}
+	}
+	checked := 0
+	for _, ent := range entries {
+		id := strings.TrimSuffix(ent.Name(), ".txt")
+		if _, ok := figures.ByID(id); !ok {
+			continue // non-figure goldens (pcap traces, tail reports)
+		}
+		checked++
+		if !sources[id] {
+			t.Errorf("golden table %s is referenced by no hypothesis", id)
+		}
+	}
+	if checked < 50 {
+		t.Errorf("only %d golden figure tables found; expected the full corpus", checked)
+	}
+}
+
+// TestValidateFindingsBaseline regenerates the full FINDINGS report at
+// the committed configuration and requires (a) every gate hypothesis to
+// pass and (b) the committed FINDINGS.md / findings.json baselines to
+// match byte-for-byte — the same contract the golden figure tables have.
+// Regenerate the baselines after a deliberate model change with:
+//
+//	go run ./cmd/validate -out FINDINGS.md -json findings.json
+func TestValidateFindingsBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure regeneration")
+	}
+	rep, err := validate.Run(validate.Hypotheses, validateRC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range rep.Hypotheses {
+		if h.Severity == "gate" && !h.Pass {
+			t.Errorf("gate hypothesis %s FAILED (err %.3g): %s", h.ID, h.ErrMag, h.Claim)
+		}
+	}
+	if !rep.GateOK() {
+		t.Errorf("gate verdict: %d/%d gate hypotheses failed", rep.GateFail, rep.GateFail+rep.GatePass)
+	}
+
+	wantMD, err := os.ReadFile("FINDINGS.md")
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	if got := rep.Markdown(); got != string(wantMD) {
+		t.Errorf("FINDINGS.md is stale; regenerate with: go run ./cmd/validate -out FINDINGS.md -json findings.json")
+	}
+	wantJSON, err := os.ReadFile("findings.json")
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	gotJSON, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJSON) != string(wantJSON) {
+		t.Errorf("findings.json is stale; regenerate with: go run ./cmd/validate -out FINDINGS.md -json findings.json")
+	}
+}
+
+// TestValidateNegativeControl proves the gate can actually fail: a
+// deliberately mis-calibrated cost model (data-copy cycles tripled) must
+// flip value-pinning gate hypotheses to FAIL, while the same subset
+// passes at the committed calibration. This guards against vacuous
+// predicates — a hypothesis set that passes under any cost model gates
+// nothing.
+func TestValidateNegativeControl(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extra full-window simulations")
+	}
+	subset, err := validate.Filter(validate.Hypotheses, "all",
+		[]string{"fig3a-headline", "fig3d-receiver-copy-half"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base, err := validate.Run(subset, validateRC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.GateOK() {
+		t.Fatalf("control subset fails at the committed calibration: %+v", base.Hypotheses)
+	}
+
+	rc := validateRC()
+	rc.CostScale = map[string]float64{"CopyHit": 3}
+	perturbed, err := validate.Run(subset, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perturbed.GateOK() {
+		t.Error("tripling CopyHit flipped no gate hypothesis; the gate is vacuous")
+	}
+	flipped := 0
+	for _, h := range perturbed.Hypotheses {
+		if !h.Pass {
+			flipped++
+			if h.ErrMag <= 1 {
+				t.Errorf("%s failed but consumed only %.3g of its band", h.ID, h.ErrMag)
+			}
+		}
+	}
+	if flipped == 0 {
+		t.Error("no hypothesis flipped under the perturbed cost model")
+	}
+}

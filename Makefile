@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench bench-runner bench-profile bench-inspect bench-mtrace bench-engine profile-smoke inspect-smoke mtrace-smoke engine-smoke fuzz-smoke figures figures-golden validate validate-smoke validate-sensitivity
+.PHONY: all build test check fmt vet race bench bench-runner bench-profile bench-inspect bench-mtrace bench-engine bench-fabric profile-smoke inspect-smoke mtrace-smoke engine-smoke fuzz-smoke fabric-smoke figures figures-golden validate validate-smoke validate-sensitivity
 
 all: build
 
@@ -64,6 +64,16 @@ bench-engine:
 	$(GO) test -run '^$$' -bench 'Engine|RunMsgTraceOff' \
 		-benchmem -json . ./internal/sim > BENCH_engine.json
 
+# bench-fabric records the switch-fabric topology benchmarks as JSON for
+# regression tracking: the 2-host fabric vs direct-link overhead pair
+# (RunCheckOff is the direct baseline of the same scenario), incast
+# scaling at 16 and 64 hosts, all-to-all port pressure, and the
+# shared-buffer admission cost. Compare captures with
+# `go run ./cmd/benchdiff -threshold <pct> BENCH_fabric.json <new>`.
+bench-fabric:
+	$(GO) test -run '^$$' -bench 'FabricRun|RunCheckOff' \
+		-benchmem -json . > BENCH_fabric.json
+
 # profile-smoke is the CI profile-golden check: run netsim with profiling
 # enabled and validate the emitted profile.proto with the in-repo parser.
 profile-smoke:
@@ -103,6 +113,13 @@ engine-smoke:
 # Run `go test -fuzz=FuzzConfig .` (no -fuzztime) to hunt open-ended.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzConfig -fuzztime=30s -run FuzzConfig .
+
+# fabric-smoke is the CI switch-fabric gate: the fabric package's unit
+# tests plus the checker-armed 16-host incast and the fabric-vs-direct
+# byte-identity property, all under the race detector.
+fabric-smoke:
+	$(GO) test -race -count=1 ./internal/fabric
+	$(GO) test -race -count=1 -run 'TestFabricIncast16Checked|TestFabricIncastN1MatchesDirect|TestFabricSharedBufferDropsAndECN' .
 
 figures:
 	$(GO) run ./cmd/figures

@@ -263,3 +263,75 @@ func BenchmarkRunMsgTraceOn(b *testing.B) {
 		}
 	}
 }
+
+// benchFabricCfg is one short end-to-end fabric run for the topology
+// benchmarks below: H hosts on the ToR, unbounded shared buffer.
+func benchFabricCfg(hosts int) hostsim.Config {
+	cfg := benchRunCfg()
+	cfg.Fabric = &hostsim.FabricOptions{Hosts: hosts}
+	return cfg
+}
+
+// BenchmarkFabricRunSingle2 runs the same single flow as the direct-link
+// baselines above but through a 2-host fabric; the pair quantifies the
+// switch's event overhead (the two are event-for-event identical, so any
+// gap is per-event constant cost, not extra events).
+func BenchmarkFabricRunSingle2(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := hostsim.Run(benchFabricCfg(2), hostsim.LongFlowWorkload(hostsim.PatternIncast, 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFabricRunIncast16 is the scaling headline: 15 hosts into one.
+func BenchmarkFabricRunIncast16(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := hostsim.Run(benchFabricCfg(16), hostsim.LongFlowWorkload(hostsim.PatternIncast, 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFabricRunIncast64 is the acceptance-scale topology: 63 hosts
+// into one, shorter windows to keep iterations reasonable.
+func BenchmarkFabricRunIncast64(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := benchFabricCfg(64)
+		cfg.Warmup, cfg.Duration = 3*time.Millisecond, 4*time.Millisecond
+		if _, err := hostsim.Run(cfg, hostsim.LongFlowWorkload(hostsim.PatternIncast, 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFabricRunAllToAll8 stresses every port in both directions: 56
+// flows across 8 hosts.
+func BenchmarkFabricRunAllToAll8(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := benchFabricCfg(8)
+		cfg.Warmup, cfg.Duration = 3*time.Millisecond, 4*time.Millisecond
+		if _, err := hostsim.Run(cfg, hostsim.LongFlowWorkload(hostsim.PatternAllToAll, 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFabricRunBuffered16 adds the shared-buffer admission check to
+// every forwarded frame (256KB pool under 15:1 incast, drops and
+// retransmissions included); compare against BenchmarkFabricRunIncast16
+// for the dynamic-threshold overhead.
+func BenchmarkFabricRunBuffered16(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := benchFabricCfg(16)
+		cfg.Fabric = &hostsim.FabricOptions{Hosts: 16, SharedBufferKB: 256}
+		if _, err := hostsim.Run(cfg, hostsim.LongFlowWorkload(hostsim.PatternIncast, 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

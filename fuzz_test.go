@@ -19,12 +19,15 @@ import (
 //
 // after copying the reported file into testdata/fuzz/FuzzConfig/.
 func FuzzConfig(f *testing.F) {
-	// seeds: the paper's headline scenarios, compressed.
-	f.Add(int64(1), uint16(2000), uint8(1), uint8(0), uint8(0), uint8(0), uint16(0), uint16(0), uint16(0), uint8(0), uint8(0xff), uint8(0), uint8(4))
-	f.Add(int64(7), uint16(1500), uint8(8), uint8(2), uint8(2), uint8(1), uint16(150), uint16(256), uint16(400), uint8(90), uint8(0x3f), uint8(1), uint8(16))
-	f.Add(int64(42), uint16(1000), uint8(3), uint8(4), uint8(3), uint8(4), uint16(0), uint16(1024), uint16(0), uint8(0), uint8(0x00), uint8(2), uint8(4))
+	// seeds: the paper's headline scenarios, compressed; the last covers a
+	// 16-host fabric incast against a tight shared buffer.
+	f.Add(int64(1), uint16(2000), uint8(1), uint8(0), uint8(0), uint8(0), uint16(0), uint16(0), uint16(0), uint8(0), uint8(0xff), uint8(0), uint8(4), uint8(0), uint16(0), uint8(0))
+	f.Add(int64(7), uint16(1500), uint8(8), uint8(2), uint8(2), uint8(1), uint16(150), uint16(256), uint16(400), uint8(90), uint8(0x3f), uint8(1), uint8(16), uint8(0), uint16(0), uint8(0))
+	f.Add(int64(42), uint16(1000), uint8(3), uint8(4), uint8(3), uint8(4), uint16(0), uint16(1024), uint16(0), uint8(0), uint8(0x00), uint8(2), uint8(4), uint8(0), uint16(0), uint8(0))
+	f.Add(int64(9), uint16(1200), uint8(2), uint8(2), uint8(0), uint8(1), uint16(0), uint16(0), uint16(0), uint8(0), uint8(0x77), uint8(0), uint8(4), uint8(16), uint16(512), uint8(10))
 	f.Fuzz(func(t *testing.T, seed int64, durUS uint16, flows, patIdx, ccIdx, steerIdx uint8,
-		lossTenthsPermille, ring, rxbufKB uint16, ecnKB, optBits, wlIdx, rpcKB uint8) {
+		lossTenthsPermille, ring, rxbufKB uint16, ecnKB, optBits, wlIdx, rpcKB uint8,
+		fabHosts uint8, fabBufKB uint16, fabAlphaTenths uint8) {
 
 		patterns := []Pattern{PatternSingle, PatternOneToOne, PatternIncast, PatternOutcast, PatternAllToAll}
 		ccs := []string{"cubic", "reno", "dctcp", "bbr"}
@@ -76,6 +79,25 @@ func FuzzConfig(f *testing.F) {
 			wl = RPCIncastWorkload(1+int(flows)%16, int64(1+int(rpcKB)%64)*1024)
 		case 2:
 			wl = MixedWorkload(int(flows)%16, int64(1+int(rpcKB)%64)*1024)
+		}
+
+		// fabHosts >= 2 moves a long workload onto the switch fabric
+		// (fabric mode supports only long workloads; RPC/mixed and
+		// RemoteNUMA stay on the direct link). The same checker oracle
+		// audits per-port conservation and the shared-buffer ledger.
+		if fabHosts >= 2 && wl.Kind == "long" && !wl.RemoteNUMA {
+			hosts := 2 + int(fabHosts)%63 // [2, 64]
+			switch wl.Pattern {
+			case PatternOneToOne:
+				hosts &^= 1 // pairing needs an even host count
+			case PatternAllToAll:
+				hosts = 2 + hosts%7 // [2, 8]: flow count is quadratic
+			}
+			cfg.Fabric = &FabricOptions{
+				Hosts:          hosts,
+				SharedBufferKB: int(fabBufKB) % 4097,              // [0, 4096]
+				Alpha:          float64(fabAlphaTenths%41) / 10.0, // [0, 4.0]
+			}
 		}
 
 		res, err := Run(cfg, wl)

@@ -29,6 +29,7 @@ import (
 	"hostsim/internal/check"
 	"hostsim/internal/core"
 	"hostsim/internal/cpumodel"
+	"hostsim/internal/fabric"
 	"hostsim/internal/inspect"
 	"hostsim/internal/mtrace"
 	"hostsim/internal/profile"
@@ -39,7 +40,6 @@ import (
 	"hostsim/internal/topology"
 	"hostsim/internal/trace"
 	"hostsim/internal/units"
-	"hostsim/internal/wire"
 )
 
 // Stack mirrors the paper's stack configuration knobs.
@@ -221,6 +221,19 @@ type Config struct {
 	// while capturing. A nil Inspect costs nothing on the hot path.
 	Inspect *InspectOptions
 
+	// Fabric, when non-nil, replaces the direct two-host link with a
+	// single-stage switch fabric (a ToR): Hosts hosts, each attached to
+	// its own port with a per-port egress buffer, an optional shared
+	// buffer pool with dynamic-threshold drops, and per-port ECN marking
+	// (threshold ECNMarkKB, as on the direct link). LossRate applies at
+	// every egress serializer. Long-flow patterns then place connections
+	// across hosts — incast opens one flow from each of hosts 1..H-1 into
+	// host 0 — and Result.Hosts reports per-host stats. A nil Fabric keeps
+	// the two-host direct link, bit-identical to previous releases; a
+	// 2-host fabric with unbounded buffer is event-for-event identical to
+	// the direct link (see DESIGN.md "Switch fabric").
+	Fabric *FabricOptions
+
 	// MsgTrace, when non-nil, attaches the end-to-end message tracer:
 	// every application write is split into fixed-size messages whose
 	// full journey — send-buffer wait, retransmission wait, NIC queue,
@@ -253,6 +266,38 @@ type MsgTraceOptions struct {
 	// attribution (0 = 1<<20); completions beyond it still feed the
 	// quantile histogram but count as truncated.
 	MaxMessages int
+}
+
+// FabricOptions configures the switch-fabric topology (see Config.Fabric).
+type FabricOptions struct {
+	// Hosts is the number of hosts attached to the ToR, 2-256. Patterns
+	// scale with it: incast and outcast open Hosts-1 flows, all-to-all
+	// Hosts*(Hosts-1).
+	Hosts int
+	// SharedBufferKB bounds the switch's shared packet buffer (the sum of
+	// all egress backlogs, in wire bytes). An ingress frame is admitted
+	// only while its egress queue sits below the dynamic threshold
+	// alpha*(buffer - occupancy); beyond it the frame is dropped and
+	// counted in Result.Fabric.BufferDrops. 0 = unbounded.
+	SharedBufferKB int
+	// Alpha is the dynamic-threshold scale factor (0 = 1.0).
+	Alpha float64
+	// HostNames overrides the default host00..hostNN naming; must be
+	// empty or exactly Hosts entries. Names label stats and traces only —
+	// relabeling never changes the physics.
+	HostNames []string
+}
+
+// FabricStats summarizes the switch fabric's activity over the whole run,
+// warmup included (drops during slow start count too). Nil on direct-link
+// runs.
+type FabricStats struct {
+	InFrames        int64 // frames offered to ingress ports
+	Delivered       int64 // frames handed to hosts by egress links
+	BufferDrops     int64 // shared-buffer (dynamic-threshold) admission drops
+	BufferDropBytes int64 // payload bytes lost to buffer drops
+	LossDrops       int64 // Bernoulli loss at the egress serializers
+	Marked          int64 // CE marks
 }
 
 // CheckOptions configures the invariant checker (see Config.Check). The
@@ -501,12 +546,21 @@ type Result struct {
 	Duration              time.Duration
 	ThroughputGbps        float64 // application goodput (both directions)
 	ThroughputPerCoreGbps float64 // goodput / bottleneck-host busy cores
-	Bottleneck            string  // "sender" or "receiver"
+	Bottleneck            string  // name of the most CPU-saturated host
 	Sender                HostStats
 	Receiver              HostStats
-	RPCCompleted          int64   // finished ping-pongs (rpc/mixed)
-	LongFlowGbps          float64 // long-flow-only goodput (mixed workloads)
-	RPCGbps               float64 // rpc-only goodput (rpc/mixed workloads)
+
+	// Hosts reports every host's stats in host order (direct link: sender
+	// then receiver; fabric: port order). Sender and Receiver above are
+	// the workload's primary transmitting and receiving hosts.
+	Hosts []HostStats
+
+	// Fabric summarizes switch activity when Config.Fabric was set (nil
+	// on direct-link runs).
+	Fabric       *FabricStats
+	RPCCompleted int64   // finished ping-pongs (rpc/mixed)
+	LongFlowGbps float64 // long-flow-only goodput (mixed workloads)
+	RPCGbps      float64 // rpc-only goodput (rpc/mixed workloads)
 
 	// FlowGbps lists each long flow's goodput; FairnessIndex is Jain's
 	// index over them (1 = perfectly fair).
@@ -715,13 +769,55 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 	if cfg.LinkGbps > 0 {
 		spec.LinkRate = units.BitRate(cfg.LinkGbps) * units.Gbps
 	}
-	sender := core.NewHost("sender", eng, spec, costs, opts)
-	receiver := core.NewHost("receiver", eng, spec, costs, opts)
-	ab, ba := core.Connect(sender, receiver)
-	ab.SetLossRate(cfg.LossRate)
-	if cfg.ECNMarkKB > 0 {
-		ab.SetECNThreshold(units.Bytes(cfg.ECNMarkKB) * units.KB)
-		ba.SetECNThreshold(units.Bytes(cfg.ECNMarkKB) * units.KB)
+	// Topology: a direct two-host link by default, or N hosts on a switch
+	// fabric when Config.Fabric is set.
+	var (
+		hosts   []*core.Host
+		cluster *core.Cluster
+		taps    []linkTap // named link directions for the inspector
+	)
+	if fo := cfg.Fabric; fo == nil {
+		sender := core.NewHost("sender", eng, spec, costs, opts)
+		receiver := core.NewHost("receiver", eng, spec, costs, opts)
+		ab, ba := core.Connect(sender, receiver)
+		ab.SetLossRate(cfg.LossRate)
+		if cfg.ECNMarkKB > 0 {
+			ab.SetECNThreshold(units.Bytes(cfg.ECNMarkKB) * units.KB)
+			ba.SetECNThreshold(units.Bytes(cfg.ECNMarkKB) * units.KB)
+		}
+		hosts = []*core.Host{sender, receiver}
+		taps = []linkTap{{"sender->receiver", ab}, {"receiver->sender", ba}}
+	} else {
+		if fo.Hosts < 2 || fo.Hosts > 256 {
+			return nil, fmt.Errorf("hostsim: Fabric.Hosts %d outside [2,256]", fo.Hosts)
+		}
+		if fo.SharedBufferKB < 0 {
+			return nil, fmt.Errorf("hostsim: negative Fabric.SharedBufferKB")
+		}
+		if fo.Alpha < 0 {
+			return nil, fmt.Errorf("hostsim: negative Fabric.Alpha")
+		}
+		if len(fo.HostNames) != 0 && len(fo.HostNames) != fo.Hosts {
+			return nil, fmt.Errorf("hostsim: %d Fabric.HostNames for %d hosts", len(fo.HostNames), fo.Hosts)
+		}
+		hosts = make([]*core.Host, fo.Hosts)
+		for i := range hosts {
+			name := fmt.Sprintf("host%03d", i)
+			if len(fo.HostNames) > 0 {
+				name = fo.HostNames[i]
+			}
+			hosts[i] = core.NewHost(name, eng, spec, costs, opts)
+		}
+		cluster = core.ConnectFabric(hosts, fabric.Config{
+			LinkRate:     spec.LinkRate,
+			SharedBuffer: units.Bytes(fo.SharedBufferKB) * units.KB,
+			Alpha:        fo.Alpha,
+			ECNThreshold: units.Bytes(cfg.ECNMarkKB) * units.KB,
+			LossRate:     cfg.LossRate,
+		})
+		for i, h := range hosts {
+			taps = append(taps, linkTap{"fabric->" + h.Name(), cluster.Fabric().Port(i).Out()})
+		}
 	}
 
 	var checker *check.Checker
@@ -734,7 +830,11 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 			Collect:       cfg.Check.Collect,
 			MaxViolations: cfg.Check.MaxViolations,
 		})
-		core.AttachChecker(checker, sender, receiver, ab, ba)
+		if cluster != nil {
+			core.AttachClusterChecker(checker, cluster)
+		} else {
+			core.AttachChecker(checker, hosts[0], hosts[1], taps[0].link, taps[1].link)
+		}
 		checker.Start()
 	}
 
@@ -742,11 +842,11 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 	if cfg.TraceEvents > 0 {
 		tracer = trace.New(cfg.TraceEvents)
 		tracer.FilterFlow(skb.FlowID(cfg.TraceFlow))
-		sender.SetTracer(tracer)
-		receiver.SetTracer(tracer)
-		if cfg.TraceSpans {
-			sender.EnableSpanTrace()
-			receiver.EnableSpanTrace()
+		for _, h := range hosts {
+			h.SetTracer(tracer)
+			if cfg.TraceSpans {
+				h.EnableSpanTrace()
+			}
 		}
 	} else if cfg.TraceSpans {
 		return nil, fmt.Errorf("hostsim: TraceSpans requires TraceEvents > 0")
@@ -769,12 +869,18 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 			return nil, fmt.Errorf("hostsim: negative Telemetry.MaxSamples")
 		}
 		reg := telemetry.NewRegistry()
-		sender.EnableTelemetry(reg)
-		receiver.EnableTelemetry(reg)
+		for _, h := range hosts {
+			h.EnableTelemetry(reg)
+		}
 		sampler = telemetry.NewSampler(eng, reg, interval, maxSamples)
 	}
 
-	run, err := buildWorkload(sender, receiver, wl)
+	var run *builtWorkload
+	if cluster != nil {
+		run, err = buildFabricWorkload(cluster, wl)
+	} else {
+		run, err = buildWorkload(hosts[0], hosts[1], wl)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -791,7 +897,7 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 		// attaches; record each flow's committed stream offset so message
 		// numbering stays aligned with TCP sequence space.
 		starts := make(map[skb.FlowID]int64, len(sizes))
-		for _, h := range []*core.Host{sender, receiver} {
+		for _, h := range hosts {
 			h.ForEachEndpoint(func(ep *core.Endpoint) {
 				if _, ok := sizes[ep.TxFlow()]; ok {
 					starts[ep.TxFlow()] = ep.Conn().AppLimit()
@@ -804,13 +910,14 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 			Slowest:     mo.Slowest,
 			MaxMessages: mo.MaxMessages,
 		})
-		sender.EnableMsgTrace(mt)
-		receiver.EnableMsgTrace(mt)
+		for _, h := range hosts {
+			h.EnableMsgTrace(mt)
+		}
 		// Loss-recovery context for the exemplars rides the existing
 		// tcp_probe emit sites; AddProbe composes with the inspector's
 		// congestion trace when both are armed.
 		if hook := mt.ProbeHook(); hook != nil {
-			for _, h := range []*core.Host{sender, receiver} {
+			for _, h := range hosts {
 				h.ForEachEndpoint(func(ep *core.Endpoint) { ep.Conn().AddProbe(hook) })
 			}
 		}
@@ -823,14 +930,15 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 			popts.FlowClasses = flowClasses(run)
 		}
 		prof = profile.New(popts, spec.Frequency)
-		sender.EnableProfiler(prof)
-		receiver.EnableProfiler(prof)
+		for _, h := range hosts {
+			h.EnableProfiler(prof)
+		}
 	}
 
 	// The inspector attaches after the workload so the connections it
 	// hooks exist, and before the warmup run so captures and probe traces
 	// include slow start.
-	insp, err := attachInspector(cfg.Inspect, eng, sender, receiver, ab, ba)
+	insp, err := attachInspector(cfg.Inspect, eng, hosts, taps)
 	if err != nil {
 		return nil, err
 	}
@@ -838,8 +946,9 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 	if err := guardFailure(checker, func() { eng.Run(sim.Time(cfg.Warmup)) }); err != nil {
 		return nil, err
 	}
-	sender.ResetMetrics()
-	receiver.ResetMetrics()
+	for _, h := range hosts {
+		h.ResetMetrics()
+	}
 	// The profiler observes charges at the same point core accounting
 	// merges them (work-item completion), so resetting it here — next to
 	// ResetMetrics — makes its totals reconcile exactly with the window's
@@ -862,7 +971,7 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 		return nil, err
 	}
 
-	res := assemble(cfg, sender, receiver, ab, ba, run)
+	res := assemble(cfg, hosts, cluster, run)
 	if checker != nil {
 		res.Violations = checker.Violations()
 	}
@@ -959,30 +1068,46 @@ func guardFailure(checker *check.Checker, fn func()) (err error) {
 	return nil
 }
 
-func assemble(cfg Config, sender, receiver *core.Host, ab, ba *wire.Link, run *builtWorkload) *Result {
+func assemble(cfg Config, hosts []*core.Host, cluster *core.Cluster, run *builtWorkload) *Result {
 	window := cfg.Duration
-	res := &Result{
-		Duration: window,
-		Sender:   hostStats(sender, window),
-		Receiver: hostStats(receiver, window),
+	res := &Result{Duration: window}
+	res.Hosts = make([]HostStats, len(hosts))
+	var copied units.Bytes
+	for i, h := range hosts {
+		res.Hosts[i] = hostStats(h, window)
+		copied += h.Copied()
 	}
-	goodput := units.RateOf(sender.Copied()+receiver.Copied(), window)
-	res.ThroughputGbps = goodput.Gigabits()
-	// The bottleneck is the side whose busiest core is most saturated
-	// (the paper's "CPU utilization at the bottleneck").
-	bottleneck := res.Receiver
-	res.Bottleneck = "receiver"
-	if res.Sender.MaxCoreUtil > res.Receiver.MaxCoreUtil {
-		bottleneck = res.Sender
-		res.Bottleneck = "sender"
+	ri := run.receiverIdx
+	res.Sender = res.Hosts[run.senderIdx]
+	res.Receiver = res.Hosts[ri]
+	res.ThroughputGbps = units.RateOf(copied, window).Gigabits()
+	// The bottleneck is the host whose busiest core is most saturated
+	// (the paper's "CPU utilization at the bottleneck"); ties resolve to
+	// the primary receiving host, then host order.
+	bi := ri
+	for i := range hosts {
+		if i != ri && res.Hosts[i].MaxCoreUtil > res.Hosts[bi].MaxCoreUtil {
+			bi = i
+		}
 	}
-	if bottleneck.BusyCores > 0 {
-		res.ThroughputPerCoreGbps = res.ThroughputGbps / bottleneck.BusyCores
+	res.Bottleneck = hosts[bi].Name()
+	if res.Hosts[bi].BusyCores > 0 {
+		res.ThroughputPerCoreGbps = res.ThroughputGbps / res.Hosts[bi].BusyCores
 	}
 	res.RPCCompleted, res.LongFlowGbps, res.RPCGbps = run.deltas(window)
 	res.FlowGbps = run.perFlow(window)
 	res.FairnessIndex = jain(res.FlowGbps)
-	res.Flows = append(collectFlowStats(sender), collectFlowStats(receiver)...)
+	for _, h := range hosts {
+		res.Flows = append(res.Flows, collectFlowStats(h)...)
+	}
+	if cluster != nil {
+		in, bufDropped, lossDropped, marked, delivered, bufBytes := cluster.Fabric().Totals()
+		res.Fabric = &FabricStats{
+			InFrames: in, Delivered: delivered,
+			BufferDrops: bufDropped, BufferDropBytes: int64(bufBytes),
+			LossDrops: lossDropped, Marked: marked,
+		}
+	}
 	return res
 }
 

@@ -10,6 +10,13 @@ import (
 	"hostsim/internal/wire"
 )
 
+// linkTap is one tappable link direction: the direct link's two
+// directions, or one fabric egress port per host.
+type linkTap struct {
+	name string
+	link *wire.Link
+}
+
 // inspector bundles the run's attached wire-level observers (see
 // Config.Inspect) until assemble hands them to the Result.
 type inspector struct {
@@ -18,13 +25,13 @@ type inspector struct {
 	sampler  *telemetry.Sampler
 }
 
-// attachInspector installs the requested observers: packet taps on both
-// link directions, tcp_probe hooks on every connection, and an ss-style
+// attachInspector installs the requested observers: packet taps on every
+// link direction, tcp_probe hooks on every connection, and an ss-style
 // snapshot sampler over a dedicated registry (independent of
 // Config.Telemetry, so the two can coexist without name clashes). Must run
 // after the workload built its connections and before the warmup run.
 // Returns nil when o is nil.
-func attachInspector(o *InspectOptions, eng *sim.Engine, sender, receiver *core.Host, ab, ba *wire.Link) (*inspector, error) {
+func attachInspector(o *InspectOptions, eng *sim.Engine, hosts []*core.Host, taps []linkTap) (*inspector, error) {
 	if o == nil {
 		return nil, nil
 	}
@@ -40,15 +47,15 @@ func attachInspector(o *InspectOptions, eng *sim.Engine, sender, receiver *core.
 	}
 	insp := &inspector{}
 	if pcap {
-		capAB := inspect.NewCapture(eng, "sender->receiver", 0, o.SnapLen, o.MaxPackets)
-		capBA := inspect.NewCapture(eng, "receiver->sender", 1, o.SnapLen, o.MaxPackets)
-		ab.SetTap(capAB.Tap())
-		ba.SetTap(capBA.Tap())
-		insp.captures = []*inspect.Capture{capAB, capBA}
+		for i, tp := range taps {
+			cap := inspect.NewCapture(eng, tp.name, i, o.SnapLen, o.MaxPackets)
+			tp.link.SetTap(cap.Tap())
+			insp.captures = append(insp.captures, cap)
+		}
 	}
 	if probe {
 		insp.probes = inspect.NewProbeTrace(o.MaxProbeEvents)
-		for _, h := range []*core.Host{sender, receiver} {
+		for _, h := range hosts {
 			hook := insp.probes.Hook(h.Name())
 			h.ForEachEndpoint(func(ep *core.Endpoint) { ep.Conn().AddProbe(hook) })
 		}
@@ -63,14 +70,15 @@ func attachInspector(o *InspectOptions, eng *sim.Engine, sender, receiver *core.
 			maxSamples = inspect.DefaultSSMaxSamples
 		}
 		reg := telemetry.NewRegistry()
-		sender.RegisterInspect(reg)
-		receiver.RegisterInspect(reg)
+		for _, h := range hosts {
+			h.RegisterInspect(reg)
+		}
 		// The passive RTT monitor rides the same probe events the
 		// congestion trace consumes (no new emit sites in TCP) and
 		// publishes per-flow RTT gauges into the snapshot registry, so
 		// `ss`-style samples carry a continuous front-door delay signal.
 		rtt := inspect.NewRTTMonitor()
-		for _, h := range []*core.Host{sender, receiver} {
+		for _, h := range hosts {
 			name := h.Name()
 			h.ForEachEndpoint(func(ep *core.Endpoint) {
 				flow := ep.TxFlow()

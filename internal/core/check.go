@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"strings"
 	"time"
 
 	"hostsim/internal/check"
@@ -138,12 +139,16 @@ func tcpSeqSpace(fail check.FailFunc, h, peer *Host) {
 }
 
 func skbConservation(fail check.FailFunc, a, b *Host) {
-	pool := a.NIC.SKBPool()
+	skbConservationHosts(fail, a.name+"/"+b.name, []*Host{a, b})
+}
+
+func skbConservationHosts(fail check.FailFunc, scope string, hosts []*Host) {
+	pool := hosts[0].NIC.SKBPool()
 	if pool == nil {
 		return
 	}
 	var held int64
-	for _, h := range []*Host{a, b} {
+	for _, h := range hosts {
 		groN, _ := h.NIC.GROHeld()
 		held += int64(groN)
 		for _, ep := range sortedEndpoints(h) {
@@ -153,30 +158,133 @@ func skbConservation(fail check.FailFunc, a, b *Host) {
 	}
 	if out := pool.Outstanding(); out != held {
 		fail("skb pool: %d outstanding but only %d accounted for "+
-			"(gro+recvq+ooo+unsteered+rps across %s/%s) — %d skbs leaked",
-			out, held, a.name, b.name, out-held)
+			"(gro+recvq+ooo+unsteered+rps across %s) — %d skbs leaked",
+			out, held, scope, out-held)
 	}
 }
 
 func frameConservation(fail check.FailFunc, a, b *Host, ab, ba *wire.Link) {
-	fp := a.NIC.FramePool()
+	frameConservationHosts(fail, a.name+"/"+b.name, []*Host{a, b}, []*wire.Link{ab, ba}, 0)
+}
+
+// frameConservationHosts audits the shared frame pool over an arbitrary
+// host set: every outstanding frame must sit in a NIC Tx queue, an Rx
+// backlog, on a wire, or be a counted abandonment (a switch loss drop or
+// a fabric shared-buffer drop).
+func frameConservationHosts(fail check.FailFunc, scope string, hosts []*Host, links []*wire.Link, fabricDropped int64) {
+	fp := hosts[0].NIC.FramePool()
 	if fp == nil {
 		return
 	}
-	var held int64
-	for _, h := range []*Host{a, b} {
+	held := fabricDropped
+	for _, h := range hosts {
 		txN, _ := h.NIC.TxQueued()
 		backlogN, _ := h.NIC.RxBacklog()
 		held += int64(txN + backlogN)
 	}
-	for _, l := range []*wire.Link{ab, ba} {
+	for _, l := range links {
 		inflight, _ := l.InFlight()
 		held += inflight + l.Stats().Dropped // switch drops abandon the frame
 	}
 	if out := fp.Outstanding(); out != held {
 		fail("frame pool: %d outstanding but only %d accounted for "+
-			"(txq+rx backlog+wire+switch drops across %s/%s) — %d frames leaked",
-			out, held, a.name, b.name, out-held)
+			"(txq+rx backlog+wire+switch drops across %s) — %d frames leaked",
+			out, held, scope, out-held)
+	}
+}
+
+// AttachClusterChecker registers the conservation-law audit rules for a
+// fabric-connected cluster: the pair rules of AttachChecker restated
+// per egress link and per host, plus a per-switch-port rule (every frame
+// entering an ingress port is either forwarded to an egress queue or a
+// counted shared-buffer drop) and the cluster-wide pool audits, which
+// absorb fabric buffer drops as counted abandonments.
+func AttachClusterChecker(ck *check.Checker, c *Cluster) {
+	hosts := c.hosts
+	for _, h := range hosts {
+		h.chkLedger = &check.CycleLedger{}
+		h.installChargeLog()
+	}
+	names := make([]string, len(hosts))
+	links := make([]*wire.Link, len(hosts))
+	for i, h := range hosts {
+		names[i] = h.name
+		links[i] = c.fab.Port(i).Out()
+	}
+	scope := strings.Join(names, "/")
+
+	ck.AddRule("wire-conservation", func(fail check.FailFunc) {
+		for i, h := range hosts {
+			wireConservation(fail, "fabric->"+h.name, links[i])
+		}
+	})
+	ck.AddRule("fabric-port-conservation", func(fail check.FailFunc) {
+		for i, h := range hosts {
+			st := c.fab.Port(i).Stats()
+			if st.In != st.Forwarded+st.BufDropped {
+				fail("fabric port %d (%s): %d frames in != %d forwarded + %d buffer-dropped (leak of %d)",
+					i, h.name, st.In, st.Forwarded, st.BufDropped,
+					st.In-st.Forwarded-st.BufDropped)
+			}
+			if st.InPayload != st.ForwardedPayload+st.BufDroppedBytes {
+				fail("fabric port %d (%s): %d payload bytes in != %d forwarded + %d buffer-dropped (leak of %d)",
+					i, h.name, st.InPayload, st.ForwardedPayload, st.BufDroppedBytes,
+					st.InPayload-st.ForwardedPayload-st.BufDroppedBytes)
+			}
+		}
+		if occ := c.fab.Occupancy(); occ < 0 {
+			fail("fabric: negative shared-buffer occupancy %d", occ)
+		}
+	})
+	ck.AddRule("nic-rx-conservation", func(fail check.FailFunc) {
+		for i, h := range hosts {
+			nicRxConservation(fail, h, links[i])
+		}
+	})
+	ck.AddRule("tcp-seqspace", func(fail check.FailFunc) {
+		for _, h := range hosts {
+			clusterSeqSpace(fail, h, c)
+		}
+	})
+	ck.AddRule("skb-pool-conservation", func(fail check.FailFunc) {
+		skbConservationHosts(fail, scope, hosts)
+	})
+	ck.AddRule("frame-pool-conservation", func(fail check.FailFunc) {
+		_, bufDropped, _, _, _, _ := c.fab.Totals()
+		frameConservationHosts(fail, scope, hosts, links, bufDropped)
+	})
+	ck.AddRule("cycle-conservation", func(fail check.FailFunc) {
+		for _, h := range hosts {
+			cycleConservation(fail, h)
+		}
+	})
+	ck.AddRule("dca-occupancy", func(fail check.FailFunc) {
+		for _, h := range hosts {
+			dcaOccupancy(fail, h)
+		}
+	})
+}
+
+// clusterSeqSpace is tcpSeqSpace with the peer host resolved through the
+// cluster's routing table instead of an implicit pair.
+func clusterSeqSpace(fail check.FailFunc, h *Host, c *Cluster) {
+	for _, ep := range sortedEndpoints(h) {
+		ep.conn.CheckInvariants(fail)
+		peer := c.peer[ep.txFlow]
+		if peer == nil {
+			continue
+		}
+		pep := peer.byRx[ep.txFlow]
+		if pep == nil {
+			continue
+		}
+		una, nxt := ep.conn.SndUna(), ep.conn.SndNxt()
+		rcv := pep.conn.RcvNxt()
+		if una > rcv || rcv > nxt {
+			fail("tcp flow %d: cross-host sequence drift: %s sndUna %d, %s rcvNxt %d, sndNxt %d "+
+				"(want sndUna <= rcvNxt <= sndNxt)",
+				ep.txFlow, h.name, una, peer.name, rcv, nxt)
+		}
 	}
 }
 

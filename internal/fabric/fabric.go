@@ -1,0 +1,268 @@
+// Package fabric models a single-stage switch (a top-of-rack) connecting
+// N hosts. Each host attaches to one port: the port's ingress side
+// accepts frames from the host's NIC at zero cost (cut-through — the
+// fabric's internal crossbar is never the bottleneck), routes them by
+// flow id, and hands them to the destination port's egress serializer, a
+// plain wire.Link carrying the propagation delay, the optional ECN
+// marking threshold and the optional Bernoulli loss.
+//
+// Congestion lives entirely in the egress queues. An optional shared
+// buffer pool bounds their sum: a frame is admitted to egress queue q
+// only while q's backlog stays below the dynamic threshold
+// alpha * (B - total occupancy) (Choudhury–Hahne), the classic
+// shared-memory switch policy — uncongested ports keep their queues,
+// a single hot incast port is throttled before it starves the rest.
+//
+// Determinism contract: ingress routing and admission draw no random
+// numbers and consume no simulated time; the only randomness is the
+// egress links' loss draw (skipped entirely at LossRate 0) and the only
+// event scheduling is the egress links' delivery. A 2-host fabric with
+// unbounded buffer is therefore event-for-event identical to the direct
+// two-host link.
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"hostsim/internal/sim"
+	"hostsim/internal/skb"
+	"hostsim/internal/units"
+	"hostsim/internal/wire"
+)
+
+// Config describes the switch.
+type Config struct {
+	// Ports is the number of attached hosts (>= 2).
+	Ports int
+	// LinkRate is each port's line rate.
+	LinkRate units.BitRate
+	// Delay is the host->switch->host propagation delay, charged once on
+	// the egress link (the ingress hop is cut-through).
+	Delay time.Duration
+	// SharedBuffer bounds the sum of all egress backlogs (wire bytes);
+	// 0 = unbounded (no admission drops).
+	SharedBuffer units.Bytes
+	// Alpha is the dynamic-threshold scale factor; 0 = 1.0. Larger alpha
+	// lets one port monopolize more of the shared pool.
+	Alpha float64
+	// ECNThreshold CE-marks frames when their egress backlog exceeds this
+	// many bytes; 0 = off.
+	ECNThreshold units.Bytes
+	// LossRate is each egress serializer's Bernoulli drop probability.
+	LossRate float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Ports < 2 {
+		return fmt.Errorf("fabric: %d ports (want >= 2)", c.Ports)
+	}
+	if c.LinkRate <= 0 {
+		return fmt.Errorf("fabric: non-positive link rate")
+	}
+	if c.Delay < 0 {
+		return fmt.Errorf("fabric: negative delay")
+	}
+	if c.SharedBuffer < 0 {
+		return fmt.Errorf("fabric: negative shared buffer")
+	}
+	if c.Alpha < 0 {
+		return fmt.Errorf("fabric: negative alpha")
+	}
+	if c.ECNThreshold < 0 {
+		return fmt.Errorf("fabric: negative ECN threshold")
+	}
+	if c.LossRate < 0 || c.LossRate > 1 {
+		return fmt.Errorf("fabric: loss rate outside [0,1]")
+	}
+	return nil
+}
+
+// IngressStats counts one port's ingress-side activity (frames arriving
+// FROM the attached host).
+type IngressStats struct {
+	In               int64 // frames offered by the host's NIC
+	InPayload        units.Bytes
+	Forwarded        int64 // admitted to an egress queue
+	ForwardedPayload units.Bytes
+	BufDropped       int64 // shared-buffer (dynamic-threshold) drops
+	BufDroppedBytes  units.Bytes
+}
+
+// DeliverFunc hands a frame leaving the fabric to the host on port.
+type DeliverFunc func(port int, f *skb.Frame)
+
+// Fabric is the switch: Ports ports, a static flow routing table, and
+// the shared-buffer admission state.
+type Fabric struct {
+	cfg    Config
+	alpha  float64
+	ports  []*Port
+	routes map[skb.FlowID][2]int // flow -> the two attached ports
+}
+
+// Port is one host attachment. It implements wire.Egress: the host NIC's
+// Send lands on the ingress side; Out is the egress serializer toward the
+// attached host.
+type Port struct {
+	fab   *Fabric
+	id    int
+	out   *wire.Link
+	stats IngressStats
+}
+
+// New builds the switch. deliver is invoked for every frame leaving an
+// egress link, tagged with the destination port.
+func New(eng *sim.Engine, cfg Config, deliver DeliverFunc) *Fabric {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if eng == nil || deliver == nil {
+		panic("fabric: nil engine or delivery callback")
+	}
+	fb := &Fabric{
+		cfg:    cfg,
+		alpha:  cfg.Alpha,
+		ports:  make([]*Port, cfg.Ports),
+		routes: make(map[skb.FlowID][2]int),
+	}
+	if fb.alpha == 0 {
+		fb.alpha = 1
+	}
+	for i := range fb.ports {
+		i := i
+		p := &Port{fab: fb, id: i}
+		p.out = wire.NewLink(eng, cfg.LinkRate, cfg.Delay, func(f *skb.Frame) { deliver(i, f) })
+		if cfg.ECNThreshold > 0 {
+			p.out.SetECNThreshold(cfg.ECNThreshold)
+		}
+		p.out.SetLossRate(cfg.LossRate)
+		fb.ports[i] = p
+	}
+	return fb
+}
+
+// Config returns the switch configuration.
+func (fb *Fabric) Config() Config { return fb.cfg }
+
+// Ports returns the port count.
+func (fb *Fabric) Ports() int { return len(fb.ports) }
+
+// Port returns port i.
+func (fb *Fabric) Port(i int) *Port { return fb.ports[i] }
+
+// Occupancy is the shared buffer's current fill: the sum of all egress
+// backlogs, in wire bytes. Integer arithmetic over link serializer state,
+// so it is exact and deterministic.
+func (fb *Fabric) Occupancy() units.Bytes {
+	var total units.Bytes
+	for _, p := range fb.ports {
+		total += p.out.Backlog()
+	}
+	return total
+}
+
+// Register pins a flow to its two attached ports. Routing is symmetric:
+// data frames enter at one end, the flow's reverse-direction pure ACKs at
+// the other, and the egress is always "the port that isn't the ingress" —
+// so one entry covers both travel directions. candidates lists the
+// equal-cost egress choices toward the destination; today's single-stage
+// fabric always has exactly one, but the selection is already a
+// deterministic hash over the flow id (ECMP-ready for a multi-stage
+// extension). Register returns the chosen port.
+func (fb *Fabric) Register(flow skb.FlowID, srcPort int, candidates ...int) int {
+	if len(candidates) == 0 {
+		panic("fabric: no candidate egress port")
+	}
+	dst := candidates[PickPath(flow, len(candidates))]
+	if srcPort < 0 || srcPort >= len(fb.ports) || dst < 0 || dst >= len(fb.ports) {
+		panic(fmt.Sprintf("fabric: route %d->%d outside [0,%d)", srcPort, dst, len(fb.ports)))
+	}
+	if srcPort == dst {
+		panic("fabric: flow routed to its own ingress port")
+	}
+	if _, dup := fb.routes[flow]; dup {
+		panic(fmt.Sprintf("fabric: duplicate route for flow %d", flow))
+	}
+	fb.routes[flow] = [2]int{srcPort, dst}
+	return dst
+}
+
+// PickPath deterministically selects one of n equal-cost paths for a flow:
+// FNV-1a over the flow id's bytes, reduced mod n. Stable across runs and
+// processes — no RNG, no map iteration.
+func PickPath(flow skb.FlowID, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < 4; i++ {
+		h ^= uint32(flow>>(8*i)) & 0xff
+		h *= 16777619
+	}
+	return int(h % uint32(n))
+}
+
+// Rate implements wire.Egress: the port's line rate paces the host NIC's
+// Tx pump exactly as a direct link would.
+func (p *Port) Rate() units.BitRate { return p.fab.cfg.LinkRate }
+
+// Send implements wire.Egress: ingress from the attached host. Routing
+// and shared-buffer admission are instantaneous and draw no randomness;
+// an admitted frame continues into the destination port's egress
+// serializer, a rejected one is counted and abandoned (the frame pool
+// checker accounts fabric drops like switch drops).
+func (p *Port) Send(f *skb.Frame) {
+	if f == nil {
+		panic("fabric: nil frame")
+	}
+	fb := p.fab
+	p.stats.In++
+	p.stats.InPayload += f.Len
+	r, ok := fb.routes[f.Flow]
+	if !ok {
+		panic(fmt.Sprintf("fabric: no route for flow %d (ingress port %d)", f.Flow, p.id))
+	}
+	dst := r[0]
+	if dst == p.id {
+		dst = r[1]
+	}
+	out := fb.ports[dst].out
+	if b := fb.cfg.SharedBuffer; b > 0 {
+		free := b - fb.Occupancy()
+		if free < 0 {
+			free = 0
+		}
+		if out.Backlog()+f.WireSize() > units.Bytes(fb.alpha*float64(free)) {
+			p.stats.BufDropped++
+			p.stats.BufDroppedBytes += f.Len
+			return
+		}
+	}
+	p.stats.Forwarded++
+	p.stats.ForwardedPayload += f.Len
+	out.Send(f)
+}
+
+// Out returns the port's egress serializer toward the attached host
+// (for taps, checker audits and per-port stats).
+func (p *Port) Out() *wire.Link { return p.out }
+
+// ID returns the port number.
+func (p *Port) ID() int { return p.id }
+
+// Stats returns a copy of the ingress-side counters.
+func (p *Port) Stats() IngressStats { return p.stats }
+
+// Totals aggregates activity across all ports: ingress frames, buffer
+// drops, egress loss drops, CE marks, and delivered frames.
+func (fb *Fabric) Totals() (in, bufDropped, lossDropped, marked, delivered int64, bufDroppedBytes units.Bytes) {
+	for _, p := range fb.ports {
+		in += p.stats.In
+		bufDropped += p.stats.BufDropped
+		bufDroppedBytes += p.stats.BufDroppedBytes
+		st := p.out.Stats()
+		lossDropped += st.Dropped
+		marked += st.Marked
+		delivered += st.Delivered
+	}
+	return
+}

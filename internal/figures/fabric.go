@@ -1,0 +1,236 @@
+package figures
+
+import (
+	"fmt"
+	"sync"
+
+	"hostsim"
+)
+
+// The fab* experiments move the paper's traffic patterns from a host
+// pair onto the switch-fabric topology: N hosts on a ToR with per-port
+// egress buffers, an optional shared buffer pool with dynamic-threshold
+// admission, and per-port ECN marking. They quantify the §3.4 incast
+// collapse and the §3.5 pattern shapes at cluster scale instead of
+// core scale.
+
+func init() {
+	register(Experiment{
+		ID:    "fab1",
+		Title: "Incast scaling on a switch fabric: N-1 hosts into one",
+		Paper: "§3.4: with incast 'per-flow throughput reduces'; receiver CPU and scheduling dominate as senders multiply",
+		Run:   fab1Incast,
+	})
+	register(Experiment{
+		ID:    "fab2",
+		Title: "Outcast scaling on a switch fabric: one host into N-1",
+		Paper: "§3.5: the sender-side mirror of incast — one host's TX path fans out to N-1 receivers",
+		Run:   fab2Outcast,
+	})
+	register(Experiment{
+		ID:    "fab3",
+		Title: "All-to-all on a switch fabric: every host to every host",
+		Paper: "§3.5: all-to-all stresses both directions of every host; throughput is fairly shared at saturation",
+		Run:   fab3AllToAll,
+	})
+	register(Experiment{
+		ID:    "fab4",
+		Title: "Shared switch buffer under 15:1 incast: dynamic-threshold drops and ECN",
+		Paper: "§3.4/§5: shallow-buffered switches drop (or CE-mark) under incast; DCTCP trades drops for marks",
+		Run:   fab4Buffer,
+	})
+}
+
+// fabOpts returns a canonical *hostsim.FabricOptions per parameter tuple.
+// The run memo keys on "%+v" of the config, which renders pointer fields
+// as addresses — a shared pointer per tuple keeps keys stable so repeated
+// scenarios dedupe instead of re-running.
+type fabKey struct {
+	hosts, bufKB int
+	alpha        float64
+}
+
+var (
+	fabMu   sync.Mutex
+	fabPool = map[fabKey]*hostsim.FabricOptions{}
+)
+
+func fabOpts(o hostsim.FabricOptions) *hostsim.FabricOptions {
+	k := fabKey{o.Hosts, o.SharedBufferKB, o.Alpha}
+	fabMu.Lock()
+	defer fabMu.Unlock()
+	p, ok := fabPool[k]
+	if !ok {
+		o := o
+		p = &o
+		fabPool[k] = p
+	}
+	return p
+}
+
+// fabricScales is the host-count ladder shared by fab1 and fab2.
+var fabricScales = []int{2, 4, 8, 16, 64}
+
+func fab1Incast(rc RunConfig) (*Table, error) {
+	t := &Table{
+		ID:    "fab1",
+		Title: "Incast: hosts 1..N-1 each send one flow into host 0",
+		Columns: []string{"hosts", "flows", "total-thpt", "per-flow",
+			"fairness", "rcv-busy-cores", "rcv-max-util"},
+	}
+	specs := make([]runSpec, len(fabricScales))
+	for i, h := range fabricScales {
+		cfg := rc.config(hostsim.AllOptimizations())
+		cfg.Fabric = fabOpts(hostsim.FabricOptions{Hosts: h})
+		specs[i] = runSpec{cfg, hostsim.LongFlowWorkload(hostsim.PatternIncast, 0)}
+	}
+	results, err := runBatch(rc, specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, h := range fabricScales {
+		r := results[i]
+		flows := h - 1
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", h), fmt.Sprintf("%d", flows),
+			gb(r.ThroughputGbps), gb(r.ThroughputGbps / float64(flows)),
+			fmt.Sprintf("%.3f", r.FairnessIndex),
+			fmt.Sprintf("%.2f", r.Receiver.BusyCores), pct(r.Receiver.MaxCoreUtil),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"per-flow throughput collapses as senders multiply against one receiving host (§3.4)",
+		"the receiving host is the bottleneck: its busy cores rise with N while total throughput stays link-bound")
+	return t, nil
+}
+
+func fab2Outcast(rc RunConfig) (*Table, error) {
+	t := &Table{
+		ID:    "fab2",
+		Title: "Outcast: host 0 sends one flow to each of hosts 1..N-1",
+		Columns: []string{"hosts", "flows", "total-thpt", "per-flow",
+			"fairness", "snd-busy-cores", "snd-max-util"},
+	}
+	specs := make([]runSpec, len(fabricScales))
+	for i, h := range fabricScales {
+		cfg := rc.config(hostsim.AllOptimizations())
+		cfg.Fabric = fabOpts(hostsim.FabricOptions{Hosts: h})
+		specs[i] = runSpec{cfg, hostsim.LongFlowWorkload(hostsim.PatternOutcast, 0)}
+	}
+	results, err := runBatch(rc, specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, h := range fabricScales {
+		r := results[i]
+		flows := h - 1
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", h), fmt.Sprintf("%d", flows),
+			gb(r.ThroughputGbps), gb(r.ThroughputGbps / float64(flows)),
+			fmt.Sprintf("%.3f", r.FairnessIndex),
+			fmt.Sprintf("%.2f", r.Sender.BusyCores), pct(r.Sender.MaxCoreUtil),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"the TX path scales further than RX: segmentation offload leaves the sender fewer per-byte cycles than the receiver's copies",
+		"fan-out shares the sending host's single egress port; per-flow throughput falls as 1/(N-1)")
+	return t, nil
+}
+
+func fab3AllToAll(rc RunConfig) (*Table, error) {
+	t := &Table{
+		ID:    "fab3",
+		Title: "All-to-all: one flow per ordered host pair",
+		Columns: []string{"hosts", "flows", "total-thpt", "per-flow",
+			"fairness", "bottleneck-util"},
+	}
+	scales := []int{2, 4, 8}
+	specs := make([]runSpec, len(scales))
+	for i, h := range scales {
+		cfg := rc.config(hostsim.AllOptimizations())
+		cfg.Fabric = fabOpts(hostsim.FabricOptions{Hosts: h})
+		specs[i] = runSpec{cfg, hostsim.LongFlowWorkload(hostsim.PatternAllToAll, 0)}
+	}
+	results, err := runBatch(rc, specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, h := range scales {
+		r := results[i]
+		flows := h * (h - 1)
+		var maxUtil float64
+		for _, hs := range r.Hosts {
+			if hs.MaxCoreUtil > maxUtil {
+				maxUtil = hs.MaxCoreUtil
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", h), fmt.Sprintf("%d", flows),
+			gb(r.ThroughputGbps), gb(r.ThroughputGbps / float64(flows)),
+			fmt.Sprintf("%.3f", r.FairnessIndex), pct(maxUtil),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"every host runs both directions at once; aggregate throughput grows with the host count, per-flow falls",
+		"fairness stays high: no single port is oversubscribed, so flows share evenly (§3.2)")
+	return t, nil
+}
+
+// fab4Ladder is the shared-buffer ladder for the 16-host incast; 0 is
+// the unbounded reference.
+var fab4Ladder = []int{0, 4096, 1024, 256, 64}
+
+func fab4Buffer(rc RunConfig) (*Table, error) {
+	t := &Table{
+		ID:    "fab4",
+		Title: "16-host incast vs shared switch buffer (dynamic threshold, alpha=1)",
+		Columns: []string{"cc", "buffer-kb", "ecn-kb", "buf-drops",
+			"marked", "retransmits", "total-thpt", "fairness"},
+	}
+	type variant struct {
+		cc    string
+		ecnKB int
+		bufKB int
+	}
+	var variants []variant
+	for _, kb := range fab4Ladder {
+		variants = append(variants, variant{"cubic", 0, kb})
+	}
+	// DCTCP with per-port CE marking on the unbounded and tightest pools:
+	// marks replace drops where the buffer allows.
+	variants = append(variants,
+		variant{"dctcp", 64, 0},
+		variant{"dctcp", 64, 256},
+	)
+	specs := make([]runSpec, len(variants))
+	for i, v := range variants {
+		s := hostsim.AllOptimizations()
+		s.CC = v.cc
+		cfg := rc.config(s)
+		cfg.ECNMarkKB = v.ecnKB
+		cfg.Fabric = fabOpts(hostsim.FabricOptions{Hosts: 16, SharedBufferKB: v.bufKB})
+		specs[i] = runSpec{cfg, hostsim.LongFlowWorkload(hostsim.PatternIncast, 0)}
+	}
+	results, err := runBatch(rc, specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		r := results[i]
+		var retrans int64
+		for _, h := range r.Hosts {
+			retrans += h.Retransmits
+		}
+		t.Rows = append(t.Rows, []string{
+			v.cc, fmt.Sprintf("%d", v.bufKB), fmt.Sprintf("%d", v.ecnKB),
+			fmt.Sprintf("%d", r.Fabric.BufferDrops), fmt.Sprintf("%d", r.Fabric.Marked),
+			fmt.Sprintf("%d", retrans), gb(r.ThroughputGbps),
+			fmt.Sprintf("%.3f", r.FairnessIndex),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"the unbounded pool never drops; every bounded pool drops under 15:1 pressure and a sliver of buffer costs goodput (§3.4 collapse)",
+		"total drops over the window are not monotone in buffer size — TCP's feedback loop backs off harder when the pool is tighter",
+		"DCTCP with an unbounded pool converts queue pressure into CE marks and holds full goodput with zero drops")
+	return t, nil
+}

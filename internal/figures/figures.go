@@ -208,6 +208,9 @@ func splitID(id string) (int, string) {
 	if strings.HasPrefix(id, "app") {
 		n += 400 // appendix breakdowns last
 	}
+	if strings.HasPrefix(id, "fab") {
+		n += 500 // fabric topologies after appendix
+	}
 	return n, suffix
 }
 

@@ -161,7 +161,7 @@ type NIC struct {
 	alloc   *mem.Allocator
 	dca     *cache.DCA // nil = DCA disabled
 	cfg     Config
-	link    *wire.Link
+	egress  wire.Egress
 	deliver DeliverFunc
 	steer   Steering
 	queues  map[int]*rxQueue // by core id
@@ -226,19 +226,20 @@ type rxQueue struct {
 // pendingRx is the frames DMA-ed into the ring but not yet polled.
 func (q *rxQueue) pendingRx() int { return len(q.backlog) - q.bhead }
 
-// New builds a NIC. dca may be nil (DCA disabled). link is the egress
-// link; deliver is the Rx upcall.
+// New builds a NIC. dca may be nil (DCA disabled). egress is the wire
+// attachment (a direct link or a fabric ingress port); deliver is the Rx
+// upcall.
 func New(eng *sim.Engine, sys *exec.System, alloc *mem.Allocator, dca *cache.DCA,
-	cfg Config, link *wire.Link, deliver DeliverFunc) *NIC {
+	cfg Config, egress wire.Egress, deliver DeliverFunc) *NIC {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	if eng == nil || sys == nil || alloc == nil || link == nil || deliver == nil {
+	if eng == nil || sys == nil || alloc == nil || egress == nil || deliver == nil {
 		panic("nic: nil dependency")
 	}
 	n := &NIC{
 		eng: eng, sys: sys, alloc: alloc, dca: dca, cfg: cfg,
-		link: link, deliver: deliver,
+		egress: egress, deliver: deliver,
 		steer:  RSS{Cores: []int{0}},
 		queues: make(map[int]*rxQueue),
 		txqs:   make(map[int]*txq),
@@ -282,8 +283,8 @@ func (n *NIC) Config() Config { return n.cfg }
 // Stats returns a copy of the counters.
 func (n *NIC) Stats() Stats { return n.stats }
 
-// Link returns the egress link (tests).
-func (n *NIC) Link() *wire.Link { return n.link }
+// Egress returns the wire attachment (tests).
+func (n *NIC) Egress() wire.Egress { return n.egress }
 
 // queue returns (creating if needed) the Rx queue bound to core.
 func (n *NIC) queue(core int) *rxQueue {
@@ -529,11 +530,11 @@ func (n *NIC) pumpTx() {
 	}
 	n.txBusy = true
 	f.NICTxAt = n.eng.Now()
-	n.link.Send(f)
+	n.egress.Send(f)
 	if n.txComplete != nil && !f.IsAck() && f.Len > 0 {
 		n.txComplete(f.Flow, f.Len)
 	}
-	n.eng.After(n.link.Rate().Serialize(f.WireSize()), n.txDone)
+	n.eng.After(n.egress.Rate().Serialize(f.WireSize()), n.txDone)
 }
 
 func (n *NIC) nextTxFrame() *skb.Frame {

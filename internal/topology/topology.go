@@ -30,12 +30,15 @@ func Default() MachineSpec {
 		NUMANodes:    4,
 		CoresPerNode: 6,
 		Frequency:    units.Frequency(3.4e9),
-		L3PerNode:    20 * units.MB / 4 * 4, // 20MB per socket
-		DCAFraction:  0.18,
-		PageSize:     4 * units.KB,
-		NICNode:      0,
-		LinkRate:     100 * units.Gbps,
-		OneWayDelay:  2000, // 2us: direct-attached 100G link
+		// 20MB per socket. (A historical `/ 4 * 4` here was a left-right
+		// no-op — 20MB is already 4KB-page aligned — and is gone; the
+		// value is pinned by TestDefaultL3PerNode.)
+		L3PerNode:   20 * units.MB,
+		DCAFraction: 0.18,
+		PageSize:    4 * units.KB,
+		NICNode:     0,
+		LinkRate:    100 * units.Gbps,
+		OneWayDelay: 2000, // 2us: direct-attached 100G link
 	}
 }
 

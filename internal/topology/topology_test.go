@@ -120,3 +120,13 @@ func TestValidateRejectsBadSpecs(t *testing.T) {
 		}
 	}
 }
+
+// TestDefaultL3PerNode pins the testbed's L3 capacity: exactly 20MB per
+// socket (the Xeon Gold 6234's 24.75MB rounded to the paper's working
+// figure). Guards against the expression regressing into a silent
+// scaling no-op again.
+func TestDefaultL3PerNode(t *testing.T) {
+	if got, want := Default().L3PerNode, 20*units.MB; got != want {
+		t.Errorf("Default().L3PerNode = %v, want %v", got, want)
+	}
+}

@@ -631,4 +631,40 @@ var Hypotheses = []Hypothesis{
 			e.AtMost("copy share ratio 8x8/1x1", e.V("app5", "data_copy", "8x8")/e.V("app5", "data_copy", "1x1"), 0.7)
 		},
 	},
+	// ------------------------------------------------------- Switch fabric
+	{
+		ID: "fab1-incast-collapse", Sources: []string{"fab1", "fab2"}, Severity: Gate,
+		Claim: "On the switch fabric, per-flow throughput collapses as incast senders (and outcast receivers) multiply, while aggregate throughput saturates the hot host's link (§3.4, §3.5).",
+		Eval: func(e *E) {
+			hosts := []string{"2", "4", "8", "16", "64"}
+			e.MonotoneDown("incast per-flow over host counts", column(e, "fab1", "per-flow", hosts...)...)
+			e.MonotoneDown("outcast per-flow over host counts", column(e, "fab2", "per-flow", hosts...)...)
+			e.AtLeast("64-host incast aggregate", e.V("fab1", "total-thpt", "64"), 90)
+			e.AtLeast("64-host outcast aggregate", e.V("fab2", "total-thpt", "64"), 90)
+			e.AtLeast("64-host incast fairness", e.V("fab1", "fairness", "64"), 0.9)
+		},
+	},
+	{
+		ID: "fab3-alltoall-scaling", Sources: []string{"fab3"}, Severity: Gate,
+		Claim: "All-to-all aggregate throughput grows with the host count — no single port is oversubscribed — and stays fairly shared (§3.5, §3.2).",
+		Eval: func(e *E) {
+			e.MonotoneUp("aggregate over host counts", column(e, "fab3", "total-thpt", "2", "4", "8")...)
+			e.AtLeast("fairness floor", colMin(e, "fab3", "fairness"), 0.9)
+		},
+	},
+	{
+		ID: "fab4-shared-buffer", Sources: []string{"fab4"}, Severity: Gate,
+		Claim: "The unbounded switch pool never drops; every bounded pool drops under 15:1 incast, a sliver of buffer costs goodput, and DCTCP with an unbounded pool marks instead of dropping (§3.4, §5).",
+		Eval: func(e *E) {
+			e.Within("unbounded pool drops", e.V("fab4", "buf-drops", "cubic", "0"), 0, 0)
+			for _, kb := range []string{"4096", "1024", "256", "64"} {
+				e.AtLeast("drops with "+kb+"KB pool", e.V("fab4", "buf-drops", "cubic", kb), 1)
+			}
+			e.AtMost("64KB/unbounded goodput ratio",
+				e.V("fab4", "total-thpt", "cubic", "64")/e.V("fab4", "total-thpt", "cubic", "0"), 0.75)
+			e.Within("DCTCP unbounded drops", e.V("fab4", "buf-drops", "dctcp", "0"), 0, 0)
+			e.AtLeast("DCTCP CE marks", e.V("fab4", "marked", "dctcp", "0"), 1000)
+			e.AtLeast("DCTCP unbounded goodput", e.V("fab4", "total-thpt", "dctcp", "0"), 90)
+		},
+	},
 }

@@ -13,6 +13,16 @@ import (
 	"hostsim/internal/units"
 )
 
+// Egress is a NIC's attachment point to the network: either a direct
+// point-to-point Link (the two-host testbed) or a switch-fabric ingress
+// port. Send consumes the frame without charging CPU (transmission is
+// "hardware"); Rate is the attachment's line rate, which the NIC uses to
+// pace its Tx pump one frame at a time.
+type Egress interface {
+	Send(f *skb.Frame)
+	Rate() units.BitRate
+}
+
 // Stats counts link activity.
 type Stats struct {
 	Sent      int64       // frames accepted for transmission

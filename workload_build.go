@@ -16,6 +16,12 @@ type builtWorkload struct {
 	long    []*workload.LongFlow
 	clients []*workload.RPCClient
 
+	// senderIdx/receiverIdx pick the representative hosts for the
+	// Result.Sender/Result.Receiver views. Direct mode is always (0, 1);
+	// fabric incast swaps to (1, 0) so Sender is one of the sending hosts.
+	senderIdx   int
+	receiverIdx int
+
 	longBase     units.Bytes
 	longBaseEach []units.Bytes
 	rpcBase      units.Bytes
@@ -62,7 +68,7 @@ func msgSizes(b *builtWorkload, override int64) map[skb.FlowID]units.Bytes {
 }
 
 func buildWorkload(sender, receiver *core.Host, wl Workload) (*builtWorkload, error) {
-	b := &builtWorkload{}
+	b := &builtWorkload{receiverIdx: 1}
 	switch wl.Kind {
 	case "long":
 		p, err := parsePattern(wl.Pattern)
@@ -114,6 +120,76 @@ func buildWorkload(sender, receiver *core.Host, wl Workload) (*builtWorkload, er
 	default:
 		return nil, fmt.Errorf("hostsim: unknown workload kind %q", wl.Kind)
 	}
+}
+
+// buildFabricWorkload places the long-flow patterns across the cluster's
+// hosts rather than across one pair's cores: incast is hosts 1..H-1 each
+// sending one flow into host 0, outcast the reverse, one-to-one pairs the
+// hosts off two at a time, and all-to-all runs one flow per ordered host
+// pair. The pattern scale comes from the host count, so Workload.N is
+// ignored; cores on a hot host fill round-robin like the paper's
+// multi-flow placements. RPC and mixed workloads (and RemoteNUMA) remain
+// pair-topology options.
+func buildFabricWorkload(c *core.Cluster, wl Workload) (*builtWorkload, error) {
+	if wl.Kind != "long" {
+		return nil, fmt.Errorf("hostsim: fabric topologies support the long workload only (got %q)", wl.Kind)
+	}
+	if wl.RemoteNUMA {
+		return nil, fmt.Errorf("hostsim: RemoteNUMA is a pair-topology option")
+	}
+	p, err := parsePattern(wl.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	hosts := c.Hosts()
+	h := len(hosts)
+	cores := hosts[0].Spec().NumCores()
+	b := &builtWorkload{receiverIdx: 1}
+	open := func(s, sCore, r, rCore int) {
+		sEP, rEP := c.OpenConn(s, sCore, r, rCore)
+		b.long = append(b.long, workload.StartLongFlow(sEP, rEP))
+	}
+	switch p {
+	case workload.Single:
+		open(0, 0, 1, 0)
+	case workload.OneToOne:
+		if h%2 != 0 {
+			return nil, fmt.Errorf("hostsim: one-to-one needs an even host count (got %d)", h)
+		}
+		for i := 0; i < h; i += 2 {
+			open(i, 0, i+1, 0)
+		}
+	case workload.Incast:
+		b.senderIdx, b.receiverIdx = 1, 0
+		for i := 1; i < h; i++ {
+			open(i, 0, 0, (i-1)%cores)
+		}
+	case workload.Outcast:
+		for i := 1; i < h; i++ {
+			open(0, (i-1)%cores, i, 0)
+		}
+	case workload.AllToAll:
+		for i := 0; i < h; i++ {
+			for j := 0; j < h; j++ {
+				if i == j {
+					continue
+				}
+				// Each host numbers its flows toward the other hosts 0..H-2;
+				// that index picks the core, so every host spreads its H-1
+				// outgoing (and incoming) flows across its cores evenly.
+				sCore := j
+				if j > i {
+					sCore--
+				}
+				rCore := i
+				if i > j {
+					rCore--
+				}
+				open(i, sCore%cores, j, rCore%cores)
+			}
+		}
+	}
+	return b, nil
 }
 
 func parsePattern(p Pattern) (workload.Pattern, error) {

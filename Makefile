@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench bench-runner bench-profile bench-inspect bench-mtrace bench-engine bench-fabric profile-smoke inspect-smoke mtrace-smoke engine-smoke fuzz-smoke fabric-smoke figures figures-golden validate validate-smoke validate-sensitivity
+.PHONY: all build test check fmt vet race bench bench-runner bench-profile bench-inspect bench-mtrace bench-engine bench-fabric bench-fabricobs profile-smoke inspect-smoke mtrace-smoke engine-smoke fuzz-smoke fabric-smoke fabricobs-smoke figures figures-golden validate validate-smoke validate-sensitivity
 
 all: build
 
@@ -74,6 +74,16 @@ bench-fabric:
 	$(GO) test -run '^$$' -bench 'FabricRun|RunCheckOff' \
 		-benchmem -json . > BENCH_fabric.json
 
+# bench-fabricobs records the fabric observatory's end-to-end overhead
+# (observatory off vs on for the same buffered 15:1 incast) as JSON for
+# regression tracking. The off run's only residue is a nil-observer test
+# per forwarded frame and a nil-tap test per egress event; the pair must
+# stay within noise of each other. Compare captures with
+# `go run ./cmd/benchdiff BENCH_fabricobs.json <new>`.
+bench-fabricobs:
+	$(GO) test -run '^$$' -bench 'FabricObsOff|FabricObsOn' \
+		-benchmem -json . > BENCH_fabricobs.json
+
 # profile-smoke is the CI profile-golden check: run netsim with profiling
 # enabled and validate the emitted profile.proto with the in-repo parser.
 profile-smoke:
@@ -120,6 +130,20 @@ fuzz-smoke:
 fabric-smoke:
 	$(GO) test -race -count=1 ./internal/fabric
 	$(GO) test -race -count=1 -run 'TestFabricIncast16Checked|TestFabricIncastN1MatchesDirect|TestFabricSharedBufferDropsAndECN' .
+
+# fabricobs-smoke is the CI fabric-observability gate: the observatory's
+# unit tests and the root transparency/reconciliation properties under
+# the race detector, then an end-to-end netsim run emitting all three
+# artifacts, re-validated with the in-repo fabcheck checker.
+fabricobs-smoke:
+	$(GO) test -race -count=1 ./internal/fabricobs
+	$(GO) test -race -count=1 -run 'TestFabricObsTransparency|TestFabricObsLedgerReconciliation|TestFabricObsRejects' .
+	$(GO) run ./cmd/netsim -fabric-hosts 8 -fabric-buffer-kb 256 -pattern incast \
+		-dur 10ms -warmup 5ms -check -burst-kb 64 \
+		-fabric-report /tmp/hostsim-smoke.fab.csv \
+		-fabric-ts-out /tmp/hostsim-smoke.fabts.csv \
+		-fabric-trace-out /tmp/hostsim-smoke.fab.json > /dev/null
+	$(GO) run ./cmd/fabcheck /tmp/hostsim-smoke.fab.csv /tmp/hostsim-smoke.fabts.csv
 
 figures:
 	$(GO) run ./cmd/figures

@@ -335,3 +335,31 @@ func BenchmarkFabricRunBuffered16(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFabricObsOff is the baseline for the fabric-observatory
+// overhead pair: with Config.FabricObs nil the only residue is a nil
+// observer test per forwarded frame and a nil tap test per egress
+// transmission/delivery. Compare against BenchmarkFabricObsOn for the
+// armed cost of stamping, burst tracking and the per-port sampler.
+func BenchmarkFabricObsOff(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := benchFabricCfg(16)
+		cfg.Fabric = &hostsim.FabricOptions{Hosts: 16, SharedBufferKB: 256}
+		if _, err := hostsim.Run(cfg, hostsim.LongFlowWorkload(hostsim.PatternIncast, 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFabricObsOn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := benchFabricCfg(16)
+		cfg.Fabric = &hostsim.FabricOptions{Hosts: 16, SharedBufferKB: 256}
+		cfg.FabricObs = &hostsim.FabricObsOptions{}
+		if _, err := hostsim.Run(cfg, hostsim.LongFlowWorkload(hostsim.PatternIncast, 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,352 @@
+// Command fabcheck validates a fabric-observatory export written by
+// `netsim -fabric-report` (CSV or JSONL) and, optionally, the matching
+// `-fabric-ts-out` time-series. It re-asserts the invariants the
+// exporter guarantees:
+//
+//   - ledger exactness per port: in_frames == forwarded + admission_drops
+//     and enqueued == delivered + wire_loss_drops + in_flight — every
+//     frame the fabric ever saw is accounted for, none double-counted;
+//   - ordered hop-latency quantiles (p50 <= p99 <= max, mean <= max);
+//   - bursts sorted by start time, each referencing a known port with a
+//     matching host label, contributing-flow frames summing to at most
+//     the burst's frame count;
+//   - strictly monotone sample timestamps in the time-series, with the
+//     occupancy column and one backlog column per port present.
+//
+// Exit status is non-zero on any violation; CI uses it as the fabric
+// observability smoke check.
+//
+// Usage: fabcheck <report.{csv|jsonl}> [timeseries.{csv|jsonl}]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// portRow is one parsed port-ledger line; field order follows the CSV
+// header in internal/fabricobs/report.go.
+type portRow struct {
+	Port          int     `json:"port"`
+	Host          string  `json:"host"`
+	In            int64   `json:"in_frames"`
+	Forwarded     int64   `json:"forwarded"`
+	AdmDrops      int64   `json:"admission_drops"`
+	AdmDropBytes  int64   `json:"admission_drop_bytes"`
+	Enqueued      int64   `json:"enqueued"`
+	Delivered     int64   `json:"delivered"`
+	WireLoss      int64   `json:"wire_loss_drops"`
+	InFlight      int64   `json:"in_flight"`
+	ECNMarks      int64   `json:"ecn_marks"`
+	TxBytes       int64   `json:"tx_bytes"`
+	Utilization   float64 `json:"utilization"`
+	PeakBacklog   int64   `json:"peak_backlog_bytes"`
+	PeakOccupancy int64   `json:"peak_occupancy_bytes"`
+	HopMeanNS     int64   `json:"hop_mean_ns"`
+	HopP50NS      int64   `json:"hop_p50_ns"`
+	HopP99NS      int64   `json:"hop_p99_ns"`
+	HopMaxNS      int64   `json:"hop_max_ns"`
+	Bursts        int64   `json:"bursts"`
+}
+
+type burstRow struct {
+	Port          int    `json:"port"`
+	Host          string `json:"host"`
+	StartNS       int64  `json:"start_ns"`
+	DurationNS    int64  `json:"duration_ns"`
+	PeakBacklog   int64  `json:"peak_backlog_bytes"`
+	PeakOccupancy int64  `json:"peak_occupancy_bytes"`
+	Frames        int64  `json:"frames"`
+	AdmDrops      int64  `json:"admission_drops"`
+	Truncated     bool   `json:"truncated"`
+	Flows         string `json:"flows"`
+}
+
+func main() {
+	if len(os.Args) != 2 && len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: fabcheck <report.{csv|jsonl}> [timeseries.{csv|jsonl}]")
+		os.Exit(2)
+	}
+	ports, bursts := readReport(os.Args[1])
+	checkLedger(os.Args[1], ports)
+	checkBursts(os.Args[1], ports, bursts)
+	var drops, marks int64
+	for _, p := range ports {
+		drops += p.AdmDrops + p.WireLoss
+		marks += p.ECNMarks
+	}
+	fmt.Printf("%s: %d ports, %d bursts, ledger exact (%d drops, %d marks attributed)\n",
+		os.Args[1], len(ports), len(bursts), drops, marks)
+	if len(os.Args) == 3 {
+		checkTimeline(os.Args[2], ports)
+	}
+}
+
+// readReport dispatches on suffix: .jsonl streams are type-discriminated
+// objects, everything else is the two-section CSV.
+func readReport(path string) ([]portRow, []burstRow) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		return parseJSONL(path, data)
+	}
+	return parseCSV(path, data)
+}
+
+func parseJSONL(path string, data []byte) (ports []portRow, bursts []burstRow) {
+	for i, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		var disc struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal([]byte(line), &disc); err != nil {
+			fail("%s line %d: %v", path, i+1, err)
+		}
+		switch disc.Type {
+		case "port":
+			var p portRow
+			if err := json.Unmarshal([]byte(line), &p); err != nil {
+				fail("%s line %d: %v", path, i+1, err)
+			}
+			ports = append(ports, p)
+		case "burst":
+			var b burstRow
+			if err := json.Unmarshal([]byte(line), &b); err != nil {
+				fail("%s line %d: %v", path, i+1, err)
+			}
+			bursts = append(bursts, b)
+		default:
+			fail("%s line %d: unknown type %q", path, i+1, disc.Type)
+		}
+	}
+	return ports, bursts
+}
+
+// parseCSV splits the report on its blank line: the port section above,
+// the burst section below, each with its own header row.
+func parseCSV(path string, data []byte) (ports []portRow, bursts []burstRow) {
+	sections := strings.SplitN(strings.TrimRight(string(data), "\n"), "\n\n", 2)
+	if len(sections) != 2 {
+		fail("%s: missing blank-line separator between port and burst sections", path)
+	}
+	plines := strings.Split(sections[0], "\n")
+	if !strings.HasPrefix(plines[0], "port,host,in_frames,") {
+		fail("%s: unexpected port header %q", path, plines[0])
+	}
+	for _, line := range plines[1:] {
+		f := fields(path, line, 20)
+		ports = append(ports, portRow{
+			Port: int(num(path, f[0])), Host: f[1],
+			In: num(path, f[2]), Forwarded: num(path, f[3]),
+			AdmDrops: num(path, f[4]), AdmDropBytes: num(path, f[5]),
+			Enqueued: num(path, f[6]), Delivered: num(path, f[7]),
+			WireLoss: num(path, f[8]), InFlight: num(path, f[9]),
+			ECNMarks: num(path, f[10]), TxBytes: num(path, f[11]),
+			Utilization: fnum(path, f[12]),
+			PeakBacklog: num(path, f[13]), PeakOccupancy: num(path, f[14]),
+			HopMeanNS: num(path, f[15]), HopP50NS: num(path, f[16]),
+			HopP99NS: num(path, f[17]), HopMaxNS: num(path, f[18]),
+			Bursts: num(path, f[19]),
+		})
+	}
+	blines := strings.Split(sections[1], "\n")
+	if !strings.HasPrefix(blines[0], "port,host,start_ns,") {
+		fail("%s: unexpected burst header %q", path, blines[0])
+	}
+	for _, line := range blines[1:] {
+		f := fields(path, line, 10)
+		bursts = append(bursts, burstRow{
+			Port: int(num(path, f[0])), Host: f[1],
+			StartNS: num(path, f[2]), DurationNS: num(path, f[3]),
+			PeakBacklog: num(path, f[4]), PeakOccupancy: num(path, f[5]),
+			Frames: num(path, f[6]), AdmDrops: num(path, f[7]),
+			Truncated: f[8] == "true", Flows: f[9],
+		})
+	}
+	return ports, bursts
+}
+
+func checkLedger(path string, ports []portRow) {
+	if len(ports) == 0 {
+		fail("%s: no port rows", path)
+	}
+	for _, p := range ports {
+		for name, v := range map[string]int64{
+			"in_frames": p.In, "forwarded": p.Forwarded,
+			"admission_drops": p.AdmDrops, "admission_drop_bytes": p.AdmDropBytes,
+			"enqueued": p.Enqueued, "delivered": p.Delivered,
+			"wire_loss_drops": p.WireLoss, "in_flight": p.InFlight,
+			"ecn_marks": p.ECNMarks, "tx_bytes": p.TxBytes, "bursts": p.Bursts,
+		} {
+			if v < 0 {
+				fail("port %d (%s): negative %s %d", p.Port, p.Host, name, v)
+			}
+		}
+		if p.In != p.Forwarded+p.AdmDrops {
+			fail("port %d (%s): ingress ledger inexact: in %d != forwarded %d + admission_drops %d",
+				p.Port, p.Host, p.In, p.Forwarded, p.AdmDrops)
+		}
+		if p.Enqueued != p.Delivered+p.WireLoss+p.InFlight {
+			fail("port %d (%s): egress ledger inexact: enqueued %d != delivered %d + wire_loss %d + in_flight %d",
+				p.Port, p.Host, p.Enqueued, p.Delivered, p.WireLoss, p.InFlight)
+		}
+		// Quantiles come from a log-bucketed histogram (bucket growth
+		// 1.165x) while mean and max are exact, so a quantile may land up
+		// to one bucket above the true max; order within each family is
+		// still strict.
+		if p.HopP50NS > p.HopP99NS || p.HopMeanNS > p.HopMaxNS ||
+			float64(p.HopP99NS) > float64(p.HopMaxNS)*1.166+1 {
+			fail("port %d (%s): hop-latency quantiles out of order: p50 %d p99 %d mean %d max %d",
+				p.Port, p.Host, p.HopP50NS, p.HopP99NS, p.HopMeanNS, p.HopMaxNS)
+		}
+		if p.Utilization < 0 || p.Utilization > 1.001 {
+			fail("port %d (%s): utilization %g outside [0,1]", p.Port, p.Host, p.Utilization)
+		}
+	}
+}
+
+func checkBursts(path string, ports []portRow, bursts []burstRow) {
+	byPort := map[int]portRow{}
+	for _, p := range ports {
+		byPort[p.Port] = p
+	}
+	retained := map[int]int64{}
+	prev := int64(-1)
+	for i, b := range bursts {
+		p, ok := byPort[b.Port]
+		if !ok {
+			fail("burst %d: unknown port %d", i, b.Port)
+		}
+		if b.Host != p.Host {
+			fail("burst %d: host %q, port %d ledger says %q", i, b.Host, b.Port, p.Host)
+		}
+		if b.StartNS < prev {
+			fail("burst %d: start %dns before previous burst %dns — not time-sorted", i, b.StartNS, prev)
+		}
+		prev = b.StartNS
+		if b.DurationNS < 0 || b.Frames < 0 || b.AdmDrops < 0 {
+			fail("burst %d: negative duration/frames/drops", i)
+		}
+		var flowSum int64
+		if b.Flows != "" {
+			for _, pair := range strings.Split(b.Flows, ";") {
+				var flow, frames int64
+				if _, err := fmt.Sscanf(pair, "%d:%d", &flow, &frames); err != nil {
+					fail("burst %d: malformed flow pair %q", i, pair)
+				}
+				flowSum += frames
+			}
+		}
+		if flowSum > b.Frames {
+			fail("burst %d: contributing flows carry %d frames, burst saw only %d", i, flowSum, b.Frames)
+		}
+		retained[b.Port]++
+	}
+	for port, n := range retained {
+		if n > byPort[port].Bursts {
+			fail("port %d: %d bursts retained but ledger counts only %d", port, n, byPort[port].Bursts)
+		}
+	}
+}
+
+// checkTimeline asserts strictly increasing timestamps and the presence
+// of the occupancy column plus one backlog column per ledger port.
+func checkTimeline(path string, ports []portRow) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var names []string
+	var times []int64
+	if strings.HasSuffix(path, ".jsonl") {
+		lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+		var header struct {
+			Names []string `json:"names"`
+		}
+		if err := json.Unmarshal([]byte(lines[0]), &header); err != nil {
+			fail("%s: header: %v", path, err)
+		}
+		names = header.Names
+		for i, line := range lines[1:] {
+			var row struct {
+				T int64     `json:"t_ns"`
+				V []float64 `json:"v"`
+			}
+			if err := json.Unmarshal([]byte(line), &row); err != nil {
+				fail("%s line %d: %v", path, i+2, err)
+			}
+			if len(row.V) != len(names) {
+				fail("%s line %d: %d values for %d metrics", path, i+2, len(row.V), len(names))
+			}
+			times = append(times, row.T)
+		}
+	} else {
+		lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+		cols := strings.Split(lines[0], ",")
+		if cols[0] != "time_ns" {
+			fail("%s: header starts with %q, want time_ns", path, cols[0])
+		}
+		names = cols[1:]
+		for i, line := range lines[1:] {
+			f := strings.Split(line, ",")
+			if len(f) != len(cols) {
+				fail("%s line %d: %d fields, header has %d", path, i+2, len(f), len(cols))
+			}
+			times = append(times, num(path, f[0]))
+		}
+	}
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	if !have["occupancy_bytes"] {
+		fail("%s: missing occupancy_bytes column", path)
+	}
+	for _, p := range ports {
+		col := fmt.Sprintf("port%03d/backlog_bytes", p.Port)
+		if !have[col] {
+			fail("%s: missing %s column for ledger port %d", path, col, p.Port)
+		}
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			fail("%s: sample %d at %dns not after sample %d at %dns — timestamps must be strictly monotone",
+				path, i, times[i], i-1, times[i-1])
+		}
+	}
+	fmt.Printf("%s: %d samples x %d metrics, timestamps strictly monotone\n",
+		path, len(times), len(names))
+}
+
+func fields(path, line string, want int) []string {
+	f := strings.Split(line, ",")
+	if len(f) != want {
+		fail("%s: row %q has %d fields, want %d", path, line, len(f), want)
+	}
+	return f
+}
+
+func num(path, s string) int64 {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		fail("%s: bad integer %q", path, s)
+	}
+	return v
+}
+
+func fnum(path, s string) float64 {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		fail("%s: bad float %q", path, s)
+	}
+	return v
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fabcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

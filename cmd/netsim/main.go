@@ -79,6 +79,15 @@ func main() {
 		tailReport = flag.String("tail-report", "", "write the message tail-latency attribution report ('-' = stdout)")
 		slowest    = flag.Int("slowest", 8, "worst-latency exemplar messages kept for -mtrace-out")
 		msgBytes   = flag.Int64("msg-bytes", 0, "message size override for tracing (0 = workload-derived)")
+
+		fabHosts = flag.Int("fabric-hosts", 0, "route traffic through an N-host ToR switch fabric instead of a point-to-point link (0 = off)")
+		fabBufKB = flag.Int("fabric-buffer-kb", 0, "fabric shared packet buffer in KB (0 = unbounded)")
+		fabAlpha = flag.Float64("fabric-alpha", 0, "fabric dynamic-threshold alpha (0 = 1.0)")
+
+		fabReport = flag.String("fabric-report", "", "write the fabric drop/mark attribution ledger and microbursts ('-' = stdout text; CSV, or JSONL with a .jsonl suffix); arms the fabric observatory")
+		fabTSOut  = flag.String("fabric-ts-out", "", "write the per-port fabric time-series (CSV, or JSONL with a .jsonl suffix); arms the fabric observatory")
+		fabTrace  = flag.String("fabric-trace-out", "", "write fabric port-queue counters and microbursts as Chrome trace-event JSON (open in Perfetto); arms the fabric observatory")
+		burstKB   = flag.Int("burst-kb", 0, "microburst detection threshold in KB of egress backlog (0 = 128)")
 	)
 	flag.Parse()
 
@@ -89,6 +98,8 @@ func main() {
 		{"telemetry-out", *telemetryOut}, {"trace-out", *traceOut},
 		{"pcap-out", *pcapOut}, {"probe-out", *probeOut}, {"ss-out", *ssOut},
 		{"mtrace-out", *mtraceOut}, {"tail-report", *tailReport},
+		{"fabric-report", *fabReport}, {"fabric-ts-out", *fabTSOut},
+		{"fabric-trace-out", *fabTrace},
 	} {
 		if of.path == "" || of.path == "-" {
 			continue
@@ -137,6 +148,16 @@ func main() {
 	}
 	if *mtraceOut != "" || *tailReport != "" {
 		cfg.MsgTrace = &hostsim.MsgTraceOptions{Slowest: *slowest, MsgBytes: *msgBytes}
+	}
+	if *fabHosts > 0 {
+		cfg.Fabric = &hostsim.FabricOptions{
+			Hosts: *fabHosts, SharedBufferKB: *fabBufKB, Alpha: *fabAlpha,
+		}
+	}
+	if *fabReport != "" || *fabTSOut != "" || *fabTrace != "" {
+		cfg.FabricObs = &hostsim.FabricObsOptions{
+			SampleInterval: *sampleEvery, BurstThresholdKB: *burstKB,
+		}
 	}
 
 	var wl hostsim.Workload
@@ -232,6 +253,35 @@ func main() {
 		fmt.Printf("message spans: %d traced, slowest %d -> %s (open in https://ui.perfetto.dev)\n",
 			res.MessageLatency.Count, *slowest, *mtraceOut)
 	}
+	if *fabReport != "" {
+		if *fabReport == "-" {
+			fmt.Printf("\n--- fabric attribution ledger ---\n%s", res.FormatFabricReport())
+		} else {
+			writeOutput("fabric-report", *fabReport, func(w io.Writer) error {
+				if strings.HasSuffix(*fabReport, ".jsonl") {
+					return res.WriteFabricReportJSONL(w)
+				}
+				return res.WriteFabricReport(w)
+			})
+			fmt.Printf("fabric report: %d ports, %d bursts -> %s\n",
+				len(res.PortReports), len(res.BurstEvents), *fabReport)
+		}
+	}
+	if *fabTSOut != "" {
+		writeOutput("fabric-ts-out", *fabTSOut, func(w io.Writer) error {
+			if strings.HasSuffix(*fabTSOut, ".jsonl") {
+				return res.FabricTimeline.WriteJSONL(w)
+			}
+			return res.FabricTimeline.WriteCSV(w)
+		})
+		fmt.Printf("fabric timeline: %d samples x %d metrics -> %s\n",
+			res.FabricTimeline.Len(), len(res.FabricTimeline.Names), *fabTSOut)
+	}
+	if *fabTrace != "" {
+		writeOutput("fabric-trace-out", *fabTrace, res.WriteFabricTrace)
+		fmt.Printf("fabric trace: %d ports, %d bursts -> %s (open in https://ui.perfetto.dev)\n",
+			len(res.PortReports), len(res.BurstEvents), *fabTrace)
+	}
 	if *traceOut != "" {
 		writeOutput("trace-out", *traceOut, res.WriteChromeTrace)
 		fmt.Printf("chrome trace: %d events -> %s (open in https://ui.perfetto.dev)\n",
@@ -322,6 +372,11 @@ func printResult(res *hostsim.Result) {
 	}
 	if res.LongFlowGbps > 0 {
 		fmt.Printf("long-flow goodput      %.2f Gbps\n", res.LongFlowGbps)
+	}
+	if res.Fabric != nil {
+		fmt.Printf("fabric                 in %d  delivered %d  buf-drops %d  wire-drops %d  marked %d\n",
+			res.Fabric.InFrames, res.Fabric.Delivered, res.Fabric.BufferDrops,
+			res.Fabric.LossDrops, res.Fabric.Marked)
 	}
 	for _, side := range []struct {
 		name string

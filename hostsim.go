@@ -30,6 +30,7 @@ import (
 	"hostsim/internal/core"
 	"hostsim/internal/cpumodel"
 	"hostsim/internal/fabric"
+	"hostsim/internal/fabricobs"
 	"hostsim/internal/inspect"
 	"hostsim/internal/mtrace"
 	"hostsim/internal/profile"
@@ -234,6 +235,21 @@ type Config struct {
 	// the direct link (see DESIGN.md "Switch fabric").
 	Fabric *FabricOptions
 
+	// FabricObs, when non-nil, attaches the fabric observatory: an
+	// INT-style in-band-telemetry layer over the switch fabric that stamps
+	// every frame at ingress (queue depth and shared-buffer occupancy at
+	// the admission verdict) and egress (mark/loss verdict, delivery),
+	// maintains a per-port time-series (Result.FabricTimeline), keeps an
+	// exact drop/mark attribution ledger (Result.PortReports — every lost
+	// frame classified as shared-buffer admission drop vs. wire loss,
+	// reconciling with the checker's per-port conservation rule), and
+	// detects microbursts (Result.BurstEvents). Like the whole run it
+	// covers warmup — slow-start bursts are the interesting ones. Every
+	// hook is a pure read, so an observed run is byte-identical to an
+	// unobserved one; Check can stay armed. Requires Config.Fabric. A nil
+	// FabricObs costs nothing.
+	FabricObs *FabricObsOptions
+
 	// MsgTrace, when non-nil, attaches the end-to-end message tracer:
 	// every application write is split into fixed-size messages whose
 	// full journey — send-buffer wait, retransmission wait, NIC queue,
@@ -287,6 +303,36 @@ type FabricOptions struct {
 	// relabeling never changes the physics.
 	HostNames []string
 }
+
+// FabricObsOptions configures the fabric observatory (see
+// Config.FabricObs). The zero value samples every 100µs into a
+// 4096-sample ring, opens microbursts at 128KB of egress backlog, keeps
+// the top 4 contributing flows per burst and retains up to 1024 bursts.
+type FabricObsOptions struct {
+	// SampleInterval is the simulated time between per-port time-series
+	// samples (0 = 100µs).
+	SampleInterval time.Duration
+	// MaxSamples bounds the time-series ring (0 = 4096).
+	MaxSamples int
+	// BurstThresholdKB opens a microburst when a frame enqueues into an
+	// egress backlog at or above this many KB of wire bytes; the burst
+	// closes when the queue drains to half the threshold (0 = 128).
+	BurstThresholdKB int
+	// BurstFlows is the number of top contributing flows kept per burst
+	// event (0 = 4).
+	BurstFlows int
+	// MaxBursts caps retained burst events; further bursts are detected
+	// and counted per port but not retained (0 = 1024).
+	MaxBursts int
+}
+
+// PortReport is one fabric port's end-of-run attribution-ledger line (see
+// Config.FabricObs); fabricobs.PortReport documents the exact identities.
+type PortReport = fabricobs.PortReport
+
+// BurstEvent is one detected microburst on a fabric egress port (see
+// Config.FabricObs).
+type BurstEvent = fabricobs.BurstEvent
 
 // FabricStats summarizes the switch fabric's activity over the whole run,
 // warmup included (drops during slow start count too). Nil on direct-link
@@ -613,9 +659,24 @@ type Result struct {
 	// show up in the tail.
 	MessageLatency *MessageLatency
 
-	traceEvents []trace.Event     // raw events for WriteChromeTrace
-	prof        *profile.Profiler // backs WritePprof/WriteFolded
-	mt          *mtrace.Tracer    // backs WriteSpans/WriteTailReport
+	// FabricTimeline holds the fabric observatory's per-port sampled
+	// time-series (occupancy, backlog, utilization, ECN-mark rate, drops)
+	// when Config.FabricObs was set (nil otherwise). Like SocketSnapshots
+	// it covers the whole run including warmup.
+	FabricTimeline *Timeline
+
+	// PortReports holds the observatory's per-port drop/mark attribution
+	// ledger when Config.FabricObs was set (nil otherwise), in port order.
+	PortReports []PortReport
+
+	// BurstEvents holds the detected microbursts when Config.FabricObs
+	// was set, ordered by start time (empty if none, nil when off).
+	BurstEvents []BurstEvent
+
+	traceEvents []trace.Event       // raw events for WriteChromeTrace
+	prof        *profile.Profiler   // backs WritePprof/WriteFolded
+	mt          *mtrace.Tracer      // backs WriteSpans/WriteTailReport
+	fobs        *fabricobs.Observer // backs WriteFabricReport/WriteFabricTrace
 }
 
 // WritePprof writes the cycle profile as a gzipped pprof profile.proto
@@ -696,6 +757,52 @@ func (r *Result) WriteSpans(w io.Writer) error {
 		return fmt.Errorf("hostsim: run had no Config.MsgTrace")
 	}
 	return r.mt.WriteSpans(w)
+}
+
+// WriteFabricReport writes the fabric attribution ledger as CSV: a
+// per-port section (the exact drop/mark classification and hop-latency
+// quantiles), a blank line, then the microburst section. Errors unless
+// the run had Config.FabricObs set.
+func (r *Result) WriteFabricReport(w io.Writer) error {
+	if r.fobs == nil {
+		return fmt.Errorf("hostsim: run had no Config.FabricObs")
+	}
+	return fabricobs.WriteReportCSV(w, r.PortReports, r.BurstEvents)
+}
+
+// WriteFabricReportJSONL writes the ledger as JSON lines (one
+// {"type":"port"} object per port, then one {"type":"burst"} object per
+// burst). Errors unless the run had Config.FabricObs set.
+func (r *Result) WriteFabricReportJSONL(w io.Writer) error {
+	if r.fobs == nil {
+		return fmt.Errorf("hostsim: run had no Config.FabricObs")
+	}
+	return fabricobs.WriteReportJSONL(w, r.PortReports, r.BurstEvents)
+}
+
+// FormatFabricReport renders the ledger and bursts as an aligned text
+// table, byte-deterministic for a given run (empty when FabricObs was
+// off).
+func (r *Result) FormatFabricReport() string {
+	if r.fobs == nil {
+		return ""
+	}
+	return fabricobs.FormatReport(r.PortReports, r.BurstEvents)
+}
+
+// WriteFabricTrace renders the observatory as a Chrome trace-event JSON
+// array, loadable in Perfetto or chrome://tracing: per-port queue-depth
+// counter tracks plus every microburst as a duration span on its port's
+// row. Errors unless the run had Config.FabricObs set.
+func (r *Result) WriteFabricTrace(w io.Writer) error {
+	if r.fobs == nil {
+		return fmt.Errorf("hostsim: run had no Config.FabricObs")
+	}
+	names := make([]string, len(r.PortReports))
+	for i, p := range r.PortReports {
+		names[i] = p.Host
+	}
+	return fabricobs.WriteTrace(w, names, r.FabricTimeline, r.BurstEvents)
 }
 
 // MessageRecords returns the retained per-message latency records
@@ -872,6 +979,11 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 		for _, h := range hosts {
 			h.EnableTelemetry(reg)
 		}
+		if cluster != nil {
+			// Fabric runs expose switch state in the same timeline as the
+			// host gauges, so one -telemetry-out artifact covers both.
+			cluster.Fabric().RegisterTelemetry(reg, "fabric/")
+		}
 		sampler = telemetry.NewSampler(eng, reg, interval, maxSamples)
 	}
 
@@ -943,6 +1055,31 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 		return nil, err
 	}
 
+	// The fabric observatory attaches after the inspector (its link taps
+	// chain onto the inspector's, preserving both) and before the warmup
+	// run so bursts and hop latencies cover slow start.
+	var fobs *fabricobs.Observer
+	if fo := cfg.FabricObs; fo != nil {
+		if cluster == nil {
+			return nil, fmt.Errorf("hostsim: FabricObs requires Fabric")
+		}
+		if fo.SampleInterval < 0 || fo.MaxSamples < 0 || fo.BurstThresholdKB < 0 ||
+			fo.BurstFlows < 0 || fo.MaxBursts < 0 {
+			return nil, fmt.Errorf("hostsim: negative FabricObs option")
+		}
+		names := make([]string, len(hosts))
+		for i, h := range hosts {
+			names[i] = h.Name()
+		}
+		fobs = fabricobs.New(eng, cluster.Fabric(), names, fabricobs.Options{
+			SampleInterval: fo.SampleInterval,
+			MaxSamples:     fo.MaxSamples,
+			BurstThreshold: units.Bytes(fo.BurstThresholdKB) * units.KB,
+			BurstFlows:     fo.BurstFlows,
+			MaxBursts:      fo.MaxBursts,
+		})
+	}
+
 	if err := guardFailure(checker, func() { eng.Run(sim.Time(cfg.Warmup)) }); err != nil {
 		return nil, err
 	}
@@ -971,6 +1108,10 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 		return nil, err
 	}
 
+	if fobs != nil {
+		fobs.Finalize()
+	}
+
 	res := assemble(cfg, hosts, cluster, run)
 	if checker != nil {
 		res.Violations = checker.Violations()
@@ -980,6 +1121,12 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 	}
 	if sampler != nil {
 		res.Timeline = sampler.Timeline()
+	}
+	if fobs != nil {
+		res.fobs = fobs
+		res.FabricTimeline = fobs.Timeline()
+		res.PortReports = fobs.PortReports()
+		res.BurstEvents = fobs.Bursts()
 	}
 	if prof != nil {
 		res.prof = prof
@@ -1101,11 +1248,11 @@ func assemble(cfg Config, hosts []*core.Host, cluster *core.Cluster, run *builtW
 		res.Flows = append(res.Flows, collectFlowStats(h)...)
 	}
 	if cluster != nil {
-		in, bufDropped, lossDropped, marked, delivered, bufBytes := cluster.Fabric().Totals()
+		tot := cluster.Fabric().Totals()
 		res.Fabric = &FabricStats{
-			InFrames: in, Delivered: delivered,
-			BufferDrops: bufDropped, BufferDropBytes: int64(bufBytes),
-			LossDrops: lossDropped, Marked: marked,
+			InFrames: tot.In, Delivered: tot.Delivered,
+			BufferDrops: tot.BufDropped, BufferDropBytes: int64(tot.BufDroppedBytes),
+			LossDrops: tot.LossDropped, Marked: tot.Marked,
 		}
 	}
 	return res

@@ -250,8 +250,7 @@ func AttachClusterChecker(ck *check.Checker, c *Cluster) {
 		skbConservationHosts(fail, scope, hosts)
 	})
 	ck.AddRule("frame-pool-conservation", func(fail check.FailFunc) {
-		_, bufDropped, _, _, _, _ := c.fab.Totals()
-		frameConservationHosts(fail, scope, hosts, links, bufDropped)
+		frameConservationHosts(fail, scope, hosts, links, c.fab.Totals().BufDropped)
 	})
 	ck.AddRule("cycle-conservation", func(fail check.FailFunc) {
 		for _, h := range hosts {

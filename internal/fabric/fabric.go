@@ -27,6 +27,7 @@ import (
 
 	"hostsim/internal/sim"
 	"hostsim/internal/skb"
+	"hostsim/internal/telemetry"
 	"hostsim/internal/units"
 	"hostsim/internal/wire"
 )
@@ -93,6 +94,20 @@ type IngressStats struct {
 // DeliverFunc hands a frame leaving the fabric to the host on port.
 type DeliverFunc func(port int, f *skb.Frame)
 
+// Observer receives the fabric's ingress-side frame events — the INT-style
+// stamp point. FrameIngress fires once per frame offered to ingress port
+// src, after routing and the shared-buffer admission verdict (admitted is
+// false for a dynamic-threshold drop). depth is the destination egress
+// queue's backlog at the verdict — including the frame itself when it was
+// admitted — and occupancy the shared buffer's fill at the same instant.
+// For admitted frames the hook fires after the egress serializer accepted
+// the frame, so the egress link's tap (mark/loss verdict) has already run.
+// Observers must be pure reads: they may not mutate or retain the frame,
+// so an observed run follows the exact trajectory of an unobserved one.
+type Observer interface {
+	FrameIngress(src, dst int, f *skb.Frame, admitted bool, depth, occupancy units.Bytes)
+}
+
 // Fabric is the switch: Ports ports, a static flow routing table, and
 // the shared-buffer admission state.
 type Fabric struct {
@@ -100,6 +115,7 @@ type Fabric struct {
 	alpha  float64
 	ports  []*Port
 	routes map[skb.FlowID][2]int // flow -> the two attached ports
+	obs    Observer              // nil = observation off
 }
 
 // Port is one host attachment. It implements wire.Egress: the host NIC's
@@ -145,6 +161,10 @@ func New(eng *sim.Engine, cfg Config, deliver DeliverFunc) *Fabric {
 
 // Config returns the switch configuration.
 func (fb *Fabric) Config() Config { return fb.cfg }
+
+// SetObserver installs the ingress-side frame observer (nil detaches).
+// With no observer the ingress path pays only a pointer test per frame.
+func (fb *Fabric) SetObserver(obs Observer) { fb.obs = obs }
 
 // Ports returns the port count.
 func (fb *Fabric) Ports() int { return len(fb.ports) }
@@ -234,12 +254,18 @@ func (p *Port) Send(f *skb.Frame) {
 		if out.Backlog()+f.WireSize() > units.Bytes(fb.alpha*float64(free)) {
 			p.stats.BufDropped++
 			p.stats.BufDroppedBytes += f.Len
+			if fb.obs != nil {
+				fb.obs.FrameIngress(p.id, dst, f, false, out.Backlog(), fb.Occupancy())
+			}
 			return
 		}
 	}
 	p.stats.Forwarded++
 	p.stats.ForwardedPayload += f.Len
 	out.Send(f)
+	if fb.obs != nil {
+		fb.obs.FrameIngress(p.id, dst, f, true, out.Backlog(), fb.Occupancy())
+	}
 }
 
 // Out returns the port's egress serializer toward the attached host
@@ -252,17 +278,51 @@ func (p *Port) ID() int { return p.id }
 // Stats returns a copy of the ingress-side counters.
 func (p *Port) Stats() IngressStats { return p.stats }
 
-// Totals aggregates activity across all ports: ingress frames, buffer
-// drops, egress loss drops, CE marks, and delivered frames.
-func (fb *Fabric) Totals() (in, bufDropped, lossDropped, marked, delivered int64, bufDroppedBytes units.Bytes) {
+// FabricTotals aggregates the switch's activity across all ports: ingress
+// frames, shared-buffer admission drops, egress loss drops, CE marks and
+// delivered frames.
+type FabricTotals struct {
+	In              int64       // frames offered to ingress ports
+	BufDropped      int64       // shared-buffer (dynamic-threshold) admission drops
+	LossDropped     int64       // Bernoulli loss at the egress serializers
+	Marked          int64       // CE marks
+	Delivered       int64       // frames handed to the attached hosts
+	BufDroppedBytes units.Bytes // payload bytes lost to admission drops
+}
+
+// Totals sums every port's ingress and egress counters.
+func (fb *Fabric) Totals() FabricTotals {
+	var t FabricTotals
 	for _, p := range fb.ports {
-		in += p.stats.In
-		bufDropped += p.stats.BufDropped
-		bufDroppedBytes += p.stats.BufDroppedBytes
+		t.In += p.stats.In
+		t.BufDropped += p.stats.BufDropped
+		t.BufDroppedBytes += p.stats.BufDroppedBytes
 		st := p.out.Stats()
-		lossDropped += st.Dropped
-		marked += st.Marked
-		delivered += st.Delivered
+		t.LossDropped += st.Dropped
+		t.Marked += st.Marked
+		t.Delivered += st.Delivered
 	}
-	return
+	return t
+}
+
+// RegisterTelemetry registers the switch's shared-buffer occupancy and
+// per-port gauges (egress backlog plus the cumulative ingress/egress
+// counters) into reg under prefix, e.g. "fabric/port003/backlog_bytes".
+// Every probe is a pure read of switch state, following the telemetry
+// gauge contract. No-op on a nil registry, like all telemetry hooks.
+func (fb *Fabric) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge(prefix+"occupancy_bytes", func() float64 { return float64(fb.Occupancy()) })
+	for _, p := range fb.ports {
+		p := p
+		pp := fmt.Sprintf("%sport%03d/", prefix, p.id)
+		reg.Gauge(pp+"backlog_bytes", func() float64 { return float64(p.out.Backlog()) })
+		reg.Gauge(pp+"in_frames", func() float64 { return float64(p.stats.In) })
+		reg.Gauge(pp+"buf_dropped", func() float64 { return float64(p.stats.BufDropped) })
+		reg.Gauge(pp+"wire_dropped", func() float64 { return float64(p.out.Stats().Dropped) })
+		reg.Gauge(pp+"marked", func() float64 { return float64(p.out.Stats().Marked) })
+		reg.Gauge(pp+"delivered", func() float64 { return float64(p.out.Stats().Delivered) })
+	}
 }

@@ -69,8 +69,8 @@ func TestRoutingBothDirections(t *testing.T) {
 	if got[3] != 1 || got[1] != 1 {
 		t.Fatalf("deliveries per port = %v, want 1 each at ports 1 and 3", got)
 	}
-	if in, _, _, _, delivered, _ := fb.Totals(); in != 2 || delivered != 2 {
-		t.Fatalf("totals in=%d delivered=%d, want 2/2", in, delivered)
+	if tot := fb.Totals(); tot.In != 2 || tot.Delivered != 2 {
+		t.Fatalf("totals in=%d delivered=%d, want 2/2", tot.In, tot.Delivered)
 	}
 }
 
@@ -114,8 +114,8 @@ func offerIncast(t *testing.T, buffer units.Bytes, alpha float64, senders, frame
 		}
 	}
 	eng.Run(sim.Time(10 * time.Millisecond))
-	_, bufDropped, _, _, del, _ := fb.Totals()
-	return bufDropped, del
+	tot := fb.Totals()
+	return tot.BufDropped, tot.Delivered
 }
 
 // TestSharedBufferMonotonicity pins frame-for-frame dynamic-threshold

@@ -1,0 +1,552 @@
+// Package fabricobs is the switch fabric's observatory: an opt-in
+// in-band-telemetry layer modeled on INT/sFlow. It stamps every frame at
+// the fabric's two observable edges — ingress (routing + shared-buffer
+// admission verdict, with the egress queue depth and pool occupancy the
+// frame saw) and egress (the serializer's mark/loss verdict, then the
+// delivery that closes the hop) — and condenses the stamps into three
+// artifacts:
+//
+//   - a per-port time-series (egress backlog, utilization, ECN-mark rate,
+//     cumulative drops) sampled on a fixed simulated-time interval with
+//     the internal/telemetry registry/sampler discipline;
+//   - an exact drop/mark attribution ledger: every frame the fabric ever
+//     saw is classified as delivered, shared-buffer admission drop, wire
+//     (Bernoulli) loss, or still in flight at the horizon — and the
+//     tallies reconcile counter-for-counter with the fabric's own
+//     IngressStats and each egress link's wire.Stats (Reconcile);
+//   - microburst events: an egress queue crossing the burst threshold
+//     opens a burst that tracks its peak backlog/occupancy, the frames
+//     and admission drops it absorbed and the contributing flows, and
+//     closes (with hysteresis) when the queue drains to half the
+//     threshold.
+//
+// Every hook is a pure read behind a pointer test, so an observed run is
+// byte-identical to an unobserved one — the same transparency contract as
+// the tracer, profiler, checker and inspector layers.
+package fabricobs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hostsim/internal/fabric"
+	"hostsim/internal/metrics"
+	"hostsim/internal/sim"
+	"hostsim/internal/skb"
+	"hostsim/internal/telemetry"
+	"hostsim/internal/units"
+	"hostsim/internal/wire"
+)
+
+// Options configures the observatory. The zero value samples every 100µs
+// into a 4096-sample ring, opens bursts at 128KB of egress backlog, keeps
+// the top 4 contributing flows per burst and caps retained bursts at 1024.
+type Options struct {
+	// SampleInterval is the simulated time between time-series samples
+	// (0 = 100µs).
+	SampleInterval time.Duration
+	// MaxSamples bounds the time-series ring; the oldest samples are
+	// evicted beyond it (0 = 4096).
+	MaxSamples int
+	// BurstThreshold opens a microburst when a frame enqueues into an
+	// egress backlog at or above this many wire bytes; the burst closes
+	// when the queue drains to half the threshold (0 = 128KB).
+	BurstThreshold units.Bytes
+	// BurstFlows is the number of top contributing flows kept per burst
+	// event (0 = 4).
+	BurstFlows int
+	// MaxBursts caps retained burst events; further bursts are detected
+	// and counted per port but not retained (0 = 1024).
+	MaxBursts int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SampleInterval == 0 {
+		o.SampleInterval = 100 * time.Microsecond
+	}
+	if o.MaxSamples == 0 {
+		o.MaxSamples = 4096
+	}
+	if o.BurstThreshold == 0 {
+		o.BurstThreshold = 128 * units.KB
+	}
+	if o.BurstFlows == 0 {
+		o.BurstFlows = 4
+	}
+	if o.MaxBursts == 0 {
+		o.MaxBursts = 1024
+	}
+	return o
+}
+
+// FlowFrames is one flow's contribution to a microburst.
+type FlowFrames struct {
+	Flow   int32 // flow id
+	Frames int64 // frames the flow enqueued during the burst
+}
+
+// BurstEvent is one detected microburst on an egress port.
+type BurstEvent struct {
+	Port           int           // egress port
+	Host           string        // attached host's name
+	Start          time.Duration // simulated time the threshold was crossed
+	Duration       time.Duration // until drain below threshold/2 (or the horizon)
+	PeakBacklog    int64         // peak egress backlog during the burst, wire bytes
+	PeakOccupancy  int64         // peak shared-buffer occupancy during the burst
+	Frames         int64         // frames enqueued to the port during the burst
+	AdmissionDrops int64         // frames bound for the port dropped at admission during the burst
+	Truncated      bool          // still open at the simulation horizon
+	Flows          []FlowFrames  // top contributing flows, most frames first
+}
+
+// PortReport is one port's end-of-run ledger line. The ingress side counts
+// frames arriving FROM the attached host (src-attributed, matching the
+// fabric's IngressStats and the checker's In == Forwarded + BufDropped
+// rule); the egress side counts frames queued TOWARD the host on its
+// serializer. Two exact identities hold per port:
+//
+//	InFrames == Forwarded + AdmissionDrops
+//	Enqueued == Delivered + WireLossDrops + InFlight
+type PortReport struct {
+	Port int
+	Host string
+
+	// Ingress ledger (frames from the attached host).
+	InFrames           int64
+	Forwarded          int64
+	AdmissionDrops     int64
+	AdmissionDropBytes int64 // payload bytes
+
+	// Egress ledger (frames toward the attached host).
+	Enqueued      int64
+	Delivered     int64
+	WireLossDrops int64
+	InFlight      int64 // serializing or propagating at the horizon
+	ECNMarks      int64
+	TxBytes       int64   // wire bytes serialized (headers included)
+	Utilization   float64 // TxBytes·8 / (line rate · observed time)
+
+	PeakBacklog   int64 // peak egress backlog seen at any enqueue, wire bytes
+	PeakOccupancy int64 // peak shared-buffer occupancy seen at any enqueue
+
+	// Hop latency: egress serializer accept -> delivery to the host
+	// (serialization wait + propagation), over delivered frames.
+	HopLatencyMean time.Duration
+	HopLatencyP50  time.Duration
+	HopLatencyP99  time.Duration
+	HopLatencyMax  time.Duration
+
+	Bursts int64 // microbursts detected on the port (including unretained)
+}
+
+// burst is an open (unclosed) microburst.
+type burst struct {
+	start    sim.Time
+	peakBack units.Bytes
+	peakOcc  units.Bytes
+	frames   int64
+	drops    int64
+	flows    map[skb.FlowID]int64
+}
+
+// portState is one port's accumulation state.
+type portState struct {
+	id   int
+	out  *wire.Link
+	port *fabric.Port
+
+	// Independent ingress tally (reconciled against IngressStats deltas).
+	in, forwarded, admissionDrops int64
+	admissionDropBytes            units.Bytes
+
+	// Independent egress tally (reconciled against wire.Stats deltas).
+	enqueued, delivered, wireLoss, marked int64
+	// stale counts deliveries of frames sent before the observer attached
+	// (possible when workload setup transmits synchronously); they carry
+	// no send stamp, so they are excluded from the hop histogram and the
+	// egress ledger identity.
+	stale int64
+
+	peakBacklog, peakOccupancy units.Bytes
+	hop                        *metrics.Histogram
+	sendAt                     map[*skb.Frame]sim.Time
+
+	cur        *burst
+	burstCount int64
+
+	// Private-registry rate-gauge state (read only by the observer's own
+	// sampler, in registration order, so the deltas are deterministic).
+	utilT  sim.Time
+	utilTx units.Bytes
+	markT  sim.Time
+	markN  int64
+
+	// Stats snapshots at attach, so ledgers reconcile over the observed
+	// interval even if traffic moved before the observer armed.
+	baseIngress fabric.IngressStats
+	baseLink    wire.Stats
+	baseOnWire  units.Bytes
+}
+
+// onWire returns the bytes this port's serializer has actually put on
+// the wire by now. Link.Stats().TxBytes accrues at enqueue time, so a
+// deep backlog would otherwise count as transmitted and push a
+// saturated port's utilization past 1.
+func (ps *portState) onWire() units.Bytes {
+	return ps.out.Stats().TxBytes - ps.out.Backlog()
+}
+
+// Observer is the attached observatory. Build with New; read the results
+// with Timeline, PortReports and Bursts after Finalize.
+type Observer struct {
+	eng   *sim.Engine
+	fab   *fabric.Fabric
+	names []string
+	opts  Options
+
+	reg *telemetry.Registry
+	smp *telemetry.Sampler
+
+	ports    []*portState
+	bursts   []BurstEvent
+	overflow int64 // bursts detected beyond MaxBursts (not retained)
+
+	attachedAt sim.Time
+	finalized  bool
+	horizon    sim.Time
+	reports    []PortReport
+}
+
+// New builds the observatory over fab and arms every hook: the fabric's
+// ingress observer, a chained tap and a delivery tap on each egress
+// serializer, and a private telemetry registry sampled from simulated time
+// zero (like socket snapshots, the time-series covers warmup — slow-start
+// bursts are the interesting ones). names labels ports in reports and
+// traces; it must have one entry per port.
+func New(eng *sim.Engine, fab *fabric.Fabric, names []string, opts Options) *Observer {
+	if eng == nil || fab == nil {
+		panic("fabricobs: nil engine or fabric")
+	}
+	if len(names) != fab.Ports() {
+		panic(fmt.Sprintf("fabricobs: %d names for %d ports", len(names), fab.Ports()))
+	}
+	if opts.SampleInterval < 0 || opts.MaxSamples < 0 || opts.BurstThreshold < 0 ||
+		opts.BurstFlows < 0 || opts.MaxBursts < 0 {
+		panic("fabricobs: negative option")
+	}
+	o := &Observer{
+		eng:        eng,
+		fab:        fab,
+		names:      append([]string(nil), names...),
+		opts:       opts.withDefaults(),
+		attachedAt: eng.Now(),
+	}
+	o.ports = make([]*portState, fab.Ports())
+	for i := range o.ports {
+		p := fab.Port(i)
+		ps := &portState{
+			id:          i,
+			out:         p.Out(),
+			port:        p,
+			hop:         metrics.NewLatency(),
+			sendAt:      make(map[*skb.Frame]sim.Time),
+			utilT:       o.attachedAt,
+			markT:       o.attachedAt,
+			baseIngress: p.Stats(),
+			baseLink:    p.Out().Stats(),
+		}
+		ps.baseOnWire = ps.onWire()
+		ps.utilTx = ps.baseOnWire
+		ps.markN = ps.baseLink.Marked
+		o.ports[i] = ps
+	}
+	fab.SetObserver(o)
+	for _, ps := range o.ports {
+		ps := ps
+		ps.out.AddTap(func(f *skb.Frame, dropped bool) { o.wireTap(ps, f, dropped) })
+		ps.out.SetDeliverTap(func(f *skb.Frame) { o.deliverTap(ps, f) })
+	}
+	o.registerTimeline()
+	o.smp = telemetry.NewSampler(eng, o.reg, o.opts.SampleInterval, o.opts.MaxSamples)
+	o.smp.Start(0)
+	return o
+}
+
+// FrameIngress implements fabric.Observer: the ingress-edge stamp.
+func (o *Observer) FrameIngress(src, dst int, f *skb.Frame, admitted bool, depth, occupancy units.Bytes) {
+	ss := o.ports[src]
+	ds := o.ports[dst]
+	ss.in++
+	if occupancy > ds.peakOccupancy {
+		ds.peakOccupancy = occupancy
+	}
+	if !admitted {
+		ss.admissionDrops++
+		ss.admissionDropBytes += f.Len
+		// Admission drops are src-attributed in the ledger (matching
+		// IngressStats) but burst-attributed to the egress queue whose
+		// pressure rejected the frame.
+		if b := ds.cur; b != nil {
+			b.drops++
+		}
+		return
+	}
+	ss.forwarded++
+	ds.enqueued++
+	if depth > ds.peakBacklog {
+		ds.peakBacklog = depth
+	}
+	o.burstEnqueue(ds, f, depth, occupancy)
+}
+
+// wireTap is the egress serializer's switch-edge stamp: the mark/loss
+// verdict. It fires (during the fabric's forward) before FrameIngress.
+func (o *Observer) wireTap(ds *portState, f *skb.Frame, dropped bool) {
+	if f.CE {
+		// Frames traverse exactly one link and recycled frames are
+		// CE-cleared, so CE here means this serializer marked the frame.
+		ds.marked++
+	}
+	if dropped {
+		ds.wireLoss++
+		return
+	}
+	ds.sendAt[f] = o.eng.Now()
+}
+
+// deliverTap is the egress-edge stamp closing the hop.
+func (o *Observer) deliverTap(ds *portState, f *skb.Frame) {
+	t0, ok := ds.sendAt[f]
+	if !ok {
+		ds.stale++ // sent before attach: no stamp, keep the ledger exact
+	} else {
+		ds.delivered++
+		delete(ds.sendAt, f)
+		ds.hop.Record(float64(o.eng.Now() - t0))
+	}
+	if b := ds.cur; b != nil && ds.out.Backlog() <= o.opts.BurstThreshold/2 {
+		o.closeBurst(ds, o.eng.Now(), false)
+	}
+}
+
+func (o *Observer) burstEnqueue(ds *portState, f *skb.Frame, depth, occ units.Bytes) {
+	if b := ds.cur; b != nil {
+		b.frames++
+		b.flows[f.Flow]++
+		if depth > b.peakBack {
+			b.peakBack = depth
+		}
+		if occ > b.peakOcc {
+			b.peakOcc = occ
+		}
+		return
+	}
+	if depth >= o.opts.BurstThreshold {
+		ds.cur = &burst{
+			start:    o.eng.Now(),
+			peakBack: depth,
+			peakOcc:  occ,
+			frames:   1,
+			flows:    map[skb.FlowID]int64{f.Flow: 1},
+		}
+	}
+}
+
+func (o *Observer) closeBurst(ds *portState, end sim.Time, truncated bool) {
+	b := ds.cur
+	ds.cur = nil
+	ds.burstCount++
+	if len(o.bursts) >= o.opts.MaxBursts {
+		o.overflow++
+		return
+	}
+	ev := BurstEvent{
+		Port:           ds.id,
+		Host:           o.names[ds.id],
+		Start:          b.start.Duration(),
+		Duration:       (end - b.start).Duration(),
+		PeakBacklog:    int64(b.peakBack),
+		PeakOccupancy:  int64(b.peakOcc),
+		Frames:         b.frames,
+		AdmissionDrops: b.drops,
+		Truncated:      truncated,
+	}
+	ev.Flows = topFlows(b.flows, o.opts.BurstFlows)
+	o.bursts = append(o.bursts, ev)
+}
+
+// topFlows returns the k largest contributors, frames descending, flow id
+// ascending on ties — deterministic regardless of map iteration order.
+func topFlows(flows map[skb.FlowID]int64, k int) []FlowFrames {
+	out := make([]FlowFrames, 0, len(flows))
+	for id, n := range flows {
+		out = append(out, FlowFrames{Flow: int32(id), Frames: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Frames != out[j].Frames {
+			return out[i].Frames > out[j].Frames
+		}
+		return out[i].Flow < out[j].Flow
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// registerTimeline builds the private registry: the shared-buffer
+// occupancy plus, per port, the egress backlog, interval-rate utilization
+// and ECN-mark rate, and the cumulative drop counters.
+func (o *Observer) registerTimeline() {
+	o.reg = telemetry.NewRegistry()
+	o.reg.Gauge("occupancy_bytes", func() float64 { return float64(o.fab.Occupancy()) })
+	rate := o.fab.Config().LinkRate
+	for _, ps := range o.ports {
+		ps := ps
+		pp := fmt.Sprintf("port%03d/", ps.id)
+		o.reg.Gauge(pp+"backlog_bytes", func() float64 { return float64(ps.out.Backlog()) })
+		o.reg.Gauge(pp+"utilization", func() float64 {
+			now := o.eng.Now()
+			tx := ps.onWire()
+			var u float64
+			if dt := now - ps.utilT; dt > 0 {
+				u = float64((tx - ps.utilTx).Bits()) * float64(time.Second) /
+					(float64(dt) * float64(rate))
+			}
+			ps.utilT, ps.utilTx = now, tx
+			return u
+		})
+		o.reg.Gauge(pp+"ecn_marks_per_s", func() float64 {
+			now := o.eng.Now()
+			n := ps.out.Stats().Marked
+			var r float64
+			if dt := now - ps.markT; dt > 0 {
+				r = float64(n-ps.markN) * float64(time.Second) / float64(dt)
+			}
+			ps.markT, ps.markN = now, n
+			return r
+		})
+		o.reg.Gauge(pp+"admission_drops", func() float64 {
+			return float64(ps.port.Stats().BufDropped)
+		})
+		o.reg.Gauge(pp+"wire_drops", func() float64 {
+			return float64(ps.out.Stats().Dropped)
+		})
+	}
+}
+
+// Finalize closes the books at the simulation horizon: open bursts are
+// emitted truncated, the burst list is ordered by start time, and the
+// per-port reports are built. Idempotent; the hooks stay attached but the
+// reports freeze at the first call.
+func (o *Observer) Finalize() {
+	if o.finalized {
+		return
+	}
+	o.finalized = true
+	o.horizon = o.eng.Now()
+	for _, ps := range o.ports {
+		if ps.cur != nil {
+			o.closeBurst(ps, o.horizon, true)
+		}
+	}
+	sort.SliceStable(o.bursts, func(i, j int) bool {
+		if o.bursts[i].Start != o.bursts[j].Start {
+			return o.bursts[i].Start < o.bursts[j].Start
+		}
+		return o.bursts[i].Port < o.bursts[j].Port
+	})
+	elapsed := o.horizon - o.attachedAt
+	rate := o.fab.Config().LinkRate
+	o.reports = make([]PortReport, len(o.ports))
+	for i, ps := range o.ports {
+		tx := ps.onWire() - ps.baseOnWire
+		var util float64
+		if elapsed > 0 {
+			util = float64(tx.Bits()) * float64(time.Second) /
+				(float64(elapsed) * float64(rate))
+		}
+		o.reports[i] = PortReport{
+			Port:               ps.id,
+			Host:               o.names[i],
+			InFrames:           ps.in,
+			Forwarded:          ps.forwarded,
+			AdmissionDrops:     ps.admissionDrops,
+			AdmissionDropBytes: int64(ps.admissionDropBytes),
+			Enqueued:           ps.enqueued,
+			Delivered:          ps.delivered,
+			WireLossDrops:      ps.wireLoss,
+			InFlight:           int64(len(ps.sendAt)),
+			ECNMarks:           ps.marked,
+			TxBytes:            int64(tx),
+			Utilization:        util,
+			PeakBacklog:        int64(ps.peakBacklog),
+			PeakOccupancy:      int64(ps.peakOccupancy),
+			HopLatencyMean:     time.Duration(ps.hop.Mean()),
+			HopLatencyP50:      time.Duration(ps.hop.Quantile(0.50)),
+			HopLatencyP99:      time.Duration(ps.hop.Quantile(0.99)),
+			HopLatencyMax:      time.Duration(ps.hop.Max()),
+			Bursts:             ps.burstCount,
+		}
+	}
+}
+
+// Timeline copies the retained time-series samples.
+func (o *Observer) Timeline() *telemetry.Timeline { return o.smp.Timeline() }
+
+// PortReports returns the per-port ledger (port order). Finalize first.
+func (o *Observer) PortReports() []PortReport {
+	o.Finalize()
+	return o.reports
+}
+
+// Bursts returns the retained microburst events, ordered by start time.
+func (o *Observer) Bursts() []BurstEvent {
+	o.Finalize()
+	return o.bursts
+}
+
+// FormatReport renders the observatory's ledger and bursts as the
+// aligned text table of FormatReport.
+func (o *Observer) FormatReport() string { return FormatReport(o.PortReports(), o.Bursts()) }
+
+// OverflowBursts reports bursts detected beyond the MaxBursts cap.
+func (o *Observer) OverflowBursts() int64 { return o.overflow }
+
+// Reconcile cross-checks the observatory's independently accumulated
+// ledger against the fabric's own counters: per port, the ingress tallies
+// must equal the IngressStats deltas since attach, the egress tallies the
+// wire.Stats deltas, and the two conservation identities must hold
+// exactly. A nil return means every lost frame is attributed.
+func (o *Observer) Reconcile() error {
+	o.Finalize()
+	for i, ps := range o.ports {
+		ing := ps.port.Stats()
+		lnk := ps.out.Stats()
+		type eq struct {
+			name string
+			obs  int64
+			want int64
+		}
+		checks := []eq{
+			{"in", ps.in, ing.In - ps.baseIngress.In},
+			{"forwarded", ps.forwarded, ing.Forwarded - ps.baseIngress.Forwarded},
+			{"admission_drops", ps.admissionDrops, ing.BufDropped - ps.baseIngress.BufDropped},
+			{"admission_drop_bytes", int64(ps.admissionDropBytes), int64(ing.BufDroppedBytes - ps.baseIngress.BufDroppedBytes)},
+			{"enqueued", ps.enqueued, lnk.Sent - ps.baseLink.Sent},
+			{"delivered+stale", ps.delivered + ps.stale, lnk.Delivered - ps.baseLink.Delivered},
+			{"wire_loss", ps.wireLoss, lnk.Dropped - ps.baseLink.Dropped},
+			{"ecn_marks", ps.marked, lnk.Marked - ps.baseLink.Marked},
+			{"in==forwarded+admission", ps.in, ps.forwarded + ps.admissionDrops},
+			{"enqueued==delivered+loss+inflight", ps.enqueued, ps.delivered + ps.wireLoss + int64(len(ps.sendAt))},
+		}
+		for _, c := range checks {
+			if c.obs != c.want {
+				return fmt.Errorf("fabricobs: port %d (%s) %s: observer %d != fabric %d",
+					i, o.names[i], c.name, c.obs, c.want)
+			}
+		}
+	}
+	return nil
+}

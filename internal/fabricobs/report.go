@@ -1,0 +1,217 @@
+package fabricobs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"hostsim/internal/telemetry"
+)
+
+// encodeFlows renders a burst's contributing flows as "flow:frames"
+// pairs joined by ';' — compact enough for a CSV cell, exact enough for
+// fabcheck to re-read.
+func encodeFlows(flows []FlowFrames) string {
+	var b strings.Builder
+	for i, ff := range flows {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "%d:%d", ff.Flow, ff.Frames)
+	}
+	return b.String()
+}
+
+// fnum renders a float deterministically (shortest round-trip form), the
+// same convention as the telemetry timeline writers.
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// portCSVHeader is the port-ledger section header of the CSV report;
+// cmd/fabcheck parses it by these exact column names.
+const portCSVHeader = "port,host,in_frames,forwarded,admission_drops,admission_drop_bytes," +
+	"enqueued,delivered,wire_loss_drops,in_flight,ecn_marks,tx_bytes,utilization," +
+	"peak_backlog_bytes,peak_occupancy_bytes,hop_mean_ns,hop_p50_ns,hop_p99_ns,hop_max_ns,bursts"
+
+// burstCSVHeader is the microburst section header.
+const burstCSVHeader = "port,host,start_ns,duration_ns,peak_backlog_bytes," +
+	"peak_occupancy_bytes,frames,admission_drops,truncated,flows"
+
+// WriteReportCSV writes the attribution ledger as CSV: the per-port
+// section, a blank line, then the microburst section — one artifact, two
+// headed tables. Byte-deterministic for a given run.
+func WriteReportCSV(w io.Writer, ports []PortReport, bursts []BurstEvent) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, portCSVHeader)
+	for _, p := range ports {
+		fmt.Fprintf(bw, "%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%d,%d,%d,%d,%d,%d,%d\n",
+			p.Port, p.Host, p.InFrames, p.Forwarded, p.AdmissionDrops, p.AdmissionDropBytes,
+			p.Enqueued, p.Delivered, p.WireLossDrops, p.InFlight, p.ECNMarks, p.TxBytes,
+			fnum(p.Utilization), p.PeakBacklog, p.PeakOccupancy,
+			int64(p.HopLatencyMean), int64(p.HopLatencyP50), int64(p.HopLatencyP99),
+			int64(p.HopLatencyMax), p.Bursts)
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprintln(bw, burstCSVHeader)
+	for _, b := range bursts {
+		fmt.Fprintf(bw, "%d,%s,%d,%d,%d,%d,%d,%d,%t,%s\n",
+			b.Port, b.Host, int64(b.Start), int64(b.Duration), b.PeakBacklog,
+			b.PeakOccupancy, b.Frames, b.AdmissionDrops, b.Truncated, encodeFlows(b.Flows))
+	}
+	return bw.Flush()
+}
+
+// portJSON / burstJSON are the JSONL line shapes; the "type" field
+// discriminates them so one stream carries the whole report.
+type portJSON struct {
+	Type               string  `json:"type"` // "port"
+	Port               int     `json:"port"`
+	Host               string  `json:"host"`
+	InFrames           int64   `json:"in_frames"`
+	Forwarded          int64   `json:"forwarded"`
+	AdmissionDrops     int64   `json:"admission_drops"`
+	AdmissionDropBytes int64   `json:"admission_drop_bytes"`
+	Enqueued           int64   `json:"enqueued"`
+	Delivered          int64   `json:"delivered"`
+	WireLossDrops      int64   `json:"wire_loss_drops"`
+	InFlight           int64   `json:"in_flight"`
+	ECNMarks           int64   `json:"ecn_marks"`
+	TxBytes            int64   `json:"tx_bytes"`
+	Utilization        float64 `json:"utilization"`
+	PeakBacklogBytes   int64   `json:"peak_backlog_bytes"`
+	PeakOccupancy      int64   `json:"peak_occupancy_bytes"`
+	HopMeanNS          int64   `json:"hop_mean_ns"`
+	HopP50NS           int64   `json:"hop_p50_ns"`
+	HopP99NS           int64   `json:"hop_p99_ns"`
+	HopMaxNS           int64   `json:"hop_max_ns"`
+	Bursts             int64   `json:"bursts"`
+}
+
+type burstJSON struct {
+	Type           string `json:"type"` // "burst"
+	Port           int    `json:"port"`
+	Host           string `json:"host"`
+	StartNS        int64  `json:"start_ns"`
+	DurationNS     int64  `json:"duration_ns"`
+	PeakBacklog    int64  `json:"peak_backlog_bytes"`
+	PeakOccupancy  int64  `json:"peak_occupancy_bytes"`
+	Frames         int64  `json:"frames"`
+	AdmissionDrops int64  `json:"admission_drops"`
+	Truncated      bool   `json:"truncated"`
+	Flows          string `json:"flows"` // "flow:frames;..."
+}
+
+// WriteReportJSONL writes the ledger as JSON lines: one {"type":"port"}
+// object per port, then one {"type":"burst"} object per retained burst.
+func WriteReportJSONL(w io.Writer, ports []PortReport, bursts []BurstEvent) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, p := range ports {
+		if err := enc.Encode(portJSON{
+			Type: "port", Port: p.Port, Host: p.Host,
+			InFrames: p.InFrames, Forwarded: p.Forwarded,
+			AdmissionDrops: p.AdmissionDrops, AdmissionDropBytes: p.AdmissionDropBytes,
+			Enqueued: p.Enqueued, Delivered: p.Delivered,
+			WireLossDrops: p.WireLossDrops, InFlight: p.InFlight,
+			ECNMarks: p.ECNMarks, TxBytes: p.TxBytes, Utilization: p.Utilization,
+			PeakBacklogBytes: p.PeakBacklog, PeakOccupancy: p.PeakOccupancy,
+			HopMeanNS: int64(p.HopLatencyMean), HopP50NS: int64(p.HopLatencyP50),
+			HopP99NS: int64(p.HopLatencyP99), HopMaxNS: int64(p.HopLatencyMax),
+			Bursts: p.Bursts,
+		}); err != nil {
+			return err
+		}
+	}
+	for _, b := range bursts {
+		if err := enc.Encode(burstJSON{
+			Type: "burst", Port: b.Port, Host: b.Host,
+			StartNS: int64(b.Start), DurationNS: int64(b.Duration),
+			PeakBacklog: b.PeakBacklog, PeakOccupancy: b.PeakOccupancy,
+			Frames: b.Frames, AdmissionDrops: b.AdmissionDrops,
+			Truncated: b.Truncated, Flows: encodeFlows(b.Flows),
+		}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// FormatReport renders the ledger as an aligned text table (for stdout).
+// Byte-deterministic for a given run.
+func FormatReport(ports []PortReport, bursts []BurstEvent) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %-12s %10s %10s %9s %10s %10s %9s %8s %7s %6s %9s %9s %7s\n",
+		"port", "host", "in", "fwd", "adm-drop", "enq", "deliv", "wire-loss",
+		"inflight", "marks", "util", "peak-q", "hop-p99", "bursts")
+	for _, p := range ports {
+		fmt.Fprintf(&b, "%-5d %-12s %10d %10d %9d %10d %10d %9d %8d %7d %5.1f%% %9s %9v %7d\n",
+			p.Port, p.Host, p.InFrames, p.Forwarded, p.AdmissionDrops,
+			p.Enqueued, p.Delivered, p.WireLossDrops, p.InFlight, p.ECNMarks,
+			p.Utilization*100, fmt.Sprintf("%dK", p.PeakBacklog/1024),
+			p.HopLatencyP99.Round(time.Microsecond), p.Bursts)
+	}
+	if len(bursts) > 0 {
+		fmt.Fprintf(&b, "\n%-5s %-12s %12s %12s %9s %8s %9s %-5s %s\n",
+			"port", "host", "start", "dur", "peak-q", "frames", "adm-drop", "trunc", "flows")
+		for _, ev := range bursts {
+			fmt.Fprintf(&b, "%-5d %-12s %12v %12v %8sK %8d %9d %-5t %s\n",
+				ev.Port, ev.Host, ev.Start, ev.Duration,
+				fmt.Sprintf("%d", ev.PeakBacklog/1024), ev.Frames,
+				ev.AdmissionDrops, ev.Truncated, encodeFlows(ev.Flows))
+		}
+	}
+	return b.String()
+}
+
+// WriteTrace renders the observatory as a Chrome trace-event JSON array
+// (Perfetto-loadable): the time-series becomes counter tracks (shared
+// buffer occupancy plus one backlog counter per port) and every retained
+// microburst becomes a complete "X" span on its port's thread row, with
+// peaks, frame counts and contributing flows in the args.
+func WriteTrace(w io.Writer, names []string, tl *telemetry.Timeline, bursts []BurstEvent) error {
+	var spans []telemetry.Span
+	cols := make(map[string]int, len(tl.Names))
+	for i, n := range tl.Names {
+		cols[n] = i
+	}
+	for i, at := range tl.Times {
+		row := tl.Rows[i]
+		if c, ok := cols["occupancy_bytes"]; ok {
+			spans = append(spans, telemetry.Span{
+				Process: "fabric", Thread: 0, Name: "shared-buffer occupancy",
+				StartNS: int64(at), Counter: true, Value: row[c],
+			})
+		}
+		for p, name := range names {
+			c, ok := cols[fmt.Sprintf("port%03d/backlog_bytes", p)]
+			if !ok {
+				continue
+			}
+			spans = append(spans, telemetry.Span{
+				Process: "fabric", Thread: p + 1, ThreadName: fmt.Sprintf("port%03d (%s)", p, name),
+				Name:    fmt.Sprintf("port%03d backlog", p),
+				StartNS: int64(at), Counter: true, Value: row[c],
+			})
+		}
+	}
+	for _, ev := range bursts {
+		spans = append(spans, telemetry.Span{
+			Process: "fabric", Thread: ev.Port + 1,
+			ThreadName: fmt.Sprintf("port%03d (%s)", ev.Port, ev.Host),
+			Name:       "microburst", Cat: "burst",
+			StartNS: int64(ev.Start), DurNS: int64(ev.Duration),
+			Args: map[string]any{
+				"peak_backlog_bytes": ev.PeakBacklog,
+				"peak_occupancy":     ev.PeakOccupancy,
+				"frames":             ev.Frames,
+				"admission_drops":    ev.AdmissionDrops,
+				"truncated":          ev.Truncated,
+				"flows":              encodeFlows(ev.Flows),
+			},
+		})
+	}
+	return telemetry.WriteChromeSpans(w, spans)
+}

@@ -3,6 +3,7 @@ package figures
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"hostsim"
 )
@@ -39,6 +40,18 @@ func init() {
 		Paper: "§3.4/§5: shallow-buffered switches drop (or CE-mark) under incast; DCTCP trades drops for marks",
 		Run:   fab4Buffer,
 	})
+	register(Experiment{
+		ID:    "fab5",
+		Title: "Microbursts under 15:1 incast: the observatory's burst ladder",
+		Paper: "§3.4: incast pressure lives in the switch queue; buffer bounds trade microburst depth (and hop latency) for drops",
+		Run:   fab5Bursts,
+	})
+	register(Experiment{
+		ID:    "fab6",
+		Title: "Exact drop/mark attribution across loss regimes",
+		Paper: "§3.4/§5: every lost or marked frame classified — shared-buffer admission vs wire loss vs CE mark — with a zero-gap conservation ledger",
+		Run:   fab6Attribution,
+	})
 }
 
 // fabOpts returns a canonical *hostsim.FabricOptions per parameter tuple.
@@ -64,6 +77,21 @@ func fabOpts(o hostsim.FabricOptions) *hostsim.FabricOptions {
 		o := o
 		p = &o
 		fabPool[k] = p
+	}
+	return p
+}
+
+// fabObsOpts canonicalizes *hostsim.FabricObsOptions the same way
+// fabOpts does FabricOptions, keeping the run memo's "%+v" keys stable.
+var fabObsPool = map[int]*hostsim.FabricObsOptions{}
+
+func fabObsOpts(burstKB int) *hostsim.FabricObsOptions {
+	fabMu.Lock()
+	defer fabMu.Unlock()
+	p, ok := fabObsPool[burstKB]
+	if !ok {
+		p = &hostsim.FabricObsOptions{BurstThresholdKB: burstKB}
+		fabObsPool[burstKB] = p
 	}
 	return p
 }
@@ -232,5 +260,115 @@ func fab4Buffer(rc RunConfig) (*Table, error) {
 		"the unbounded pool never drops; every bounded pool drops under 15:1 pressure and a sliver of buffer costs goodput (§3.4 collapse)",
 		"total drops over the window are not monotone in buffer size — TCP's feedback loop backs off harder when the pool is tighter",
 		"DCTCP with an unbounded pool converts queue pressure into CE marks and holds full goodput with zero drops")
+	return t, nil
+}
+
+// fab5Ladder is the shared-buffer ladder for the microburst table; 0 is
+// the unbounded reference, 64KB sits below the 64KB burst threshold so
+// the dynamic threshold forbids bursts outright.
+var fab5Ladder = []int{0, 1024, 256, 64}
+
+func fab5Bursts(rc RunConfig) (*Table, error) {
+	t := &Table{
+		ID:    "fab5",
+		Title: "16-host incast microbursts vs shared buffer (observatory armed, 64KB burst threshold)",
+		Columns: []string{"buffer-kb", "bursts", "peak-backlog-kb", "longest-burst-us",
+			"burst-frames", "adm-drops", "hop-p99-us", "port0-util"},
+	}
+	specs := make([]runSpec, len(fab5Ladder))
+	for i, kb := range fab5Ladder {
+		cfg := rc.config(hostsim.AllOptimizations())
+		cfg.Fabric = fabOpts(hostsim.FabricOptions{Hosts: 16, SharedBufferKB: kb})
+		cfg.FabricObs = fabObsOpts(64)
+		specs[i] = runSpec{cfg, hostsim.LongFlowWorkload(hostsim.PatternIncast, 0)}
+	}
+	results, err := runBatch(rc, specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, kb := range fab5Ladder {
+		r := results[i]
+		p0 := r.PortReports[0] // incast: every data frame egresses port 0
+		var longest time.Duration
+		var frames int64
+		for _, b := range r.BurstEvents {
+			if b.Duration > longest {
+				longest = b.Duration
+			}
+			if b.Frames > frames {
+				frames = b.Frames
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", kb), fmt.Sprintf("%d", p0.Bursts),
+			fmt.Sprintf("%d", p0.PeakBacklog/1024),
+			fmt.Sprintf("%.1f", longest.Seconds()*1e6),
+			fmt.Sprintf("%d", frames), fmt.Sprintf("%d", r.Fabric.BufferDrops),
+			fmt.Sprintf("%.1f", p0.HopLatencyP99.Seconds()*1e6), pct(p0.Utilization),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"the unbounded pool lets the incast queue grow deepest; each buffer bound clips peak backlog at its dynamic threshold",
+		"hop p99 tracks peak backlog: shallow buffers bound switch latency, the price paid in admission drops",
+		"a 64KB pool cannot reach the 64KB burst threshold — the dynamic threshold forbids the microburst regime outright")
+	return t, nil
+}
+
+func fab6Attribution(rc RunConfig) (*Table, error) {
+	t := &Table{
+		ID:    "fab6",
+		Title: "8-host incast: exact drop/mark attribution across loss regimes",
+		Columns: []string{"cc", "buffer-kb", "loss-pct", "ecn-kb", "adm-drops",
+			"wire-drops", "marks", "delivered", "ledger-gap"},
+	}
+	type variant struct {
+		cc      string
+		bufKB   int
+		lossPct float64
+		ecnKB   int
+	}
+	variants := []variant{
+		{"cubic", 0, 0, 0},     // clean: nothing to attribute
+		{"cubic", 256, 0, 0},   // shared-buffer admission drops only
+		{"cubic", 256, 0.1, 0}, // admission drops + Bernoulli wire loss
+		{"dctcp", 0, 0, 64},    // CE marks only
+		{"dctcp", 256, 0, 64},  // marks + admission drops
+	}
+	specs := make([]runSpec, len(variants))
+	for i, v := range variants {
+		s := hostsim.AllOptimizations()
+		s.CC = v.cc
+		cfg := rc.config(s)
+		cfg.ECNMarkKB = v.ecnKB
+		cfg.LossRate = v.lossPct / 100
+		cfg.Fabric = fabOpts(hostsim.FabricOptions{Hosts: 8, SharedBufferKB: v.bufKB})
+		cfg.FabricObs = fabObsOpts(0)
+		specs[i] = runSpec{cfg, hostsim.LongFlowWorkload(hostsim.PatternIncast, 0)}
+	}
+	results, err := runBatch(rc, specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		r := results[i]
+		var adm, wire, marks, del, gap int64
+		for _, p := range r.PortReports {
+			adm += p.AdmissionDrops
+			wire += p.WireLossDrops
+			marks += p.ECNMarks
+			del += p.Delivered
+			gap += (p.InFrames - p.Forwarded - p.AdmissionDrops) +
+				(p.Enqueued - p.Delivered - p.WireLossDrops - p.InFlight)
+		}
+		t.Rows = append(t.Rows, []string{
+			v.cc, fmt.Sprintf("%d", v.bufKB), fmt.Sprintf("%g", v.lossPct),
+			fmt.Sprintf("%d", v.ecnKB), fmt.Sprintf("%d", adm),
+			fmt.Sprintf("%d", wire), fmt.Sprintf("%d", marks),
+			fmt.Sprintf("%d", del), fmt.Sprintf("%d", gap),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"every loss regime lights up exactly its own attribution class; the clean run attributes nothing",
+		"ledger-gap sums both conservation identities over all ports — zero means every frame the switch saw is accounted for exactly")
 	return t, nil
 }

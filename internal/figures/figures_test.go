@@ -28,7 +28,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7",
 		"abl1", "abl2", "abl3", "abl4", "abl5",
 		"app1", "app2", "app3", "app4", "app5",
-		"fab1", "fab2", "fab3", "fab4",
+		"fab1", "fab2", "fab3", "fab4", "fab5", "fab6",
 	}
 	got := All()
 	if len(got) != len(want) {

@@ -149,8 +149,10 @@ type Span struct {
 	Name       string
 	Cat        string
 	StartNS    int64
-	DurNS      int64          // ignored for instants
+	DurNS      int64          // ignored for instants and counters
 	Instant    bool           // render as a thread-scoped instant instead of a slice
+	Counter    bool           // render as a counter sample ("C"); Perfetto draws a counter track per Name
+	Value      float64        // the counter sample value (Counter spans only)
 	Args       map[string]any // optional; retained by reference
 }
 
@@ -162,6 +164,18 @@ func WriteChromeSpans(w io.Writer, spans []Span) error {
 	for _, s := range spans {
 		pid := enc.pid(s.Process)
 		enc.threadName(pid, s.Thread, s.ThreadName)
+		if s.Counter {
+			args := s.Args
+			if args == nil {
+				args = map[string]any{"value": s.Value}
+			}
+			enc.objs = append(enc.objs, traceObj{
+				Name: s.Name, Cat: s.Cat, Ph: "C",
+				Ts: usOf(s.StartNS), Pid: pid, Tid: s.Thread,
+				Args: args,
+			})
+			continue
+		}
 		if s.Instant {
 			enc.objs = append(enc.objs, traceObj{
 				Name: s.Name, Cat: s.Cat, Ph: "i",

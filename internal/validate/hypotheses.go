@@ -667,4 +667,39 @@ var Hypotheses = []Hypothesis{
 			e.AtLeast("DCTCP unbounded goodput", e.V("fab4", "total-thpt", "dctcp", "0"), 90)
 		},
 	},
+	{
+		ID: "fab5-microbursts", Sources: []string{"fab5"}, Severity: Gate,
+		Claim: "Incast microbursts live in the switch queue: shrinking the shared buffer clips peak backlog and hop latency monotonically, a pool below the burst threshold cannot burst at all, and the unbounded hot port saturates its line (§3.4).",
+		Eval: func(e *E) {
+			ladder := []string{"0", "1024", "256", "64"}
+			e.MonotoneDown("peak backlog over the buffer ladder", column(e, "fab5", "peak-backlog-kb", ladder...)...)
+			e.MonotoneDown("hop p99 over the buffer ladder", column(e, "fab5", "hop-p99-us", ladder...)...)
+			for _, kb := range []string{"0", "1024", "256"} {
+				e.AtLeast("bursts with "+kb+"KB pool", e.V("fab5", "bursts", kb), 1)
+			}
+			e.Within("bursts with a sub-threshold 64KB pool", e.V("fab5", "bursts", "64"), 0, 0)
+			e.AtLeast("unbounded burst depth exceeds every bound", e.V("fab5", "peak-backlog-kb", "0"), 4096)
+			e.AtLeast("unbounded hot-port utilization", e.V("fab5", "port0-util", "0"), 0.99)
+		},
+	},
+	{
+		ID: "fab6-attribution", Sources: []string{"fab6"}, Severity: Gate,
+		Claim: "The observatory's ledger attributes every lost or marked frame to exactly one cause — shared-buffer admission, Bernoulli wire loss, or CE mark — with both conservation identities closing to zero in every regime (§3.4, §5).",
+		Eval: func(e *E) {
+			e.Within("worst ledger gap", colMax(e, "fab6", "ledger-gap"), 0, 0)
+			e.Within("best ledger gap", colMin(e, "fab6", "ledger-gap"), 0, 0)
+			clean := []string{"cubic", "0", "0"}
+			e.Within("clean run admission drops", e.V("fab6", "adm-drops", clean...), 0, 0)
+			e.Within("clean run wire drops", e.V("fab6", "wire-drops", clean...), 0, 0)
+			e.Within("clean run marks", e.V("fab6", "marks", clean...), 0, 0)
+			e.AtLeast("bounded pool admission drops", e.V("fab6", "adm-drops", "cubic", "256", "0"), 1)
+			e.Within("lossless wire drops", e.V("fab6", "wire-drops", "cubic", "256", "0"), 0, 0)
+			e.AtLeast("lossy wire drops", e.V("fab6", "wire-drops", "cubic", "256", "0.1"), 1)
+			e.AtLeast("lossy run still admission-drops", e.V("fab6", "adm-drops", "cubic", "256", "0.1"), 1)
+			e.AtLeast("DCTCP marks", e.V("fab6", "marks", "dctcp", "0", "0"), 1000)
+			e.Within("DCTCP unbounded admission drops", e.V("fab6", "adm-drops", "dctcp", "0", "0"), 0, 0)
+			e.AtLeast("DCTCP bounded pool marks", e.V("fab6", "marks", "dctcp", "256", "0"), 1)
+			e.AtLeast("DCTCP bounded pool admission drops", e.V("fab6", "adm-drops", "dctcp", "256", "0"), 1)
+		},
+	},
 }

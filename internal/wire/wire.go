@@ -53,6 +53,7 @@ type Link struct {
 	nextFree     sim.Time
 	stats        Stats
 	tap          func(f *skb.Frame, dropped bool) // nil = capture off
+	deliverTap   func(f *skb.Frame)               // nil = delivery observer off
 	deliverEv    func(any)                        // bound deliverFrame, allocated once
 
 	// Frames past the switch but not yet delivered (serializing or
@@ -102,6 +103,32 @@ func (l *Link) SetECNThreshold(thresh units.Bytes) {
 // tapped run follows the exact trajectory of an untapped one. With no tap
 // attached, Send pays only a pointer test.
 func (l *Link) SetTap(tap func(f *skb.Frame, dropped bool)) { l.tap = tap }
+
+// AddTap composes tap after any observer already installed, so independent
+// subsystems (the inspector's capture, the fabric observatory) can watch
+// the same link without clobbering each other — the same chaining contract
+// as Conn.AddProbe. The composed tap is subject to the SetTap purity rules.
+func (l *Link) AddTap(tap func(f *skb.Frame, dropped bool)) {
+	if tap == nil {
+		panic("wire: nil tap")
+	}
+	if prev := l.tap; prev != nil {
+		l.tap = func(f *skb.Frame, dropped bool) {
+			prev(f, dropped)
+			tap(f, dropped)
+		}
+		return
+	}
+	l.tap = tap
+}
+
+// SetDeliverTap installs a delivery observer (nil detaches), invoked once
+// for every frame handed to the receiver, immediately before delivery —
+// the egress-edge counterpart of SetTap's switch-edge view, giving an
+// observer both ends of the hop. Like a tap it must be a pure read: the
+// receiver may recycle the frame the moment delivery completes. With no
+// observer attached, delivery pays only a pointer test.
+func (l *Link) SetDeliverTap(tap func(f *skb.Frame)) { l.deliverTap = tap }
 
 // Rate returns the link rate.
 func (l *Link) Rate() units.BitRate { return l.rate }
@@ -171,5 +198,8 @@ func (l *Link) deliverFrame(a any) {
 	l.stats.DeliveredPayload += pl
 	l.inflightFrames--
 	l.inflightPayload -= pl
+	if l.deliverTap != nil {
+		l.deliverTap(f)
+	}
 	l.deliver(f)
 }
